@@ -1,0 +1,73 @@
+"""E5 — Figure 3.3: overlap at the root defeats search pruning.
+
+Measures the fraction of nodes a window search must visit in an
+INSERT-built tree (whose root entries straddle the query) versus a
+PACKed tree (whose root entries tile the space), over a sweep of window
+selectivities.
+"""
+
+import pytest
+
+from repro.experiments.figures import run_fig33_pruning
+from repro.geometry import Rect
+from repro.rtree.packing import pack
+from repro.rtree.search import SearchStats, window_search
+from repro.rtree.tree import RTree
+from repro.workloads import uniform_points, windows_of_selectivity
+
+N = 400
+
+
+@pytest.fixture(scope="module")
+def trees():
+    pts = uniform_points(N, seed=5)
+    items = [(Rect.from_point(p), i) for i, p in enumerate(pts)]
+    dynamic = RTree(max_entries=4, split="linear")
+    dynamic.insert_all(items)
+    packed = pack(items, max_entries=4)
+    return dynamic, packed
+
+
+@pytest.fixture(scope="module")
+def sweep(report, trees):
+    dynamic, packed = trees
+    lines = ["Figure 3.3 — visit fraction by window selectivity "
+             f"(n={N}, fanout 4)",
+             f"{'sel':>6} | {'insert':>8} | {'pack':>8}"]
+    rows = []
+    for sel in (0.001, 0.01, 0.05, 0.10, 0.25):
+        acc_i = acc_p = 0.0
+        windows = windows_of_selectivity(20, sel, seed=9)
+        for w in windows:
+            si, sp = SearchStats(), SearchStats()
+            window_search(dynamic, w, si)
+            window_search(packed, w, sp)
+            acc_i += si.nodes_visited / dynamic.node_count
+            acc_p += sp.nodes_visited / packed.node_count
+        fi, fp = acc_i / len(windows), acc_p / len(windows)
+        rows.append((sel, fi, fp))
+        lines.append(f"{sel:>6.3f} | {fi:>8.2%} | {fp:>8.2%}")
+    report("fig33_pruning", "\n".join(lines))
+    return rows
+
+
+def test_pack_prunes_better_at_every_selectivity(sweep):
+    for _sel, insert_fraction, pack_fraction in sweep:
+        assert pack_fraction <= insert_fraction * 1.05  # allow tiny noise
+
+
+def test_headline_pruning_result(report):
+    r = run_fig33_pruning()
+    assert r.pack_visit_fraction < r.insert_visit_fraction
+
+
+def test_window_search_insert(benchmark, trees):
+    dynamic, _ = trees
+    w = Rect(400, 400, 620, 620)
+    benchmark(dynamic.search, w)
+
+
+def test_window_search_pack(benchmark, trees):
+    _, packed = trees
+    w = Rect(400, 400, 620, 620)
+    benchmark(packed.search, w)

@@ -1,0 +1,54 @@
+"""E2 — Figure 3.4: dead space left by dynamic INSERT.
+
+The eight-point configuration where requirement (2) of Guttman's scheme
+("new data objects must be added to pre-existing leaves") creates
+useless covered space that PACK avoids.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    FIG34_ORDER,
+    FIG34_POINTS,
+    run_fig34_deadspace,
+)
+from repro.geometry import Rect
+from repro.rtree.packing import pack
+from repro.rtree.tree import RTree
+
+
+@pytest.fixture(scope="module")
+def result(report):
+    r = run_fig34_deadspace()
+    report("fig34_deadspace", "\n".join([
+        "Figure 3.4 — eight points, two natural clusters",
+        f"  INSERT coverage: {r.insert_coverage:.2f} over "
+        f"{r.insert_leaves} leaves",
+        f"  PACK   coverage: {r.pack_coverage:.2f} over "
+        f"{r.pack_leaves} leaves",
+        f"  dead space created by INSERT: {r.dead_space:.2f} "
+        f"({r.dead_space / r.pack_coverage:.1f}x the optimal coverage)",
+    ]))
+    return r
+
+
+def test_dead_space_positive(result):
+    assert result.dead_space > 0
+
+
+def test_insert_eight_points(benchmark):
+    items = [(Rect.from_point(FIG34_POINTS[i]), i) for i in FIG34_ORDER]
+
+    def build():
+        t = RTree(max_entries=4, split="linear")
+        t.insert_all(items)
+        return t
+
+    tree = benchmark(build)
+    assert len(tree) == 8
+
+
+def test_pack_eight_points(benchmark):
+    items = [(Rect.from_point(FIG34_POINTS[i]), i) for i in FIG34_ORDER]
+    tree = benchmark(pack, items, 4)
+    assert len(tree) == 8

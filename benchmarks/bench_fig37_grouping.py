@@ -1,0 +1,50 @@
+"""E3 — Figure 3.7: coverage of x-slab grouping vs proximity grouping.
+
+Both groupings achieve (near-)zero overlap; the figure's point is that
+coverage still differs enormously when the data has vertical structure.
+"""
+
+import pytest
+
+from repro.experiments.figures import run_fig37_grouping
+from repro.geometry import Rect
+from repro.rtree.packing import pack
+
+
+@pytest.fixture(scope="module")
+def result(report):
+    r = run_fig37_grouping()
+    report("fig37_grouping", "\n".join([
+        "Figure 3.7 — grouping the same points two ways",
+        f"  x-slab grouping coverage (3.7a): {r.slab_coverage:,.0f}",
+        f"  NN grouping coverage     (3.7b): {r.nn_coverage:,.0f}",
+        f"  improvement: {r.improvement:.2f}x",
+    ]))
+    return r
+
+
+def test_nn_grouping_tighter(result):
+    assert result.improvement > 2.0
+
+
+@pytest.fixture(scope="module")
+def stacked_items():
+    import random
+    rng = random.Random(11)
+    from repro.geometry import Point
+    items = []
+    for col in range(4):
+        for row in range(2):
+            cx, cy = 125 + 250 * col, 250 + 500 * row
+            for _ in range(8):
+                p = Point(rng.gauss(cx, 10), rng.gauss(cy, 10))
+                items.append((Rect.from_point(p), len(items)))
+    return items
+
+
+def test_pack_lowx(benchmark, stacked_items):
+    benchmark(pack, stacked_items, 4, "lowx")
+
+
+def test_pack_nn(benchmark, stacked_items):
+    benchmark(pack, stacked_items, 4, "nn")

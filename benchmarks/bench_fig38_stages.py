@@ -1,0 +1,44 @@
+"""E4 — Figure 3.8: the recursive stages of PACK on a city map.
+
+Writes the per-level group counts (cities -> leaf MBRs -> ... -> root)
+and renders the stages to SVG, as the figure does.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.figures import run_fig38_stages
+from repro.viz import render_pack_stages
+from repro.workloads import TABLE1_UNIVERSE
+
+
+@pytest.fixture(scope="module")
+def stages(report):
+    s = run_fig38_stages(n=48)
+    lines = ["Figure 3.8 — PACK stages over 48 synthetic cities"]
+    lines.append(f"  3.8a: {len(s.points)} city points")
+    for i, level in enumerate(s.levels):
+        tag = "3.8b" if i == 0 else ("3.8c" if i == 1 else f"level {i}")
+        lines.append(f"  {tag}: {len(level)} MBR groups")
+    out_dir = os.path.join(os.path.dirname(__file__), "out")
+    os.makedirs(out_dir, exist_ok=True)
+    svg = os.path.join(out_dir, "fig38_stages.svg")
+    render_pack_stages(s.levels, TABLE1_UNIVERSE).save(svg)
+    lines.append(f"  rendering -> {svg}")
+    report("fig38_stages", "\n".join(lines))
+    return s
+
+
+def test_stages_terminate_at_root(stages):
+    assert len(stages.levels[-1]) == 1
+
+
+def test_each_level_shrinks(stages):
+    sizes = [len(level) for level in stages.levels]
+    assert all(a > b for a, b in zip(sizes, sizes[1:]))
+
+
+def test_stage_computation(benchmark):
+    s = benchmark(run_fig38_stages, 48)
+    assert s.depth >= 2

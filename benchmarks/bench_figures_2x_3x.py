@@ -1,0 +1,103 @@
+"""Figures 2.1, 2.2, 3.1 and 3.2 — rendered picture artefacts.
+
+These figures illustrate rather than measure; the regeneration writes
+the equivalent pictures as SVG:
+
+- fig21: the paper's direct-search query output (cities in a window with
+  the alphanumeric table beside the picture).
+- fig22: the juxtaposed cities + time-zone maps.
+- fig31: a (packed) R-tree over city *points*, MBRs drawn per level.
+- fig32: a (packed) R-tree over state *regions*.
+
+Figure 1.1 is the system architecture diagram (alphanumeric processor +
+pictorial processor); it is documented in DESIGN.md rather than rendered.
+"""
+
+import os
+
+import pytest
+
+from repro.psql import Session
+from repro.relational import Column, Database
+from repro.rtree.packing import pack
+from repro.viz import render_query_result, render_rtree
+from repro.workloads import build_us_map
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    the_map = build_us_map(seed=42)
+    db = Database()
+    cities = db.create_relation("cities", [
+        Column("city", "str"), Column("state", "str"),
+        Column("population", "int"), Column("loc", "point")])
+    for c in the_map.cities:
+        cities.insert({"city": c.name, "state": c.state,
+                       "population": c.population, "loc": c.loc})
+    zones = db.create_relation("time-zones", [
+        Column("zone", "str"), Column("hour-diff", "int"),
+        Column("loc", "region")])
+    for z in the_map.time_zones:
+        zones.insert({"zone": z.zone, "hour-diff": z.hour_diff,
+                      "loc": z.loc})
+    db.create_picture("us-map", the_map.universe).register(cities, "loc")
+    db.create_picture("time-zone-map", the_map.universe).register(
+        zones, "loc")
+    return db, the_map
+
+
+@pytest.fixture(scope="module")
+def artefacts(report, loaded):
+    db, the_map = loaded
+    os.makedirs(OUT_DIR, exist_ok=True)
+    session = Session(db)
+    paths = {}
+
+    # Figure 2.1: direct spatial search output.
+    r21 = session.execute(
+        "select city, state, population, loc from cities on us-map "
+        "at loc covered-by {500 ± 250, 500 ± 250} "
+        "where population > 450_000")
+    paths["fig21"] = os.path.join(OUT_DIR, "fig21_direct_search.svg")
+    render_query_result(r21, the_map.universe).save(paths["fig21"])
+
+    # Figure 2.2: juxtaposition of the two maps.
+    r22 = session.execute(
+        "select city, zone, cities.loc from cities, time-zones "
+        "on us-map, time-zone-map "
+        "at cities.loc covered-by time-zones.loc")
+    paths["fig22"] = os.path.join(OUT_DIR, "fig22_juxtaposition.svg")
+    render_query_result(r22, the_map.universe).save(paths["fig22"])
+
+    # Figure 3.1: R-tree over city points; Figure 3.2: over state regions.
+    city_tree = pack(the_map.city_items(), max_entries=4)
+    paths["fig31"] = os.path.join(OUT_DIR, "fig31_city_rtree.svg")
+    render_rtree(city_tree, world=the_map.universe).save(paths["fig31"])
+    state_tree = pack(the_map.state_items(), max_entries=4)
+    paths["fig32"] = os.path.join(OUT_DIR, "fig32_state_rtree.svg")
+    render_rtree(state_tree, world=the_map.universe).save(paths["fig32"])
+
+    report("figures_2x_3x", "\n".join(
+        ["Rendered figure artefacts:"]
+        + [f"  {name}: {path}  "
+           for name, path in sorted(paths.items())]
+        + [f"  fig21 rows: {len(r21)}; fig22 pairs: {len(r22)}"]))
+    return paths, len(r21), len(r22)
+
+
+def test_artefacts_written(artefacts):
+    paths, n21, n22 = artefacts
+    for path in paths.values():
+        assert os.path.exists(path)
+        with open(path, encoding="utf-8") as f:
+            assert f.read(4) == "<svg"
+    assert n21 > 0 and n22 > 0
+
+
+def test_render_city_tree_speed(benchmark, loaded):
+    _db, the_map = loaded
+    tree = pack(the_map.city_items(), max_entries=4)
+    canvas = benchmark(render_rtree, tree, the_map.universe)
+    assert canvas.to_svg()

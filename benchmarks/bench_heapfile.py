@@ -1,0 +1,68 @@
+"""Substrate benchmark: slotted-page heap file and the row codec.
+
+Not a paper artefact, but the tuple-storage layer every PSQL query
+ultimately reads; tracked so substrate regressions are visible next to
+the index numbers.
+"""
+
+import os
+
+import pytest
+
+from repro.geometry import Point
+from repro.relational import Column
+from repro.relational.persistent import PersistentRelation
+from repro.relational.rowcodec import decode_row, encode_row
+from repro.storage.heapfile import HeapFile
+
+ROW = {"city": "Springfield", "state": "Avalon",
+       "population": 450_000, "loc": Point(421.5, 310.25)}
+
+SCHEMA = [Column("city", "str"), Column("state", "str"),
+          Column("population", "int"), Column("loc", "point")]
+
+
+def test_encode_row(benchmark):
+    data = benchmark(encode_row, ROW)
+    assert data
+
+
+def test_decode_row(benchmark):
+    data = encode_row(ROW)
+    row = benchmark(decode_row, data)
+    assert row == ROW
+
+
+def test_heap_insert_1000(benchmark, tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("heapbench")
+    payload = encode_row(ROW)
+    counter = [0]
+
+    def insert_batch():
+        path = os.path.join(str(tmp), f"h{counter[0]}.db")
+        counter[0] += 1
+        with HeapFile(path) as heap:
+            for _ in range(1000):
+                heap.insert(payload)
+
+    benchmark.pedantic(insert_batch, rounds=3, iterations=1)
+
+
+def test_heap_scan_1000(benchmark, tmp_path):
+    payload = encode_row(ROW)
+    with HeapFile(str(tmp_path / "scan.db")) as heap:
+        for _ in range(1000):
+            heap.insert(payload)
+        count = benchmark(lambda: sum(1 for _ in heap.scan()))
+        assert count == 1000
+
+
+def test_persistent_relation_lookup(benchmark, tmp_path):
+    with PersistentRelation("cities", SCHEMA,
+                            str(tmp_path / "rel.db")) as rel:
+        for i in range(500):
+            rel.insert({"city": f"C{i}", "state": "Avalon",
+                        "population": i, "loc": Point(float(i), 0.0)})
+        rel.create_index("population")
+        rows = benchmark(rel.lookup, "population", 250)
+        assert len(rows) == 1

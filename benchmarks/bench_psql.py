@@ -1,0 +1,112 @@
+"""E9/E10/E11 — the PSQL queries of Section 2.2.
+
+Benchmarks direct spatial search, juxtaposition and nested mappings
+against the synthetic map, and reports result sizes.
+"""
+
+import pytest
+
+from repro.psql import Session
+from repro.relational import Column, Database
+from repro.workloads import build_us_map
+
+DIRECT_QUERY = """
+    select city, state, population, loc
+    from   cities
+    on     us-map
+    at     loc covered-by {500 ± 250, 500 ± 250}
+    where  population > 450_000
+"""
+
+JUXTAPOSITION_QUERY = """
+    select city, zone
+    from   cities, time-zones
+    on     us-map, time-zone-map
+    at     cities.loc covered-by time-zones.loc
+"""
+
+NESTED_QUERY = """
+    select lake, area, lakes.loc
+    from   lakes
+    on     lake-map
+    at     lakes.loc covered-by
+           select states.loc from states on us-map
+           at states.loc covered-by {750 ± 250, 500 ± 500}
+"""
+
+
+@pytest.fixture(scope="module")
+def session():
+    the_map = build_us_map(seed=42, cities_per_state=20, lakes=25)
+    db = Database()
+    cities = db.create_relation("cities", [
+        Column("city", "str"), Column("state", "str"),
+        Column("population", "int"), Column("loc", "point")])
+    for c in the_map.cities:
+        cities.insert({"city": c.name, "state": c.state,
+                       "population": c.population, "loc": c.loc})
+    states = db.create_relation("states", [
+        Column("state", "str"), Column("population-density", "float"),
+        Column("loc", "region")])
+    for s in the_map.states:
+        states.insert({"state": s.name,
+                       "population-density": s.population_density,
+                       "loc": s.loc})
+    zones = db.create_relation("time-zones", [
+        Column("zone", "str"), Column("hour-diff", "int"),
+        Column("loc", "region")])
+    for z in the_map.time_zones:
+        zones.insert({"zone": z.zone, "hour-diff": z.hour_diff,
+                      "loc": z.loc})
+    lakes = db.create_relation("lakes", [
+        Column("lake", "str"), Column("area", "float"),
+        Column("volume", "float"), Column("loc", "region")])
+    for l in the_map.lakes:
+        lakes.insert({"lake": l.name, "area": l.area,
+                      "volume": l.volume, "loc": l.loc})
+
+    us = db.create_picture("us-map", the_map.universe)
+    us.register(cities, "loc")
+    us.register(states, "loc")
+    db.create_picture("time-zone-map", the_map.universe).register(
+        zones, "loc")
+    db.create_picture("lake-map", the_map.universe).register(lakes, "loc")
+    return Session(db)
+
+
+@pytest.fixture(scope="module")
+def result_sizes(report, session):
+    sizes = {
+        "direct (E9)": len(session.execute(DIRECT_QUERY)),
+        "juxtaposition (E10)": len(session.execute(JUXTAPOSITION_QUERY)),
+        "nested (E11)": len(session.execute(NESTED_QUERY)),
+    }
+    report("psql_queries", "\n".join(
+        ["PSQL query results over the synthetic map"]
+        + [f"  {name}: {n} rows" for name, n in sizes.items()]))
+    return sizes
+
+
+def test_queries_return_rows(result_sizes):
+    assert all(n > 0 for n in result_sizes.values())
+
+
+def test_direct_spatial_search(benchmark, session):
+    result = benchmark(session.execute, DIRECT_QUERY)
+    assert len(result) > 0
+
+
+def test_juxtaposition(benchmark, session):
+    result = benchmark(session.execute, JUXTAPOSITION_QUERY)
+    assert len(result) > 0
+
+
+def test_nested_mapping(benchmark, session):
+    result = benchmark(session.execute, NESTED_QUERY)
+    assert len(result) >= 0
+
+
+def test_parse_only(benchmark):
+    from repro.psql import parse
+    q = benchmark(parse, NESTED_QUERY)
+    assert q.relations == ("lakes",)

@@ -1,0 +1,105 @@
+"""E17 — R-tree vs quadtree: object-level search vs reconstruction.
+
+Section 1: R-trees "store full and non-atomic spatial objects" while
+quad-trees "indiscriminately decompose the objects into lower level
+pictorial primitives", so quadtree search needs "an elaborate
+reconstruction process".  This experiment stores the same rectangles in
+both structures and compares window-search accesses, raw answers and
+the fragment blow-up.
+"""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.quadtree import PointQuadtree, RegionQuadtree
+from repro.rtree.packing import pack
+from repro.rtree.search import SearchStats, window_search
+from repro.workloads import (
+    TABLE1_UNIVERSE,
+    uniform_points,
+    uniform_rects,
+    windows_of_selectivity,
+)
+
+N = 1000
+
+
+@pytest.fixture(scope="module")
+def region_data():
+    rects = [r for r in uniform_rects(N, max_side=40, seed=18)
+             if r.area() > 0]
+    return [(r, i) for i, r in enumerate(rects)]
+
+
+@pytest.fixture(scope="module")
+def comparison(report, region_data):
+    rtree = pack(region_data, max_entries=4)
+    qtree = RegionQuadtree(TABLE1_UNIVERSE, max_depth=6, bucket=4)
+    for r, i in region_data:
+        qtree.insert(r, i)
+
+    windows = windows_of_selectivity(30, 0.02, seed=19)
+    r_nodes = q_nodes = 0
+    fragments_merged = objects_returned = 0
+    for w in windows:
+        stats = SearchStats()
+        window_search(rtree, w, stats)
+        r_nodes += stats.nodes_visited
+        q_nodes += qtree.count_search_accesses(w)
+        objs, frags = qtree.search_objects(w)
+        objects_returned += len(objs)
+        fragments_merged += frags
+    lines = [
+        f"R-tree vs region quadtree (n={len(region_data)} rectangles, "
+        f"30 windows of 2% selectivity)",
+        f"  R-tree:   {rtree.node_count} nodes, "
+        f"{r_nodes / len(windows):.1f} accesses/query, returns objects "
+        f"directly",
+        f"  quadtree: {qtree.node_count()} nodes "
+        f"({qtree.fragment_count} fragments for {len(region_data)} "
+        f"objects), {q_nodes / len(windows):.1f} accesses/query",
+        f"  reconstruction: {fragments_merged} fragments merged into "
+        f"{objects_returned} objects "
+        f"({fragments_merged / max(1, objects_returned):.2f} fragments "
+        f"per object)",
+    ]
+    report("quadtree_compare", "\n".join(lines))
+    return dict(rtree=rtree, qtree=qtree,
+                frag_ratio=fragments_merged / max(1, objects_returned))
+
+
+def test_quadtree_fragments_objects(comparison):
+    """The decomposition blow-up the paper criticises is real."""
+    qtree = comparison["qtree"]
+    assert qtree.fragment_count > len(qtree)
+    assert comparison["frag_ratio"] > 1.0
+
+
+def test_answers_agree(comparison, region_data):
+    window = Rect(300, 300, 500, 500)
+    r_hits = sorted(comparison["rtree"].search(window))
+    q_hits, _ = comparison["qtree"].search_objects(window)
+    assert sorted(q_hits) == r_hits
+
+
+def test_rtree_window_search(benchmark, region_data):
+    tree = pack(region_data, max_entries=4)
+    window = Rect(300, 300, 500, 500)
+    benchmark(tree.search, window)
+
+
+def test_quadtree_window_search(benchmark, region_data):
+    qtree = RegionQuadtree(TABLE1_UNIVERSE, max_depth=6, bucket=4)
+    for r, i in region_data:
+        qtree.insert(r, i)
+    window = Rect(300, 300, 500, 500)
+    benchmark(qtree.search_objects, window)
+
+
+def test_point_quadtree_vs_rtree_points(benchmark):
+    pts = uniform_points(N, seed=20)
+    qtree = PointQuadtree(TABLE1_UNIVERSE, bucket=4)
+    for i, p in enumerate(pts):
+        qtree.insert(p, i)
+    window = Rect(300, 300, 500, 500)
+    benchmark(qtree.search, window)

@@ -1,0 +1,54 @@
+"""E6/E7/E8 — Lemma 3.1, Theorem 3.2 and Theorem 3.3 constructions.
+
+These are the paper's theoretical results made executable: the rotation
+that separates x-coordinates, the zero-overlap point partition, and the
+exhaustive verification that the skewed-region counterexample admits no
+zero-overlap grouping.
+"""
+
+import pytest
+
+from repro.experiments.figures import run_lemma31, run_theorem32, run_theorem33
+from repro.rtree.theory import (
+    theorem_33_counterexample,
+    verify_no_zero_overlap_grouping,
+    zero_overlap_partition,
+)
+from repro.workloads import uniform_points
+
+
+@pytest.fixture(scope="module")
+def summary(report):
+    l31 = run_lemma31()
+    t32 = run_theorem32(n=200)
+    t33 = run_theorem33()
+    text = "\n".join([
+        "Section 3.2 constructions",
+        f"  Lemma 3.1: rotation {l31.angle:.4f} rad lifts distinct-x "
+        f"{l31.distinct_before}/{l31.n} -> {l31.distinct_after}/{l31.n}",
+        f"  Theorem 3.2: {t32.n} points -> {t32.groups} MBRs, "
+        f"disjoint={t32.disjoint}, residual overlap={t32.overlap_area:.3g}",
+        f"  Theorem 3.3: {t33.regions} skewed regions admit no zero-"
+        f"overlap grouping = {t33.counterexample_holds}",
+    ])
+    report("theory", text)
+    return l31, t32, t33
+
+
+def test_all_theory_results_hold(summary):
+    l31, t32, t33 = summary
+    assert l31.distinct_after == l31.n
+    assert t32.disjoint
+    assert t33.counterexample_holds
+
+
+def test_zero_overlap_partition_speed(benchmark):
+    pts = uniform_points(400, seed=12)
+    part = benchmark(zero_overlap_partition, pts, 4)
+    assert part.is_disjoint()
+
+
+def test_counterexample_verification_speed(benchmark):
+    mbrs = [r.mbr() for r in theorem_33_counterexample()]
+    holds = benchmark(verify_no_zero_overlap_grouping, mbrs, 4)
+    assert holds

@@ -1,0 +1,136 @@
+"""E15 — Section 3.4, "The Update Problem".
+
+"INSERT (and analogously DELETE) and PACK can complement each other":
+this experiment PACKs a tree, then applies growing batches of random
+inserts/deletes and tracks how far search quality degrades from the
+packed optimum — and how a re-PACK restores it.
+"""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.rtree.metrics import average_nodes_visited, coverage
+from repro.rtree.packing import pack
+from repro.workloads import random_point_probes, uniform_points
+
+N = 800
+BATCHES = (0, 50, 100, 200, 400)
+
+
+def fresh_tree():
+    pts = uniform_points(N, seed=8)
+    items = [(Rect.from_point(p), i) for i, p in enumerate(pts)]
+    return pack(items, max_entries=4), dict((i, r) for r, i in items)
+
+
+def apply_updates(tree, live, count, seed):
+    rng = random.Random(seed)
+    next_id = max(live) + 1
+    for _ in range(count):
+        if rng.random() < 0.5 and live:
+            oid = rng.choice(list(live))
+            tree.delete(live.pop(oid), oid)
+        else:
+            r = Rect.from_point(Point(rng.uniform(0, 1000),
+                                      rng.uniform(0, 1000)))
+            tree.insert(r, next_id)
+            live[next_id] = r
+            next_id += 1
+
+
+@pytest.fixture(scope="module")
+def degradation(report):
+    probes = random_point_probes(400, seed=9)
+    lines = [f"Update problem: packed tree under update batches (n={N})",
+             f"{'updates':>8} | {'A':>6} {'C':>9} {'nodes':>6}"]
+    series = []
+    for batch in BATCHES:
+        tree, live = fresh_tree()
+        apply_updates(tree, live, batch, seed=batch)
+        a = average_nodes_visited(tree, probes)
+        series.append((batch, a))
+        lines.append(f"{batch:>8} | {a:>6.2f} {coverage(tree):>9.0f} "
+                     f"{tree.node_count:>6}")
+    # Re-PACK after the heaviest batch.
+    tree, live = fresh_tree()
+    apply_updates(tree, live, BATCHES[-1], seed=BATCHES[-1])
+    repacked = pack([(r, i) for i, r in live.items()], max_entries=4)
+    a = average_nodes_visited(repacked, probes)
+    lines.append(f"{'re-pack':>8} | {a:>6.2f} {coverage(repacked):>9.0f} "
+                 f"{repacked.node_count:>6}")
+    report("update_problem", "\n".join(lines))
+    return series, a
+
+
+def test_updates_do_not_break_search(degradation):
+    series, _ = degradation
+    assert all(a >= 1.0 for _b, a in series)
+
+
+def test_repack_restores_quality(degradation):
+    series, repacked_a = degradation
+    degraded_a = series[-1][1]
+    assert repacked_a <= degraded_a * 1.10  # re-pack at least as good
+
+
+@pytest.fixture(scope="module")
+def local_repack_series(report):
+    """E15b — the paper's Section 4 future work: local re-packing."""
+    from repro.rtree import local_repack
+    from repro.geometry import Rect as _R
+    probes = random_point_probes(400, seed=9)
+    tree, live = fresh_tree()
+    apply_updates(tree, live, 400, seed=400)
+    degraded_a = average_nodes_visited(tree, probes)
+    hot_spot = _R(250, 250, 750, 750)
+    result = local_repack(tree, region=hot_spot)
+    local_a = average_nodes_visited(tree, probes)
+    full = local_repack(tree)
+    full_a = average_nodes_visited(tree, probes)
+    report("update_problem_local_repack", "\n".join([
+        "Section 4 future work: local re-pack after 400 updates",
+        f"  degraded tree:             A={degraded_a:.2f}",
+        f"  after local repack (hot spot, {result.entries_repacked} "
+        f"entries): A={local_a:.2f}",
+        f"  after full repack ({full.entries_repacked} entries): "
+        f"A={full_a:.2f}",
+    ]))
+    return degraded_a, local_a, full_a
+
+
+def test_local_repack_restores_quality(local_repack_series):
+    degraded_a, local_a, full_a = local_repack_series
+    assert full_a <= degraded_a
+    assert local_a <= degraded_a * 1.05
+
+
+def test_local_repack_speed(benchmark):
+    from repro.rtree import local_repack
+
+    def run():
+        tree, live = fresh_tree()
+        apply_updates(tree, live, 200, seed=1)
+        return local_repack(tree)
+
+    result = benchmark(run)
+    assert result.entries_repacked > 0
+
+
+def test_update_burst_speed(benchmark):
+    def run():
+        tree, live = fresh_tree()
+        apply_updates(tree, live, 200, seed=1)
+        return tree
+
+    tree = benchmark(run)
+    assert len(tree) > 0
+
+
+def test_repack_speed(benchmark):
+    tree, live = fresh_tree()
+    apply_updates(tree, live, 200, seed=1)
+    items = [(r, i) for i, r in live.items()]
+    repacked = benchmark(pack, items, 4)
+    assert len(repacked) == len(items)

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark module regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index).  Besides pytest-benchmark's
+timing table, each module writes the reproduced rows/series to
+``benchmarks/out/<experiment>.txt`` via the ``report`` fixture so the
+artefacts survive the run (and prints them, visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def _report(name: str, text: str) -> None:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text.rstrip() + "\n")
+    print(f"\n[{name}]")
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def report() -> Callable[[str, str], None]:
+    """Persist a reproduced table/series and echo it to stdout."""
+    return _report

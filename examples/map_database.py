@@ -1,0 +1,109 @@
+"""A pictorial database session: the paper's Section 2 queries, end to end.
+
+Run with::
+
+    python examples/map_database.py [output-dir]
+
+Builds the synthetic US map, loads it into the relational catalog with
+packed R-tree picture indexes, and runs the paper's example queries:
+direct spatial search with a population filter (Figure 2.1), and the
+nested mapping that finds lakes inside Eastern states.  Pictorial output
+is written as SVG files — the stand-in for the paper's graphics monitor.
+"""
+
+import sys
+
+from repro.geometry import Rect
+from repro.psql import Session
+from repro.relational import Column, Database
+from repro.viz import render_query_result
+from repro.workloads import build_us_map
+
+
+def load_database() -> tuple[Database, object]:
+    """Create relations + pictures for the synthetic map."""
+    the_map = build_us_map(seed=42)
+    db = Database()
+
+    cities = db.create_relation("cities", [
+        Column("city", "str"), Column("state", "str"),
+        Column("population", "int"), Column("loc", "point")])
+    for c in the_map.cities:
+        cities.insert({"city": c.name, "state": c.state,
+                       "population": c.population, "loc": c.loc})
+    cities.create_index("population")
+
+    states = db.create_relation("states", [
+        Column("state", "str"), Column("population-density", "float"),
+        Column("loc", "region")])
+    for s in the_map.states:
+        states.insert({"state": s.name,
+                       "population-density": s.population_density,
+                       "loc": s.loc})
+
+    lakes = db.create_relation("lakes", [
+        Column("lake", "str"), Column("area", "float"),
+        Column("volume", "float"), Column("loc", "region")])
+    for l in the_map.lakes:
+        lakes.insert({"lake": l.name, "area": l.area,
+                      "volume": l.volume, "loc": l.loc})
+
+    us_map = db.create_picture("us-map", the_map.universe)
+    us_map.register(cities, "loc")
+    us_map.register(states, "loc")
+    lake_map = db.create_picture("lake-map", the_map.universe)
+    lake_map.register(lakes, "loc")
+    return db, the_map
+
+
+def main(out_dir: str = ".") -> None:
+    db, the_map = load_database()
+    session = Session(db)
+
+    # The paper's first example query (Section 2.2): cities in an area
+    # with population above a threshold.  The {500±250, 500±250} window
+    # plays the role of the paper's Eastern-US {4±4, 11±9}.
+    query1 = """
+        select city, state, population, loc
+        from   cities
+        on     us-map
+        at     loc covered-by {500 ± 250, 500 ± 250}
+        where  population > 450_000
+    """
+    result1 = session.execute(query1)
+    print("Q1 — big cities in the central window")
+    print(result1.format_table(max_rows=10))
+    svg_path = f"{out_dir}/q1_cities.svg"
+    render_query_result(result1, the_map.universe).save(svg_path)
+    print(f"(pictorial output -> {svg_path})\n")
+
+    # The nested mapping from Section 2.2: lakes covered by the boundary
+    # of some Eastern state.
+    query2 = """
+        select lake, area, lakes.loc
+        from   lakes
+        on     lake-map
+        at     lakes.loc covered-by
+               select states.loc from states on us-map
+               at states.loc covered-by {750 ± 250, 500 ± 500}
+    """
+    result2 = session.execute(query2)
+    print("Q2 — lakes within Eastern states (nested mapping)")
+    print(result2.format_table(max_rows=10))
+    svg_path = f"{out_dir}/q2_lakes.svg"
+    render_query_result(result2, the_map.universe).save(svg_path)
+    print(f"(pictorial output -> {svg_path})\n")
+
+    # A pictorial function in select and where: the paper's `area`.
+    query3 = """
+        select lake, area(loc), volume
+        from   lakes
+        where  area(loc) > 900 and volume > 10_000
+    """
+    result3 = session.execute(query3)
+    print("Q3 — large, deep lakes via the area() pictorial function")
+    print(result3.format_table(max_rows=10))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else ".")

@@ -1,0 +1,49 @@
+"""Reproduce the paper's Table 1 at the command line.
+
+Run with::
+
+    python examples/packed_vs_dynamic.py [--full]
+
+Builds Guttman-INSERT and PACK trees over identical uniform point sets
+and prints coverage, overlap, depth, node count and average nodes
+visited — the exact columns of the paper's Table 1 — with the paper's
+own numbers interleaved for comparison.  ``--full`` runs all 17 J values
+with 1000 queries (takes a minute); the default is a 6-row subset.
+"""
+
+import sys
+
+from repro.experiments import format_table1, run_table1
+from repro.workloads import TABLE1_J_VALUES
+
+
+def main(full: bool = False) -> None:
+    if full:
+        j_values = TABLE1_J_VALUES
+        queries = 1000
+    else:
+        j_values = (10, 50, 100, 300, 600, 900)
+        queries = 300
+
+    print("Reproducing Table 1 (INSERT baseline: Guttman linear split; "
+          "PACK: nearest-neighbour)")
+    print(f"J values: {j_values}; {queries} point queries per tree\n")
+    rows = run_table1(j_values=j_values, queries=queries)
+    print(format_table1(rows, include_paper=True))
+
+    print("\nShape check at the largest J:")
+    last = rows[-1]
+    print(f"  depth:      pack {last.pack.depth} <= insert "
+          f"{last.insert.depth}  "
+          f"({'OK' if last.pack.depth <= last.insert.depth else 'DIVERGES'})")
+    print(f"  node count: pack {last.pack.node_count} < insert "
+          f"{last.insert.node_count}  "
+          f"({'OK' if last.pack.node_count < last.insert.node_count else 'DIVERGES'})")
+    print(f"  overlap:    pack {last.pack.overlap_counted:,.0f} vs insert "
+          f"{last.insert.overlap_counted:,.0f}")
+    print(f"  accesses:   pack {last.pack.avg_nodes_visited:.2f} vs insert "
+          f"{last.insert.avg_nodes_visited:.2f}")
+
+
+if __name__ == "__main__":
+    main(full="--full" in sys.argv[1:])

@@ -1,0 +1,41 @@
+"""repro — Packed R-trees for direct spatial search on pictorial databases.
+
+A full reproduction of Roussopoulos & Leifker, *Direct Spatial Search on
+Pictorial Databases Using Packed R-trees* (SIGMOD 1985):
+
+- :mod:`repro.rtree` — the R-tree with Guttman's dynamic algorithms and
+  the paper's PACK bulk loader (plus STR/Hilbert/lowx comparators).
+- :mod:`repro.geometry` — MBR algebra and PSQL's spatial predicates.
+- :mod:`repro.storage` — a paged, buffered, disk-backed R-tree substrate.
+- :mod:`repro.relational` — the alphanumeric side: B-tree indexes and an
+  in-memory relational engine.
+- :mod:`repro.psql` — the PSQL pictorial query language (parser, planner,
+  executor) with direct spatial search, juxtaposition and nested mappings.
+- :mod:`repro.quadtree` — the quadtree comparator discussed in Section 1.
+- :mod:`repro.workloads` / :mod:`repro.experiments` — data generators and
+  the harness regenerating every table and figure of the paper.
+
+Quickstart::
+
+    from repro import Rect, pack
+
+    items = [(Rect(x, x, x + 1, x + 1), f"obj{x}") for x in range(100)]
+    tree = pack(items, max_entries=4)           # the paper's PACK
+    hits = tree.search(Rect(10, 10, 25, 25))    # direct spatial search
+"""
+
+from repro.geometry import Point, Rect, Region, Segment
+from repro.rtree import RTree, pack, tree_stats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Point",
+    "RTree",
+    "Rect",
+    "Region",
+    "Segment",
+    "__version__",
+    "pack",
+    "tree_stats",
+]

@@ -1,0 +1,37 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each module reproduces one artefact (see the per-experiment index in
+DESIGN.md) and exposes a ``run_*`` function returning plain data plus a
+``format_*`` helper printing the same rows/series the paper reports.
+``python -m repro.experiments`` runs everything at reduced scale.
+"""
+
+from repro.experiments.table1 import (
+    Table1Row,
+    format_table1,
+    run_table1,
+    run_table1_row,
+)
+from repro.experiments.figures import (
+    run_fig33_pruning,
+    run_fig34_deadspace,
+    run_fig37_grouping,
+    run_fig38_stages,
+    run_lemma31,
+    run_theorem32,
+    run_theorem33,
+)
+
+__all__ = [
+    "Table1Row",
+    "format_table1",
+    "run_fig33_pruning",
+    "run_fig34_deadspace",
+    "run_fig37_grouping",
+    "run_fig38_stages",
+    "run_lemma31",
+    "run_table1",
+    "run_table1_row",
+    "run_theorem32",
+    "run_theorem33",
+]

@@ -1,0 +1,74 @@
+"""Run every experiment at moderate scale: ``python -m repro.experiments``.
+
+Prints the reproduced Table 1 (with the paper's values interleaved) and a
+summary line for each figure-shaped experiment.  Full-scale runs live in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.figures import (
+    run_fig33_pruning,
+    run_fig34_deadspace,
+    run_fig37_grouping,
+    run_fig38_stages,
+    run_lemma31,
+    run_theorem32,
+    run_theorem33,
+)
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    j_values = (10, 50, 100, 300) if quick else None
+    queries = 200 if quick else 1000
+
+    print("== Table 1: Guttman INSERT vs PACK ==")
+    rows = run_table1(j_values=j_values or
+                      (10, 25, 50, 75, 100, 125, 150, 175, 200,
+                       250, 300, 400, 500, 600, 700, 800, 900),
+                      queries=queries)
+    print(format_table1(rows, include_paper=True))
+    print()
+
+    d = run_fig34_deadspace()
+    print(f"== Fig 3.4 dead space ==  insert C={d.insert_coverage:.2f} "
+          f"({d.insert_leaves} leaves) vs pack C={d.pack_coverage:.2f} "
+          f"({d.pack_leaves} leaves); dead space={d.dead_space:.2f}")
+
+    p = run_fig33_pruning()
+    print(f"== Fig 3.3 pruning ==  insert visits "
+          f"{p.insert_nodes_visited}/{p.insert_total_nodes} "
+          f"({p.insert_visit_fraction:.1%}) vs pack "
+          f"{p.pack_nodes_visited}/{p.pack_total_nodes} "
+          f"({p.pack_visit_fraction:.1%})")
+
+    g = run_fig37_grouping()
+    print(f"== Fig 3.7 grouping ==  x-slab C={g.slab_coverage:.0f} vs "
+          f"NN C={g.nn_coverage:.0f}  (improvement {g.improvement:.2f}x)")
+
+    s = run_fig38_stages()
+    print(f"== Fig 3.8 stages ==  {len(s.points)} cities packed through "
+          f"{s.depth} levels: "
+          + " -> ".join(str(len(lv)) for lv in s.levels))
+
+    l31 = run_lemma31()
+    print(f"== Lemma 3.1 ==  rotation {l31.angle:.4f} rad lifts distinct "
+          f"x-count {l31.distinct_before}/{l31.n} -> "
+          f"{l31.distinct_after}/{l31.n}")
+
+    t32 = run_theorem32()
+    print(f"== Theorem 3.2 ==  {t32.n} points -> {t32.groups} MBRs, "
+          f"disjoint={t32.disjoint}, overlap area={t32.overlap_area:.2f}")
+
+    t33 = run_theorem33()
+    print(f"== Theorem 3.3 ==  {t33.regions} skewed regions admit no "
+          f"zero-overlap grouping: {t33.counterexample_holds}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

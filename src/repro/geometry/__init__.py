@@ -1,0 +1,56 @@
+"""Geometric primitives and predicates underlying the spatial index.
+
+The paper models every spatial object through its *minimal bounding
+rectangle* (MBR).  This package provides:
+
+- :class:`~repro.geometry.point.Point` — immutable 2-D point.
+- :class:`~repro.geometry.rect.Rect` — axis-aligned rectangle (the MBR of
+  the paper, Section 3.1) with area/union/intersection algebra.
+- :class:`~repro.geometry.segment.Segment` — line segment ("highway
+  sections" in PSQL's data model).
+- :class:`~repro.geometry.region.Region` — simple polygon ("states",
+  "lakes", "time-zones").
+- Spatial predicates named after PSQL's operators (Section 2.2):
+  ``covers``, ``covered_by``, ``overlapping``, ``disjoined``.
+- Rotation utilities used by Lemma 3.1 / Theorem 3.2.
+- A sweep-line union-area routine used by the overlap metric (Section 3.1).
+"""
+
+from repro.geometry.point import Point, centroid, euclidean_distance
+from repro.geometry.rect import EMPTY_RECT, Rect, mbr_of_points, mbr_of_rects
+from repro.geometry.segment import Segment
+from repro.geometry.region import Region
+from repro.geometry.predicates import (
+    covered_by,
+    covers,
+    disjoined,
+    intersects,
+    overlapping,
+)
+from repro.geometry.rotation import (
+    distinct_x_rotation,
+    rotate_point,
+    rotate_points,
+)
+from repro.geometry.sweep import union_area
+
+__all__ = [
+    "EMPTY_RECT",
+    "Point",
+    "Rect",
+    "Region",
+    "Segment",
+    "centroid",
+    "covered_by",
+    "covers",
+    "disjoined",
+    "distinct_x_rotation",
+    "euclidean_distance",
+    "intersects",
+    "mbr_of_points",
+    "mbr_of_rects",
+    "overlapping",
+    "rotate_point",
+    "rotate_points",
+    "union_area",
+]

@@ -1,0 +1,63 @@
+"""Immutable 2-D points.
+
+Points are the simplest pictorial domain in the paper: "the spatial objects
+cities are viewed as points" (Section 3).  They are also the data objects of
+the Table 1 experiment, drawn uniformly from ``[0, 1000] x [0, 1000]``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, NamedTuple
+
+
+class Point(NamedTuple):
+    """A point in the plane.
+
+    Implemented as a :class:`~typing.NamedTuple` so points are hashable,
+    orderable (lexicographically by ``(x, y)``) and allocation-cheap —
+    the PACK experiments create hundreds of thousands of them.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to *other*."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def distance_squared_to(self, other: "Point") -> float:
+        """Squared Euclidean distance — avoids the sqrt in hot NN loops."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A copy of this point moved by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.x:g}, {self.y:g})"
+
+
+def euclidean_distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points (module-level convenience)."""
+    return a.distance_to(b)
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Arithmetic mean of a non-empty collection of points.
+
+    Raises:
+        ValueError: if *points* is empty.
+    """
+    xs = 0.0
+    ys = 0.0
+    n = 0
+    for p in points:
+        xs += p.x
+        ys += p.y
+        n += 1
+    if n == 0:
+        raise ValueError("centroid of an empty point collection is undefined")
+    return Point(xs / n, ys / n)

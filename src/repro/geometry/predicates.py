@@ -1,0 +1,51 @@
+"""Spatial comparison predicates named after PSQL's operators.
+
+Section 2.2 of the paper: "an area in the <area-specification> may be
+followed by the spatial operators **covering**, **covered-by**,
+**overlapping**, **disjoined**".  These are the operator semantics used by
+both the query executor and the at-clause evaluation; they all operate on
+MBRs, matching the paper's leaf-entry representation.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.rect import Rect
+
+
+def covers(a: Rect, b: Rect) -> bool:
+    """``a covering b``: *b* lies entirely within *a* (closed semantics)."""
+    return a.contains(b)
+
+
+def covered_by(a: Rect, b: Rect) -> bool:
+    """``a covered-by b``: *a* lies entirely within *b*."""
+    return b.contains(a)
+
+
+def overlapping(a: Rect, b: Rect) -> bool:
+    """``a overlapping b``: the rectangles share interior area.
+
+    Mere edge contact does not count as overlap; this matches the paper's
+    overlap metric, which measures *area* contained in two or more MBRs.
+    """
+    return a.overlaps_interior(b)
+
+
+def disjoined(a: Rect, b: Rect) -> bool:
+    """``a disjoined b``: the closed rectangles share no point at all."""
+    return not a.intersects(b)
+
+
+def intersects(a: Rect, b: Rect) -> bool:
+    """Closed-rectangle intersection — the R-tree descent test."""
+    return a.intersects(b)
+
+
+#: PSQL operator name -> predicate, as they appear in at-clauses.
+OPERATORS = {
+    "covering": covers,
+    "covered-by": covered_by,
+    "overlapping": overlapping,
+    "disjoined": disjoined,
+    "intersecting": intersects,
+}

@@ -1,0 +1,149 @@
+"""Simple polygonal regions — PSQL's "region" pictorial domain.
+
+States, lakes and time-zones in the paper's example database are regions.
+The R-tree only ever sees a region's MBR (leaf entries store MBRs plus a
+tuple identifier); the full polygon is kept so the PSQL layer can evaluate
+exact spatial operators (``area``, point containment) when the MBR test is
+not decisive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect, mbr_of_points
+
+
+class Region:
+    """A simple (non-self-intersecting) polygon given by its vertices.
+
+    Vertices may wind either way; signed quantities are normalised.
+    The polygon is implicitly closed (last vertex connects to the first).
+    """
+
+    __slots__ = ("_vertices", "_mbr")
+
+    def __init__(self, vertices: Sequence[Point]):
+        if len(vertices) < 3:
+            raise ValueError(
+                f"a region needs at least 3 vertices, got {len(vertices)}")
+        self._vertices: tuple[Point, ...] = tuple(
+            Point(float(p[0]), float(p[1])) for p in vertices)
+        self._mbr = mbr_of_points(self._vertices)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "Region":
+        """A rectangular region (many of the paper's figures use these)."""
+        return cls(rect.corners())
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def vertices(self) -> tuple[Point, ...]:
+        return self._vertices
+
+    def mbr(self) -> Rect:
+        """Minimal bounding rectangle of the region."""
+        return self._mbr
+
+    # -- measures ----------------------------------------------------------
+
+    def area(self) -> float:
+        """Polygon area via the shoelace formula.
+
+        This backs PSQL's ``area`` pictorial function (Section 2.1).
+        """
+        acc = 0.0
+        verts = self._vertices
+        n = len(verts)
+        for i in range(n):
+            a = verts[i]
+            b = verts[(i + 1) % n]
+            acc += a.x * b.y - b.x * a.y
+        return abs(acc) / 2.0
+
+    def centroid(self) -> Point:
+        """Area-weighted centroid (falls back to vertex mean if degenerate)."""
+        acc_x = acc_y = 0.0
+        acc_a = 0.0
+        verts = self._vertices
+        n = len(verts)
+        for i in range(n):
+            a = verts[i]
+            b = verts[(i + 1) % n]
+            cross = a.x * b.y - b.x * a.y
+            acc_a += cross
+            acc_x += (a.x + b.x) * cross
+            acc_y += (a.y + b.y) * cross
+        if acc_a == 0.0:
+            xs = sum(v.x for v in verts) / n
+            ys = sum(v.y for v in verts) / n
+            return Point(xs, ys)
+        return Point(acc_x / (3.0 * acc_a), acc_y / (3.0 * acc_a))
+
+    # -- predicates ---------------------------------------------------------
+
+    def contains_point(self, p: Point) -> bool:
+        """Point-in-polygon via the even-odd ray-cast rule.
+
+        Points exactly on an edge count as contained — consistent with the
+        closed-rectangle semantics used elsewhere.
+        """
+        verts = self._vertices
+        n = len(verts)
+        inside = False
+        for i in range(n):
+            a = verts[i]
+            b = verts[(i + 1) % n]
+            if _on_edge(a, b, p):
+                return True
+            if (a.y > p.y) != (b.y > p.y):
+                x_cross = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y)
+                if p.x < x_cross:
+                    inside = not inside
+        return inside
+
+    def contains_rect(self, rect: Rect) -> bool:
+        """Conservative containment: all four corners inside the polygon.
+
+        Exact for convex regions; a safe approximation for the synthetic
+        concave regions in the workload generator.
+        """
+        return all(self.contains_point(c) for c in rect.corners())
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Region):
+            return NotImplemented
+        return self._vertices == other._vertices
+
+    def __hash__(self) -> int:
+        return hash(self._vertices)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Region({len(self._vertices)} vertices, mbr={self._mbr})"
+
+
+def _on_edge(a: Point, b: Point, p: Point, eps: float = 1e-12) -> bool:
+    """True when *p* lies on the closed segment ``a -> b``."""
+    cross = (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x)
+    if abs(cross) > eps * max(1.0, abs(b.x - a.x) + abs(b.y - a.y)):
+        return False
+    return (min(a.x, b.x) - eps <= p.x <= max(a.x, b.x) + eps
+            and min(a.y, b.y) - eps <= p.y <= max(a.y, b.y) + eps)
+
+
+def regions_mbr(regions: Iterable[Region]) -> Rect:
+    """MBR of a non-empty collection of regions."""
+    rects = [r.mbr() for r in regions]
+    if not rects:
+        raise ValueError("MBR of an empty region collection is undefined")
+    acc = rects[0]
+    for r in rects[1:]:
+        acc = acc.union(r)
+    return acc

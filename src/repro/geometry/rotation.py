@@ -1,0 +1,95 @@
+"""Rotation machinery for Lemma 3.1 and Theorem 3.2.
+
+Lemma 3.1: for any finite point set S there exists an angle alpha such that
+rotating S about the origin by alpha leaves every point with a distinct
+x-coordinate.  The proof observes that only finitely many "bad" angles
+exist — one per pair of points — so almost every angle works.
+
+:func:`distinct_x_rotation` constructs such an angle deterministically by
+enumerating the bad angles and picking a gap between them, rather than
+sampling, so the construction is reproducible and testable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.geometry.point import Point
+
+
+def rotate_point(p: Point, alpha: float) -> Point:
+    """Rotate *p* counter-clockwise about the origin by *alpha* radians."""
+    c = math.cos(alpha)
+    s = math.sin(alpha)
+    return Point(p.x * c - p.y * s, p.x * s + p.y * c)
+
+
+def rotate_points(points: Iterable[Point], alpha: float) -> list[Point]:
+    """Rotate every point counter-clockwise about the origin by *alpha*."""
+    c = math.cos(alpha)
+    s = math.sin(alpha)
+    return [Point(p.x * c - p.y * s, p.x * s + p.y * c) for p in points]
+
+
+def distinct_x_count(points: Sequence[Point]) -> int:
+    """The paper's F(S): number of distinct x-coordinates in *points*."""
+    return len({p.x for p in points})
+
+
+def bad_angles(points: Sequence[Point]) -> list[float]:
+    """Angles in ``[0, pi)`` at which some pair of points shares an x-coordinate.
+
+    A pair ``(pi, pj)`` collides under rotation by alpha exactly when the
+    rotated difference vector is vertical, i.e. when
+    ``(xj - xi) cos(alpha) = (yj - yi) sin(alpha)``.  Solving gives
+    ``alpha = atan2(xj - xi, yj - yi)`` modulo pi.  Coincident points are
+    skipped — no rotation can separate them.
+    """
+    angles: set[float] = set()
+    n = len(points)
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = points[j].x - points[i].x
+            dy = points[j].y - points[i].y
+            if dx == 0.0 and dy == 0.0:
+                continue
+            alpha = math.atan2(dx, dy) % math.pi
+            angles.add(alpha)
+    return sorted(angles)
+
+
+def distinct_x_rotation(points: Sequence[Point]) -> float:
+    """A rotation angle giving every point a distinct x-coordinate.
+
+    Deterministic constructive version of Lemma 3.1: compute the finite set
+    of bad angles and return the midpoint of the widest gap between
+    consecutive ones, which maximises numerical robustness.
+
+    Raises:
+        ValueError: if *points* contains duplicate points, which no rotation
+            can separate (the degenerate case excluded by the lemma's
+            "finite set of points" reading as distinct points).
+    """
+    distinct = list(dict.fromkeys(points))
+    if len(distinct) != len(points):
+        raise ValueError("duplicate points can never have distinct x-coordinates")
+    if len(points) < 2:
+        return 0.0
+
+    bad = bad_angles(points)
+    if not bad:
+        return 0.0
+    # Wrap around the [0, pi) circle of undirected angles and take the
+    # midpoint of the widest gap.
+    best_angle = 0.0
+    best_gap = -1.0
+    for i, a in enumerate(bad):
+        b = bad[(i + 1) % len(bad)]
+        gap = (b - a) % math.pi
+        if gap == 0.0:
+            gap = math.pi  # single bad angle: the whole rest of the circle
+        if gap > best_gap:
+            best_gap = gap
+            best_angle = (a + gap / 2.0) % math.pi
+    return best_angle

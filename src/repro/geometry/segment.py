@@ -1,0 +1,88 @@
+"""Line segments — PSQL's "segment" pictorial domain (highway sections)."""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class Segment(NamedTuple):
+    """A line segment between two endpoints.
+
+    In the paper's data model highways are relations of *segments*
+    (``highways(hwy-name, hwy-section, loc)``); each section is indexed in
+    the R-tree through its MBR.
+    """
+
+    start: Point
+    end: Point
+
+    def mbr(self) -> Rect:
+        """Minimal bounding rectangle of the segment."""
+        return Rect.make(self.start.x, self.start.y, self.end.x, self.end.y)
+
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return self.start.distance_to(self.end)
+
+    def midpoint(self) -> Point:
+        """Midpoint of the segment."""
+        return Point((self.start.x + self.end.x) / 2.0,
+                     (self.start.y + self.end.y) / 2.0)
+
+    def reversed(self) -> "Segment":
+        """The same segment traversed in the opposite direction."""
+        return Segment(self.end, self.start)
+
+    def point_at(self, t: float) -> Point:
+        """The point at parameter ``t`` along the segment (0 = start, 1 = end)."""
+        return Point(self.start.x + t * (self.end.x - self.start.x),
+                     self.start.y + t * (self.end.y - self.start.y))
+
+    def distance_to_point(self, p: Point) -> float:
+        """Minimum distance from *p* to any point on the segment."""
+        vx = self.end.x - self.start.x
+        vy = self.end.y - self.start.y
+        wx = p.x - self.start.x
+        wy = p.y - self.start.y
+        seg_len_sq = vx * vx + vy * vy
+        if seg_len_sq == 0.0:
+            return p.distance_to(self.start)
+        t = max(0.0, min(1.0, (wx * vx + wy * vy) / seg_len_sq))
+        proj = Point(self.start.x + t * vx, self.start.y + t * vy)
+        return p.distance_to(proj)
+
+    def intersects_segment(self, other: "Segment") -> bool:
+        """True when the two closed segments share at least one point."""
+        def orient(a: Point, b: Point, c: Point) -> float:
+            return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+
+        def on_segment(a: Point, b: Point, c: Point) -> bool:
+            return (min(a.x, b.x) <= c.x <= max(a.x, b.x)
+                    and min(a.y, b.y) <= c.y <= max(a.y, b.y))
+
+        p1, p2 = self.start, self.end
+        p3, p4 = other.start, other.end
+        d1 = orient(p3, p4, p1)
+        d2 = orient(p3, p4, p2)
+        d3 = orient(p1, p2, p3)
+        d4 = orient(p1, p2, p4)
+        if ((d1 > 0) != (d2 > 0) and d1 != 0 and d2 != 0
+                and (d3 > 0) != (d4 > 0) and d3 != 0 and d4 != 0):
+            return True
+        if d1 == 0 and on_segment(p3, p4, p1):
+            return True
+        if d2 == 0 and on_segment(p3, p4, p2):
+            return True
+        if d3 == 0 and on_segment(p1, p2, p3):
+            return True
+        if d4 == 0 and on_segment(p1, p2, p4):
+            return True
+        return False
+
+    def heading(self) -> float:
+        """Direction of travel in radians, measured from the +x axis."""
+        return math.atan2(self.end.y - self.start.y, self.end.x - self.start.x)

@@ -1,0 +1,43 @@
+"""PSQL — the paper's Pictorial Structured Query Language (Section 2).
+
+A relational language extended with pictures::
+
+    select  city, state, population, loc
+    from    cities
+    on      us-map
+    at      loc covered-by {4±4, 11±9}
+    where   population > 450000
+
+Supported, per the paper:
+
+- the ``on``/``at`` clauses for direct spatial search;
+- spatial operators ``covering``, ``covered-by``, ``overlapping``,
+  ``disjoined`` (plus ``intersecting``);
+- window literals ``{x±dx, y±dy}`` (ASCII ``+-`` also accepted);
+- juxtaposition ("geographic join") over two relations / two pictures;
+- nested mappings (a ``select`` as the right operand of the at-clause);
+- pictorial functions (``area``, ``perimeter``, ``northest``, ...) in the
+  select list and where-clause;
+- ordinary SQL-ish where-clauses with and/or/not and comparisons.
+
+Entry point: :func:`execute` (or :class:`Session` for repeated queries
+against one :class:`~repro.relational.catalog.Database`).
+"""
+
+from repro.psql.errors import PsqlError, PsqlSyntaxError, PsqlSemanticError
+from repro.psql.lexer import Token, tokenize
+from repro.psql.parser import parse
+from repro.psql.executor import Session, execute
+from repro.psql.result import QueryResult
+
+__all__ = [
+    "PsqlError",
+    "PsqlSemanticError",
+    "PsqlSyntaxError",
+    "QueryResult",
+    "Session",
+    "Token",
+    "execute",
+    "parse",
+    "tokenize",
+]

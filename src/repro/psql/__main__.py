@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.psql`` starts the interactive shell."""
+
+import sys
+
+from repro.psql.repl import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""PSQL abstract syntax tree.
+
+Node classes are plain frozen dataclasses; the parser builds them and the
+executor pattern-matches on their types.  The grammar mirrors the paper's
+retrieve mapping (Section 2.2)::
+
+    select <attribute-target-list>
+    from   <relation-list>
+    on     <picture-list>
+    at     <area-specification>
+    where  <qualification>
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+# -- select-list items ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``column`` or ``relation.column``."""
+
+    column: str
+    relation: Optional[str] = None
+
+    def __str__(self) -> str:
+        return (f"{self.relation}.{self.column}" if self.relation
+                else self.column)
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` — every column of every relation in the from-list."""
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A pictorial (or scalar) function applied to arguments."""
+
+    name: str
+    args: tuple["Expression", ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+# -- scalar expressions ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A number or string constant."""
+
+    value: Union[int, float, str]
+
+
+Expression = Union[ColumnRef, FunctionCall, Literal]
+
+
+# -- where-clause ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left <op> right`` with op in  >  <  >=  <=  =  <>."""
+
+    left: Expression
+    op: str
+    right: Expression
+
+
+@dataclass(frozen=True)
+class And:
+    left: "Condition"
+    right: "Condition"
+
+
+@dataclass(frozen=True)
+class Or:
+    left: "Condition"
+    right: "Condition"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Condition"
+
+
+Condition = Union[Comparison, And, Or, Not]
+
+
+# -- area specifications -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WindowLiteral:
+    """The paper's ``{cx ± dx, cy ± dy}`` area constant."""
+
+    cx: float
+    dx: float
+    cy: float
+    dy: float
+
+
+@dataclass(frozen=True)
+class LocRef:
+    """A pictorial column reference in an at-clause (``cities.loc``)."""
+
+    column: str
+    relation: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SubquerySpec:
+    """A nested retrieve mapping used as a location set (Section 2.2)."""
+
+    query: "Query"
+
+
+AreaSpec = Union[WindowLiteral, LocRef, SubquerySpec]
+
+
+@dataclass(frozen=True)
+class AtClause:
+    """``<left> <spatial-op> <right>``."""
+
+    left: AreaSpec
+    op: str
+    right: AreaSpec
+
+
+# -- the query -------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Query:
+    """One retrieve mapping."""
+
+    select: tuple[Union[ColumnRef, FunctionCall, Star], ...]
+    relations: tuple[str, ...]
+    pictures: tuple[str, ...] = ()
+    at: Optional[AtClause] = None
+    where: Optional[Condition] = None

@@ -1,0 +1,26 @@
+"""PSQL error hierarchy."""
+
+from __future__ import annotations
+
+
+class PsqlError(Exception):
+    """Base class for all PSQL failures."""
+
+
+class PsqlSyntaxError(PsqlError):
+    """The query text could not be tokenised or parsed.
+
+    Attributes:
+        position: character offset of the offending token, when known.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PsqlSemanticError(PsqlError):
+    """The query parsed but references unknown relations, columns,
+    pictures or operators, or combines them in an unsupported way."""

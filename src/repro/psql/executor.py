@@ -1,0 +1,562 @@
+"""PSQL query execution.
+
+The paper preprocesses PSQL into SQL plus callable spatial operators; we
+execute the AST directly against a :class:`~repro.relational.catalog.Database`,
+but the moving parts are the same ones the paper names:
+
+- the at-clause drives **direct spatial search** through the picture's
+  packed R-tree (window queries, Section 3.1);
+- two loc operands trigger **juxtaposition** via a synchronized R-tree
+  join (:mod:`repro.rtree.join`);
+- a nested ``select`` as an at-operand is a **nested mapping**: the inner
+  query binds a set of locations that direct the outer search;
+- the where-clause runs conventional predicate evaluation with pictorial
+  functions available as "system defined procedures".
+
+MBR semantics: spatial operators compare minimal bounding rectangles, as
+R-tree leaf entries do in the paper; when an operand's actual geometry is
+a polygon :func:`_refine` additionally applies the exact region test.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.predicates import OPERATORS
+from repro.geometry.rect import Rect
+from repro.geometry.region import Region
+from repro.geometry.segment import Segment
+from repro.psql import ast
+from repro.psql.errors import PsqlSemanticError
+from repro.psql.functions import FunctionRegistry
+from repro.psql.parser import parse
+from repro.psql.result import PictorialObject, QueryResult
+from repro.relational.catalog import Database, mbr_of_value
+from repro.relational.relation import Relation, RowId
+from repro.rtree.join import spatial_join
+
+#: One candidate combination of rows: relation name -> (row id, row).
+Binding = dict[str, tuple[RowId, dict[str, Any]]]
+
+_SYMMETRIC_OPS = {"overlapping", "disjoined", "intersecting"}
+_FLIP = {"covering": "covered-by", "covered-by": "covering"}
+
+
+class Session:
+    """A query session against one database.
+
+    Keeps a :class:`FunctionRegistry` so applications can install their
+    own pictorial functions once and use them across queries::
+
+        session = Session(db)
+        session.functions.register("runway-heading", my_fn)
+        result = session.execute("select city from cities ...")
+    """
+
+    def __init__(self, db: Database):
+        self.db = db
+        self.functions = FunctionRegistry()
+
+    def execute(self, text: str) -> QueryResult:
+        """Parse and run one PSQL query."""
+        return self.run(parse(text))
+
+    def run(self, query: ast.Query) -> QueryResult:
+        """Run an already parsed query."""
+        return _Execution(self, query).run()
+
+
+def execute(db: Database, text: str) -> QueryResult:
+    """One-shot convenience: ``Session(db).execute(text)``."""
+    return Session(db).execute(text)
+
+
+class _Execution:
+    """State for executing a single query."""
+
+    def __init__(self, session: Session, query: ast.Query):
+        self.session = session
+        self.db = session.db
+        self.query = query
+        self.relations: dict[str, Relation] = {}
+        for name in query.relations:
+            if not self.db.has_relation(name):
+                raise PsqlSemanticError(f"unknown relation {name!r}")
+            self.relations[name] = self.db.relation(name)
+        for pic in query.pictures:
+            if not self.db.has_picture(pic):
+                raise PsqlSemanticError(f"unknown picture {pic!r}")
+        self.window: Optional[Rect] = None
+
+    # -- top level ------------------------------------------------------------
+
+    def run(self) -> QueryResult:
+        bindings = self._bindings_from_indexes()
+        if bindings is None:
+            bindings = self._bindings_from_at()
+        if self.query.where is not None:
+            bindings = [b for b in bindings
+                        if self._truth(self.query.where, b)]
+        return self._project(bindings)
+
+    def _bindings_from_indexes(self) -> Optional[list[Binding]]:
+        """Index-assisted scan for pure alphanumeric queries.
+
+        The paper indexes alphanumeric columns "the usual way" (B-trees);
+        when a single-relation query has no at-clause but its where
+        contains a sargable conjunct on an indexed column, seed the
+        bindings from the index instead of a full scan.  The full where
+        is re-checked afterwards, so this is purely an access-path
+        optimisation.
+        """
+        if self.query.at is not None or len(self.query.relations) != 1:
+            return None
+        if self.query.where is None:
+            return None
+        relation = self.relations[self.query.relations[0]]
+        probe = self._find_sargable(self.query.where, relation)
+        if probe is None:
+            return None
+        column, op, value = probe
+        index = relation.index_on(column)
+        assert index is not None
+        if op == "=":
+            rows = relation.lookup(column, value)
+        elif op in (">", ">="):
+            rows = [(rid, relation.get(rid))
+                    for _key, rid in index.range(value, None)]
+        else:  # < or <=
+            rows = [(rid, relation.get(rid))
+                    for _key, rid in index.range(None, value)]
+        # Half-open index ranges over- or under-approximate the strict
+        # operators; the re-checked where-clause makes the result exact,
+        # but a '<=' scan must include the boundary key itself.
+        if op == "<=":
+            rows += relation.lookup(column, value)
+        seen: set[int] = set()
+        bindings: list[Binding] = []
+        for rid, row in rows:
+            if rid not in seen:
+                seen.add(rid)
+                bindings.append({relation.name: (rid, row)})
+        return bindings
+
+    def _find_sargable(self, cond: ast.Condition, relation: Relation,
+                       ) -> Optional[tuple[str, str, Any]]:
+        """The first ``indexed-column <op> literal`` conjunct, if any."""
+        if isinstance(cond, ast.And):
+            return (self._find_sargable(cond.left, relation)
+                    or self._find_sargable(cond.right, relation))
+        if not isinstance(cond, ast.Comparison):
+            return None
+        left, op, right = cond.left, cond.op, cond.right
+        flip = {">": "<", "<": ">", ">=": "<=", "<=": ">=", "=": "="}
+        if isinstance(left, ast.Literal) and isinstance(right,
+                                                        ast.ColumnRef):
+            left, right = right, left
+            op = flip.get(op, op)
+        if not (isinstance(left, ast.ColumnRef)
+                and isinstance(right, ast.Literal)):
+            return None
+        if op not in flip:
+            return None
+        if left.relation not in (None, relation.name):
+            return None
+        if not relation.has_column(left.column):
+            return None
+        if relation.index_on(left.column) is None:
+            return None
+        return left.column, op, right.value
+
+    # -- at-clause evaluation ------------------------------------------------------
+
+    def _bindings_from_at(self) -> list[Binding]:
+        at = self.query.at
+        if at is None:
+            return self._cross_product(self.query.relations)
+
+        left, op, right = at.left, at.op, at.right
+        left = self._resolve_named_location(left)
+        right = self._resolve_named_location(right)
+        # Normalise: keep a LocRef on the left where possible.
+        if isinstance(left, ast.WindowLiteral) and isinstance(right,
+                                                              ast.LocRef):
+            left, right = right, left
+            op = _FLIP.get(op, op)
+        if isinstance(left, ast.SubquerySpec) and isinstance(right,
+                                                             ast.LocRef):
+            left, right = right, left
+            op = _FLIP.get(op, op)
+
+        if isinstance(left, ast.LocRef) and isinstance(right,
+                                                       ast.WindowLiteral):
+            return self._window_search(left, op, right)
+        if isinstance(left, ast.LocRef) and isinstance(right, ast.LocRef):
+            return self._juxtaposition(left, op, right)
+        if isinstance(left, ast.LocRef) and isinstance(right,
+                                                       ast.SubquerySpec):
+            return self._nested_mapping(left, op, right)
+        raise PsqlSemanticError(
+            "unsupported at-clause operand combination "
+            f"({type(at.left).__name__} {op} {type(at.right).__name__})")
+
+    def _resolve_named_location(self, spec: ast.AreaSpec) -> ast.AreaSpec:
+        """Turn a LocRef naming a predefined location into a window.
+
+        Section 2.2 allows a location "predefined outside the retrieve
+        mapping" as an at-clause operand.  An unqualified name that does
+        not match any from-clause column is looked up in the catalog's
+        named locations.
+        """
+        if not isinstance(spec, ast.LocRef) or spec.relation is not None:
+            return spec
+        if any(rel.has_column(spec.column)
+               for rel in self.relations.values()):
+            return spec
+        if self.db.has_location(spec.column):
+            area = self.db.location(spec.column)
+            cx, cy = area.center()
+            return ast.WindowLiteral(cx=cx, dx=area.width / 2.0,
+                                     cy=cy, dy=area.height / 2.0)
+        return spec
+
+    # -- case 1: direct spatial search against a window ------------------------------
+
+    def _window_search(self, loc: ast.LocRef, op: str,
+                       window_lit: ast.WindowLiteral) -> list[Binding]:
+        relation = self._loc_relation(loc)
+        window = Rect.from_center(Point(window_lit.cx, window_lit.cy),
+                                  window_lit.dx, window_lit.dy)
+        self.window = window
+        tree = self._tree_for(relation.name, loc.column)
+        rids = self._search_op(tree, op, window, relation, loc.column)
+        base = [{relation.name: (rid, relation.get(rid))} for rid in rids]
+        others = [r for r in self.query.relations if r != relation.name]
+        return self._extend_cross(base, others)
+
+    def _search_op(self, tree: Any, op: str, window: Rect,
+                   relation: Relation, column: str) -> list[RowId]:
+        """Translate a spatial operator into R-tree searches + refinement."""
+        if op == "covered-by":
+            rids = tree.search_within(window)
+        elif op == "intersecting":
+            rids = tree.search(window)
+        elif op == "overlapping":
+            rids = [rid for rid in tree.search(window)
+                    if mbr_of_value(relation.get(rid)[column])
+                    .overlaps_interior(window)]
+        elif op == "covering":
+            rids = [rid for rid in tree.search(window)
+                    if mbr_of_value(relation.get(rid)[column])
+                    .contains(window)]
+        elif op == "disjoined":
+            hit = set(tree.search(window))
+            rids = [rid for rid, _row in relation.rows() if rid not in hit]
+        else:  # pragma: no cover - the parser validates operator names
+            raise PsqlSemanticError(f"unknown spatial operator {op!r}")
+        return rids
+
+    # -- case 2: juxtaposition ("geographic join") --------------------------------------
+
+    def _juxtaposition(self, left: ast.LocRef, op: str,
+                       right: ast.LocRef) -> list[Binding]:
+        rel_l = self._loc_relation(left)
+        rel_r = self._loc_relation(right)
+        if rel_l.name == rel_r.name:
+            raise PsqlSemanticError(
+                "juxtaposition needs two distinct relations in the at-clause")
+        tree_l = self._tree_for(rel_l.name, left.column)
+        tree_r = self._tree_for(rel_r.name, right.column)
+
+        if op == "disjoined":
+            # Complement of the intersecting join: no lockstep pruning is
+            # possible, so qualify every non-intersecting pair.
+            intersecting = set(spatial_join(tree_l, tree_r, Rect.intersects))
+            pairs = [(ra, rb)
+                     for ra, _ in rel_l.rows() for rb, _ in rel_r.rows()
+                     if (ra, rb) not in intersecting]
+        else:
+            predicate = OPERATORS[op]
+            pairs = spatial_join(tree_l, tree_r, predicate)
+            pairs = [(ra, rb) for ra, rb in pairs
+                     if self._refine(op,
+                                     rel_l.get(ra)[left.column],
+                                     rel_r.get(rb)[right.column])]
+        base = [{rel_l.name: (ra, rel_l.get(ra)),
+                 rel_r.name: (rb, rel_r.get(rb))} for ra, rb in pairs]
+        others = [r for r in self.query.relations
+                  if r not in (rel_l.name, rel_r.name)]
+        return self._extend_cross(base, others)
+
+    # -- case 3: nested mapping -------------------------------------------------------
+
+    def _nested_mapping(self, loc: ast.LocRef, op: str,
+                        sub: ast.SubquerySpec) -> list[Binding]:
+        inner = self.session.run(sub.query)
+        inner_locs = _single_pictorial_column(inner)
+        relation = self._loc_relation(loc)
+        tree = self._tree_for(relation.name, loc.column)
+        rids: set[RowId] = set()
+        for value in inner_locs:
+            window = mbr_of_value(value)
+            for rid in self._search_op(tree, op, window, relation,
+                                       loc.column):
+                if self._refine(op, relation.get(rid)[loc.column], value):
+                    rids.add(rid)
+        base = [{relation.name: (rid, relation.get(rid))}
+                for rid in sorted(rids)]
+        others = [r for r in self.query.relations if r != relation.name]
+        return self._extend_cross(base, others)
+
+    # -- refinement beyond MBRs ----------------------------------------------------------
+
+    @staticmethod
+    def _refine(op: str, left_value: Any, right_value: Any) -> bool:
+        """Exact region tests where geometry allows; MBR semantics otherwise."""
+        if op == "covered-by" and isinstance(right_value, Region):
+            if isinstance(left_value, Point):
+                return right_value.contains_point(left_value)
+            return right_value.contains_rect(mbr_of_value(left_value))
+        if op == "covering" and isinstance(left_value, Region):
+            if isinstance(right_value, Point):
+                return left_value.contains_point(right_value)
+            return left_value.contains_rect(mbr_of_value(right_value))
+        return True
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _loc_relation(self, loc: ast.LocRef) -> Relation:
+        """Resolve which relation a LocRef addresses."""
+        if loc.relation is not None:
+            if loc.relation not in self.relations:
+                raise PsqlSemanticError(
+                    f"{loc.relation!r} is not in the from-clause")
+            return self.relations[loc.relation]
+        candidates = [rel for rel in self.relations.values()
+                      if rel.has_column(loc.column)]
+        if not candidates:
+            raise PsqlSemanticError(
+                f"no relation in the from-clause has column {loc.column!r}")
+        if len(candidates) > 1:
+            raise PsqlSemanticError(
+                f"column {loc.column!r} is ambiguous; qualify it "
+                f"(e.g. {candidates[0].name}.{loc.column})")
+        return candidates[0]
+
+    def _tree_for(self, relation_name: str, column: str) -> Any:
+        """The R-tree indexing (relation, column), from the on-clause pictures."""
+        pictures = self.query.pictures
+        if not pictures:
+            raise PsqlSemanticError(
+                "an at-clause requires an on-clause naming the picture(s)")
+        for pic_name in pictures:
+            picture = self.db.picture(pic_name)
+            if picture.has_index(relation_name, column):
+                return picture.index(relation_name, column)
+        raise PsqlSemanticError(
+            f"no picture in the on-clause indexes "
+            f"{relation_name}.{column}")
+
+    def _cross_product(self, names: Sequence[str]) -> list[Binding]:
+        bindings: list[Binding] = [{}]
+        return self._extend_cross(bindings, names)
+
+    def _extend_cross(self, bindings: list[Binding],
+                      names: Iterable[str]) -> list[Binding]:
+        for name in names:
+            relation = self.relations[name]
+            bindings = [{**b, name: (rid, row)}
+                        for b in bindings for rid, row in relation.rows()]
+        return bindings
+
+    # -- where-clause evaluation ------------------------------------------------------
+
+    def _truth(self, cond: ast.Condition, binding: Binding) -> bool:
+        if isinstance(cond, ast.And):
+            return (self._truth(cond.left, binding)
+                    and self._truth(cond.right, binding))
+        if isinstance(cond, ast.Or):
+            return (self._truth(cond.left, binding)
+                    or self._truth(cond.right, binding))
+        if isinstance(cond, ast.Not):
+            return not self._truth(cond.operand, binding)
+        assert isinstance(cond, ast.Comparison)
+        left = self._value(cond.left, binding)
+        right = self._value(cond.right, binding)
+        return _compare(cond.op, left, right)
+
+    def _value(self, expr: ast.Expression, binding: Binding) -> Any:
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.ColumnRef):
+            return self._column_value(expr, binding)
+        if isinstance(expr, ast.FunctionCall):
+            fn = self.session.functions.lookup(expr.name)
+            args = [self._value(a, binding) for a in expr.args]
+            return fn(*args)
+        raise PsqlSemanticError(f"cannot evaluate {expr!r}")
+
+    def _column_value(self, ref: ast.ColumnRef, binding: Binding) -> Any:
+        if ref.relation is not None:
+            if ref.relation not in binding:
+                raise PsqlSemanticError(
+                    f"{ref.relation!r} is not in the from-clause")
+            _rid, row = binding[ref.relation]
+            if ref.column not in row:
+                raise PsqlSemanticError(
+                    f"{ref.relation!r} has no column {ref.column!r}")
+            return row[ref.column]
+        holders = [name for name, (_rid, row) in binding.items()
+                   if ref.column in row]
+        if not holders:
+            raise PsqlSemanticError(f"unknown column {ref.column!r}")
+        if len(holders) > 1:
+            raise PsqlSemanticError(
+                f"column {ref.column!r} is ambiguous between "
+                f"{' and '.join(sorted(holders))}")
+        _rid, row = binding[holders[0]]
+        return row[ref.column]
+
+    # -- projection -------------------------------------------------------------------
+
+    def _project(self, bindings: list[Binding]) -> QueryResult:
+        items = self._expand_select()
+        aggregate_flags = [
+            isinstance(expr, ast.FunctionCall)
+            and self.session.functions.is_aggregate(expr.name)
+            for _label, expr in items]
+        if any(aggregate_flags):
+            return self._project_grouped(items, aggregate_flags, bindings)
+        columns = tuple(label for label, _expr in items)
+        result = QueryResult(columns=columns, window=self.window)
+        for binding in bindings:
+            row = tuple(self._value(expr, binding) for _label, expr in items)
+            result.rows.append(row)
+            self._collect_pictorial(result, binding, row, columns)
+        return result
+
+    def _project_grouped(self, items: list[tuple[str, ast.Expression]],
+                         aggregate_flags: list[bool],
+                         bindings: list[Binding]) -> QueryResult:
+        """Aggregate projection (Section 2.1's set-valued functions).
+
+        When the select list contains aggregates, the plain columns act
+        as grouping keys and each aggregate is evaluated over its
+        argument's values across the group — e.g.
+        ``select hwy-name, northest(loc) from highways`` yields the
+        northernmost coordinate of each whole highway.
+        """
+        for (label, expr), is_agg in zip(items, aggregate_flags):
+            if is_agg:
+                assert isinstance(expr, ast.FunctionCall)
+                if len(expr.args) != 1:
+                    raise PsqlSemanticError(
+                        f"aggregate {expr.name}() takes exactly one "
+                        f"argument")
+            elif not isinstance(expr, ast.ColumnRef):
+                raise PsqlSemanticError(
+                    f"select item {label!r} must be a plain column when "
+                    f"aggregates are present (it becomes the group key)")
+
+        key_positions = [i for i, is_agg in enumerate(aggregate_flags)
+                         if not is_agg]
+        groups: dict[tuple, list[Binding]] = {}
+        for binding in bindings:
+            key = tuple(self._value(items[i][1], binding)
+                        for i in key_positions)
+            groups.setdefault(key, []).append(binding)
+
+        columns = tuple(label for label, _expr in items)
+        result = QueryResult(columns=columns, window=self.window)
+        for key, members in groups.items():
+            key_iter = iter(key)
+            row_values = []
+            for (label, expr), is_agg in zip(items, aggregate_flags):
+                if is_agg:
+                    assert isinstance(expr, ast.FunctionCall)
+                    fn = self.session.functions.lookup_aggregate(expr.name)
+                    values = [self._value(expr.args[0], b) for b in members]
+                    row_values.append(fn(values))
+                else:
+                    row_values.append(next(key_iter))
+            row = tuple(row_values)
+            result.rows.append(row)
+            self._collect_pictorial(result, members[0], row, columns)
+        return result
+
+    def _expand_select(self) -> list[tuple[str, ast.Expression]]:
+        multi = len(self.query.relations) > 1
+        items: list[tuple[str, ast.Expression]] = []
+        for sel in self.query.select:
+            if isinstance(sel, ast.Star):
+                for name in self.query.relations:
+                    for col in self.relations[name].columns:
+                        label = f"{name}.{col.name}" if multi else col.name
+                        items.append((label,
+                                      ast.ColumnRef(column=col.name,
+                                                    relation=name)))
+            elif isinstance(sel, ast.ColumnRef):
+                items.append((str(sel), sel))
+            else:
+                items.append((str(sel), sel))
+        return items
+
+    def _collect_pictorial(self, result: QueryResult, binding: Binding,
+                           row: tuple[Any, ...],
+                           columns: tuple[str, ...]) -> None:
+        """Send selected geometries to the graphical output channel."""
+        label = _row_label(row, columns)
+        for value in row:
+            if isinstance(value, (Point, Segment, Region, Rect)):
+                result.pictorial.append(
+                    PictorialObject(label=label, geometry=value))
+
+
+def _row_label(row: tuple[Any, ...], columns: tuple[str, ...]) -> str:
+    for value in row:
+        if isinstance(value, str):
+            return value
+    return "(unnamed)" if not columns else str(row[0])
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    try:
+        if op == "=":
+            return bool(left == right)
+        if op == "<>":
+            return bool(left != right)
+        if op == ">":
+            return bool(left > right)
+        if op == "<":
+            return bool(left < right)
+        if op == ">=":
+            return bool(left >= right)
+        if op == "<=":
+            return bool(left <= right)
+    except TypeError as exc:
+        raise PsqlSemanticError(
+            f"cannot compare {type(left).__name__} with "
+            f"{type(right).__name__} using {op!r}") from exc
+    raise PsqlSemanticError(f"unknown comparison operator {op!r}")
+
+
+def _single_pictorial_column(result: QueryResult) -> list[Any]:
+    """The pictorial values an inner (nested) mapping produced.
+
+    The inner query must expose exactly one pictorial column; that column
+    becomes the location binding of the outer mapping.
+    """
+    pictorial_indexes = set()
+    for row in result.rows:
+        for i, value in enumerate(row):
+            if isinstance(value, (Point, Segment, Region, Rect)):
+                pictorial_indexes.add(i)
+    if not pictorial_indexes:
+        raise PsqlSemanticError(
+            "the nested mapping selects no pictorial column to bind")
+    if len(pictorial_indexes) > 1:
+        raise PsqlSemanticError(
+            "the nested mapping selects more than one pictorial column")
+    idx = pictorial_indexes.pop()
+    return [row[idx] for row in result.rows]

@@ -1,0 +1,70 @@
+"""Pretty-printer for PSQL ASTs.
+
+Renders a parsed :class:`~repro.psql.ast.Query` back to query text.  The
+output re-parses to an identical AST (property-tested), which makes the
+formatter useful for logging executed queries, normalising user input
+and round-trip testing of the parser.
+"""
+
+from __future__ import annotations
+
+from repro.psql import ast
+
+
+def format_query(query: ast.Query, indent: str = "") -> str:
+    """Render *query* as canonical PSQL text."""
+    lines = [f"{indent}select {', '.join(_sel(s) for s in query.select)}",
+             f"{indent}from   {', '.join(query.relations)}"]
+    if query.pictures:
+        lines.append(f"{indent}on     {', '.join(query.pictures)}")
+    if query.at is not None:
+        lines.append(f"{indent}at     {_area(query.at.left, indent)} "
+                     f"{query.at.op} {_area(query.at.right, indent)}")
+    if query.where is not None:
+        lines.append(f"{indent}where  {_cond(query.where)}")
+    return "\n".join(lines)
+
+
+def _sel(item: object) -> str:
+    if isinstance(item, ast.Star):
+        return "*"
+    return str(item)
+
+
+def _area(spec: ast.AreaSpec, indent: str) -> str:
+    if isinstance(spec, ast.WindowLiteral):
+        return (f"{{{_num(spec.cx)} ± {_num(spec.dx)}, "
+                f"{_num(spec.cy)} ± {_num(spec.dy)}}}")
+    if isinstance(spec, ast.LocRef):
+        return (f"{spec.relation}.{spec.column}" if spec.relation
+                else spec.column)
+    assert isinstance(spec, ast.SubquerySpec)
+    inner = format_query(spec.query, indent=indent + "    ")
+    return f"(\n{inner})"
+
+
+def _cond(cond: ast.Condition) -> str:
+    if isinstance(cond, ast.Or):
+        return f"({_cond(cond.left)} or {_cond(cond.right)})"
+    if isinstance(cond, ast.And):
+        return f"({_cond(cond.left)} and {_cond(cond.right)})"
+    if isinstance(cond, ast.Not):
+        return f"not ({_cond(cond.operand)})"
+    assert isinstance(cond, ast.Comparison)
+    return f"{_expr(cond.left)} {cond.op} {_expr(cond.right)}"
+
+
+def _expr(expr: ast.Expression) -> str:
+    if isinstance(expr, ast.Literal):
+        if isinstance(expr.value, str):
+            return f"'{expr.value}'"
+        return _num(expr.value)
+    return str(expr)
+
+
+def _num(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(value)

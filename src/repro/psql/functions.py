@@ -1,0 +1,244 @@
+"""Pictorial functions — user-extensible, per the paper's Section 2.1.
+
+"functions defined on pictorial domains are very specific to the
+application and ... the language must have capabilities for user-defined
+(application-defined) extensions that can be invoked from the pictorial
+language."
+
+:data:`DEFAULT_FUNCTIONS` ships the paper's examples (``area``, the
+aggregate-flavoured ``northest``) plus a few obvious companions; callers
+register their own with :func:`register`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.region import Region
+from repro.geometry.segment import Segment
+from repro.psql.errors import PsqlSemanticError
+
+PictorialFunction = Callable[..., Any]
+
+
+def _area(value: Any) -> float:
+    """``area(loc)`` — exact polygon area for regions, MBR area otherwise."""
+    if isinstance(value, Region):
+        return value.area()
+    if isinstance(value, Rect):
+        return value.area()
+    if isinstance(value, Segment):
+        return 0.0
+    if isinstance(value, Point):
+        return 0.0
+    raise PsqlSemanticError(f"area() is undefined on {type(value).__name__}")
+
+
+def _perimeter(value: Any) -> float:
+    """``perimeter(loc)`` — MBR perimeter (segment length for segments)."""
+    if isinstance(value, Segment):
+        return value.length()
+    if isinstance(value, Region):
+        return value.mbr().perimeter()
+    if isinstance(value, Rect):
+        return value.perimeter()
+    raise PsqlSemanticError(
+        f"perimeter() is undefined on {type(value).__name__}")
+
+
+def _length(value: Any) -> float:
+    """``length(loc)`` — Euclidean length of a segment."""
+    if isinstance(value, Segment):
+        return value.length()
+    raise PsqlSemanticError(
+        f"length() is undefined on {type(value).__name__}")
+
+
+def _extreme_coordinate(value: Any, axis: str, sign: float) -> float:
+    mbr = _as_mbr(value)
+    if axis == "y":
+        return mbr.y2 if sign > 0 else mbr.y1
+    return mbr.x2 if sign > 0 else mbr.x1
+
+
+def _as_mbr(value: Any) -> Rect:
+    if isinstance(value, Point):
+        return Rect.from_point(value)
+    if isinstance(value, Segment):
+        return value.mbr()
+    if isinstance(value, Region):
+        return value.mbr()
+    if isinstance(value, Rect):
+        return value
+    raise PsqlSemanticError(
+        f"{type(value).__name__} is not a pictorial value")
+
+
+def _northest(value: Any) -> float:
+    """``northest(loc)`` — the paper's example: the northernmost coordinate."""
+    return _extreme_coordinate(value, "y", +1.0)
+
+
+def _southest(value: Any) -> float:
+    return _extreme_coordinate(value, "y", -1.0)
+
+
+def _eastest(value: Any) -> float:
+    return _extreme_coordinate(value, "x", +1.0)
+
+
+def _westest(value: Any) -> float:
+    return _extreme_coordinate(value, "x", -1.0)
+
+
+def _x(value: Any) -> float:
+    """``x(loc)`` — the x coordinate of a point (MBR centre otherwise)."""
+    if isinstance(value, Point):
+        return value.x
+    return _as_mbr(value).center().x
+
+
+def _y(value: Any) -> float:
+    if isinstance(value, Point):
+        return value.y
+    return _as_mbr(value).center().y
+
+
+def _distance(a: Any, b: Any) -> float:
+    """``distance(loc1, loc2)`` — minimum distance between MBRs."""
+    return _as_mbr(a).min_distance_to(_as_mbr(b))
+
+
+DEFAULT_FUNCTIONS: dict[str, PictorialFunction] = {
+    "area": _area,
+    "perimeter": _perimeter,
+    "length": _length,
+    "northest": _northest,
+    "southest": _southest,
+    "eastest": _eastest,
+    "westest": _westest,
+    "x": _x,
+    "y": _y,
+    "distance": _distance,
+}
+
+
+# -- aggregates --------------------------------------------------------------
+#
+# Section 2.1: "An aggregate function on a set of highway segments is
+# northest which finds the northest coordinates of any point in a
+# highway."  Aggregates receive the *list* of values a group produced.
+# When an aggregate appears in a select list the executor groups rows by
+# the plain columns and evaluates the aggregate per group; the same
+# compass names remain usable as scalars in where-clauses.
+
+AggregateFunction = Callable[[list], Any]
+
+
+def _require_values(values: list, name: str) -> None:
+    if not values:
+        raise PsqlSemanticError(f"{name}() over an empty group")
+
+
+def _agg_mbr(values: list) -> Rect:
+    """``mbr(loc)`` — the minimal rectangle bounding a whole group."""
+    _require_values(values, "mbr")
+    acc = _as_mbr(values[0])
+    for v in values[1:]:
+        acc = acc.union(_as_mbr(v))
+    return acc
+
+
+def _agg_compass(extreme: Callable[[Any], float],
+                 pick: Callable[[list], float], name: str,
+                 ) -> AggregateFunction:
+    def agg(values: list) -> float:
+        _require_values(values, name)
+        return pick([extreme(v) for v in values])
+
+    return agg
+
+
+def _agg_count(values: list) -> int:
+    return len(values)
+
+
+def _agg_sum(values: list) -> float:
+    return sum(values)
+
+
+def _agg_avg(values: list) -> float:
+    _require_values(values, "avg")
+    return sum(values) / len(values)
+
+
+def _agg_min(values: list) -> Any:
+    _require_values(values, "min")
+    return min(values)
+
+
+def _agg_max(values: list) -> Any:
+    _require_values(values, "max")
+    return max(values)
+
+
+DEFAULT_AGGREGATES: dict[str, AggregateFunction] = {
+    "count": _agg_count,
+    "sum": _agg_sum,
+    "avg": _agg_avg,
+    "min": _agg_min,
+    "max": _agg_max,
+    "mbr": _agg_mbr,
+    "northest": _agg_compass(_northest, max, "northest"),
+    "southest": _agg_compass(_southest, min, "southest"),
+    "eastest": _agg_compass(_eastest, max, "eastest"),
+    "westest": _agg_compass(_westest, min, "westest"),
+}
+
+
+class FunctionRegistry:
+    """A per-session registry of pictorial functions and aggregates."""
+
+    def __init__(self) -> None:
+        self._functions = dict(DEFAULT_FUNCTIONS)
+        self._aggregates = dict(DEFAULT_AGGREGATES)
+
+    def register(self, name: str, fn: PictorialFunction) -> None:
+        """Install an application-defined function (overwrites allowed —
+        the paper explicitly wants replaceable special-purpose routines)."""
+        self._functions[name.lower()] = fn
+
+    def register_aggregate(self, name: str, fn: AggregateFunction) -> None:
+        """Install an application-defined aggregate (takes a value list)."""
+        self._aggregates[name.lower()] = fn
+
+    def lookup(self, name: str) -> PictorialFunction:
+        """Find a scalar function by (case-insensitive) name.
+
+        Raises:
+            PsqlSemanticError: for unknown functions.
+        """
+        try:
+            return self._functions[name.lower()]
+        except KeyError:
+            raise PsqlSemanticError(
+                f"unknown function {name!r}; known: "
+                f"{', '.join(sorted(self._functions))}") from None
+
+    def is_aggregate(self, name: str) -> bool:
+        return name.lower() in self._aggregates
+
+    def lookup_aggregate(self, name: str) -> AggregateFunction:
+        """Find an aggregate by (case-insensitive) name.
+
+        Raises:
+            PsqlSemanticError: for unknown aggregates.
+        """
+        try:
+            return self._aggregates[name.lower()]
+        except KeyError:
+            raise PsqlSemanticError(
+                f"unknown aggregate {name!r}; known: "
+                f"{', '.join(sorted(self._aggregates))}") from None

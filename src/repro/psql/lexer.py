@@ -1,0 +1,129 @@
+"""PSQL tokenizer.
+
+PSQL names embed hyphens (``us-map``, ``time-zones``, ``covered-by``), so
+identifiers accept interior ``-`` as long as the next character continues
+the word; PSQL has no arithmetic, which keeps this unambiguous.  The
+window literal's plus-minus accepts both ``±`` and the ASCII spelling
+``+-``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.psql.errors import PsqlSyntaxError
+
+KEYWORDS = frozenset({
+    "select", "from", "on", "at", "where", "and", "or", "not",
+})
+
+#: token kinds
+IDENT = "IDENT"
+KEYWORD = "KEYWORD"
+NUMBER = "NUMBER"
+STRING = "STRING"
+SYMBOL = "SYMBOL"
+EOF = "EOF"
+
+_SYMBOLS = ("<>", ">=", "<=", "±", "+-", ",", ".", "{", "}", "(", ")",
+            ">", "<", "=", "*")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == KEYWORD and self.text == word
+
+    def is_symbol(self, sym: str) -> bool:
+        return self.kind == SYMBOL and self.text == sym
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenise *text*; the list always ends with an EOF token.
+
+    Raises:
+        PsqlSyntaxError: on characters no rule accepts or unterminated
+            string literals.
+    """
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            # SQL-style line comment.
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            i += 1
+            while i < n and (text[i].isalnum() or text[i] == "_"
+                             or (text[i] == "-" and i + 1 < n
+                                 and (text[i + 1].isalnum()
+                                      or text[i + 1] == "_"))):
+                i += 1
+            word = text[start:i]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                yield Token(KEYWORD, lowered, start)
+            else:
+                yield Token(IDENT, word, start)
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            i += 1
+            seen_dot = False
+            while i < n and (text[i].isdigit()
+                             or (text[i] == "." and not seen_dot
+                                 and i + 1 < n and text[i + 1].isdigit())
+                             or text[i] == "_"):
+                if text[i] == ".":
+                    seen_dot = True
+                i += 1
+            # Optional exponent: e / E, optional sign, digits.
+            if i < n and text[i] in "eE":
+                j = i + 1
+                if j < n and text[j] in "+-":
+                    j += 1
+                if j < n and text[j].isdigit():
+                    i = j + 1
+                    while i < n and text[i].isdigit():
+                        i += 1
+            yield Token(NUMBER, text[start:i].replace("_", ""), start)
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            start = i
+            i += 1
+            while i < n and text[i] != quote:
+                i += 1
+            if i >= n:
+                raise PsqlSyntaxError("unterminated string literal", start)
+            yield Token(STRING, text[start + 1:i], start)
+            i += 1
+            continue
+        matched = False
+        for sym in _SYMBOLS:
+            if text.startswith(sym, i):
+                canonical = "±" if sym == "+-" else sym
+                yield Token(SYMBOL, canonical, i)
+                i += len(sym)
+                matched = True
+                break
+        if not matched:
+            raise PsqlSyntaxError(f"unexpected character {ch!r}", i)
+    yield Token(EOF, "", n)

@@ -1,0 +1,179 @@
+"""An interactive PSQL shell — ``python -m repro.psql``.
+
+Loads the synthetic US map into a catalog and reads queries from stdin,
+printing alphanumeric results as tables and, on request, the pictorial
+channel as an ASCII map (the paper's dual-device output, Section 2.2).
+
+Meta-commands:
+
+- ``\\relations``  list relations and their schemas
+- ``\\pictures``   list pictures and their indexes
+- ``\\map``        toggle ASCII rendering of each result's pictorial output
+- ``\\quit``       exit
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.psql.errors import PsqlError
+from repro.psql.executor import Session
+from repro.psql.result import QueryResult
+from repro.relational.catalog import Database
+from repro.relational.relation import Column
+from repro.viz.ascii_art import ascii_rects
+from repro.workloads.usmap import build_us_map
+
+
+def build_demo_database(seed: int = 42) -> Database:
+    """The synthetic map loaded into a catalog with packed indexes."""
+    the_map = build_us_map(seed=seed)
+    db = Database()
+    cities = db.create_relation("cities", [
+        Column("city", "str"), Column("state", "str"),
+        Column("population", "int"), Column("loc", "point")])
+    for c in the_map.cities:
+        cities.insert({"city": c.name, "state": c.state,
+                       "population": c.population, "loc": c.loc})
+    cities.create_index("population")
+    cities.create_index("state")
+    states = db.create_relation("states", [
+        Column("state", "str"), Column("population-density", "float"),
+        Column("loc", "region")])
+    for s in the_map.states:
+        states.insert({"state": s.name,
+                       "population-density": s.population_density,
+                       "loc": s.loc})
+    zones = db.create_relation("time-zones", [
+        Column("zone", "str"), Column("hour-diff", "int"),
+        Column("loc", "region")])
+    for z in the_map.time_zones:
+        zones.insert({"zone": z.zone, "hour-diff": z.hour_diff,
+                      "loc": z.loc})
+    lakes = db.create_relation("lakes", [
+        Column("lake", "str"), Column("area", "float"),
+        Column("volume", "float"), Column("loc", "region")])
+    for l in the_map.lakes:
+        lakes.insert({"lake": l.name, "area": l.area,
+                      "volume": l.volume, "loc": l.loc})
+    highways = db.create_relation("highways", [
+        Column("hwy-name", "str"), Column("hwy-section", "int"),
+        Column("loc", "segment")])
+    for h in the_map.highways:
+        highways.insert({"hwy-name": h.hwy_name,
+                         "hwy-section": h.hwy_section, "loc": h.loc})
+
+    us = db.create_picture("us-map", the_map.universe)
+    us.register(cities, "loc")
+    us.register(states, "loc")
+    us.register(highways, "loc")
+    db.create_picture("time-zone-map", the_map.universe).register(
+        zones, "loc")
+    db.create_picture("lake-map", the_map.universe).register(lakes, "loc")
+    db.define_location("eastern-us", Rect(500, 0, 1000, 1000))
+    db.define_location("western-us", Rect(0, 0, 500, 1000))
+    return db
+
+
+class Repl:
+    """Reads queries, executes them, prints both output channels."""
+
+    PROMPT = "psql> "
+    CONTINUATION = "  ... "
+
+    def __init__(self, db: Optional[Database] = None,
+                 stdin: IO[str] = sys.stdin,
+                 stdout: IO[str] = sys.stdout):
+        self.db = db if db is not None else build_demo_database()
+        self.session = Session(self.db)
+        self.stdin = stdin
+        self.stdout = stdout
+        self.show_map = False
+
+    def run(self) -> int:
+        """The read-eval-print loop; returns the exit code."""
+        self._print("PSQL shell — pictorial database over the synthetic "
+                    "US map.")
+        self._print("End a query with ';'. \\relations \\pictures \\map "
+                    "\\quit\n")
+        buffer: list[str] = []
+        while True:
+            self._prompt(self.CONTINUATION if buffer else self.PROMPT)
+            line = self.stdin.readline()
+            if not line:
+                return 0
+            line = line.rstrip("\n")
+            if not buffer and line.strip().startswith("\\"):
+                if not self._meta(line.strip()):
+                    return 0
+                continue
+            buffer.append(line)
+            if line.rstrip().endswith(";"):
+                text = "\n".join(buffer).rstrip().rstrip(";")
+                buffer = []
+                if text.strip():
+                    self._execute(text)
+
+    # -- pieces ------------------------------------------------------------
+
+    def _execute(self, text: str) -> None:
+        try:
+            result = self.session.execute(text)
+        except PsqlError as exc:
+            self._print(f"error: {exc}")
+            return
+        self._print(result.format_table())
+        self._print(f"({len(result)} rows)")
+        if self.show_map and result.pictorial:
+            self._print(self._render_map(result))
+
+    def _render_map(self, result: QueryResult) -> str:
+        points = [obj.geometry for obj in result.pictorial
+                  if isinstance(obj.geometry, Point)]
+        rects = [obj.geometry.mbr() for obj in result.pictorial
+                 if hasattr(obj.geometry, "mbr")]
+        if result.window is not None:
+            rects.append(result.window)
+        universe = Rect(0, 0, 1000, 1000)
+        return ascii_rects(rects, universe, points=points,
+                           cols=72, rows=20)
+
+    def _meta(self, command: str) -> bool:
+        """Handle a backslash command; False means quit."""
+        if command in ("\\quit", "\\q"):
+            return False
+        if command == "\\relations":
+            for rel in self.db.relations():
+                cols = ", ".join(f"{c.name}:{c.type}" for c in rel.columns)
+                self._print(f"  {rel.name}({cols})  [{len(rel)} rows]")
+            return True
+        if command == "\\pictures":
+            for pic in self.db.pictures():
+                assoc = ", ".join(f"{r}.{c}" for r, c in pic.associations())
+                self._print(f"  {pic.name}: {assoc}")
+            return True
+        if command == "\\map":
+            self.show_map = not self.show_map
+            self._print(f"pictorial output "
+                        f"{'on' if self.show_map else 'off'}")
+            return True
+        self._print(f"unknown command {command!r}")
+        return True
+
+    def _print(self, text: str) -> None:
+        self.stdout.write(text + "\n")
+
+    def _prompt(self, text: str) -> None:
+        self.stdout.write(text)
+        self.stdout.flush()
+
+
+def main() -> int:
+    return Repl().run()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""Query results, including the pictorial output channel.
+
+The paper directs output to two devices: "The graphical output device
+displays the area of the picture containing the qualifying spatial
+objects and the standard terminal displays the alphanumeric data."  A
+:class:`QueryResult` carries both: tabular rows plus the pictorial
+payload (named geometries and the query window) for a renderer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class PictorialObject:
+    """One geometry to display, with its label (the paper shows object
+    names on the picture "to assist the user")."""
+
+    label: str
+    geometry: Any  # Point | Segment | Region | Rect
+
+
+@dataclass
+class QueryResult:
+    """The outcome of one PSQL query."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+    #: geometries of qualifying objects, for the graphics device
+    pictorial: list[PictorialObject] = field(default_factory=list)
+    #: the search window of the at-clause, when one was given
+    window: Optional[Rect] = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one output column.
+
+        Raises:
+            KeyError: when the column is not in the result.
+        """
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise KeyError(
+                f"result has no column {name!r}; "
+                f"columns: {', '.join(self.columns)}") from None
+        return [row[idx] for row in self.rows]
+
+    def format_table(self, max_rows: int = 50) -> str:
+        """Plain-text rendering for the "standard terminal" channel."""
+        headers = list(self.columns)
+        shown = self.rows[:max_rows]
+        cells = [[_fmt(v) for v in row] for row in shown]
+        widths = [len(h) for h in headers]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

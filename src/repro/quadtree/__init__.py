@@ -1,0 +1,17 @@
+"""Quad-trees — the comparator structure discussed in the paper's Section 1.
+
+"The most important feature that distinguishes R-trees from Quad-trees is
+the fact that, at the leaf level, the former store full and non-atomic
+spatial objects whereas the latter may indiscriminately decompose the
+objects into lower level pictorial primitives ... Similar search in
+Quad-trees requires an elaborate reconstruction process."
+
+Experiment E17 quantifies this: the R-tree returns whole objects; the
+region quadtree returns fragments that must be deduplicated and
+reconstructed.
+"""
+
+from repro.quadtree.point_quadtree import PointQuadtree
+from repro.quadtree.region_quadtree import RegionQuadtree
+
+__all__ = ["PointQuadtree", "RegionQuadtree"]

@@ -1,0 +1,148 @@
+"""A point-region (PR) quadtree over a fixed universe.
+
+Each node owns a square-ish cell; leaf cells hold up to *bucket* points
+and split into four quadrants on overflow (Finkel & Bentley).  Search
+counts node accesses so the comparison with R-tree searches is apples to
+apples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class _QNode:
+    __slots__ = ("cell", "points", "children")
+
+    def __init__(self, cell: Rect):
+        self.cell = cell
+        self.points: list[tuple[Point, Any]] = []
+        self.children: Optional[list["_QNode"]] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class PointQuadtree:
+    """A PR quadtree for point objects.
+
+    Args:
+        universe: the spatial extent; inserts outside it are rejected.
+        bucket: leaf capacity before a split.
+        max_depth: depth limit — cells at the limit grow their bucket
+            instead of splitting (guards against coincident points).
+    """
+
+    def __init__(self, universe: Rect, bucket: int = 4, max_depth: int = 16):
+        if bucket < 1:
+            raise ValueError("bucket capacity must be positive")
+        if universe.area() <= 0:
+            raise ValueError("universe must have positive area")
+        self.universe = universe
+        self.bucket = bucket
+        self.max_depth = max_depth
+        self._root = _QNode(universe)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- insert ------------------------------------------------------------
+
+    def insert(self, point: Point, oid: Any) -> None:
+        """Add a point object.
+
+        Raises:
+            ValueError: when the point lies outside the universe.
+        """
+        if not self.universe.contains_point(point):
+            raise ValueError(f"{point} lies outside the universe")
+        node = self._root
+        depth = 0
+        while not node.is_leaf:
+            node = self._quadrant_for(node, point)
+            depth += 1
+        node.points.append((point, oid))
+        self._size += 1
+        if len(node.points) > self.bucket and depth < self.max_depth:
+            self._split(node)
+
+    def _split(self, node: _QNode) -> None:
+        cx, cy = node.cell.center()
+        c = node.cell
+        node.children = [
+            _QNode(Rect(c.x1, c.y1, cx, cy)),   # SW
+            _QNode(Rect(cx, c.y1, c.x2, cy)),   # SE
+            _QNode(Rect(c.x1, cy, cx, c.y2)),   # NW
+            _QNode(Rect(cx, cy, c.x2, c.y2)),   # NE
+        ]
+        points = node.points
+        node.points = []
+        for p, oid in points:
+            self._quadrant_for(node, p).points.append((p, oid))
+
+    @staticmethod
+    def _quadrant_for(node: _QNode, point: Point) -> _QNode:
+        assert node.children is not None
+        cx, cy = node.cell.center()
+        east = point.x >= cx
+        north = point.y >= cy
+        return node.children[(2 if north else 0) + (1 if east else 0)]
+
+    # -- search ------------------------------------------------------------
+
+    def search(self, window: Rect,
+               on_node: Optional[Callable[[Any], None]] = None) -> list[Any]:
+        """Objects whose point lies in *window* (closed semantics)."""
+        out: list[Any] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if on_node is not None:
+                on_node(node)
+            if node.is_leaf:
+                out.extend(oid for p, oid in node.points
+                           if window.contains_point(p))
+            else:
+                assert node.children is not None
+                stack.extend(ch for ch in node.children
+                             if ch.cell.intersects(window))
+        return out
+
+    def count_search_accesses(self, window: Rect) -> int:
+        """Nodes visited by a window search."""
+        count = 0
+
+        def bump(_node: Any) -> None:
+            nonlocal count
+            count += 1
+
+        self.search(window, on_node=bump)
+        return count
+
+    # -- introspection -----------------------------------------------------
+
+    def node_count(self) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if node.children is not None:
+                stack.extend(node.children)
+        return count
+
+    def depth(self) -> int:
+        """Maximum depth of any node (root is depth 0)."""
+        best = 0
+        stack = [(self._root, 0)]
+        while stack:
+            node, d = stack.pop()
+            best = max(best, d)
+            if node.children is not None:
+                stack.extend((ch, d + 1) for ch in node.children)
+        return best

@@ -1,0 +1,164 @@
+"""A region quadtree that decomposes objects into cells.
+
+This deliberately exhibits the behaviour the paper criticises: an
+inserted rectangle is broken into quadrant fragments ("lower level
+pictorial primitives"), and a window search returns *fragments* that the
+caller must reconstruct into objects.  :meth:`search_objects` performs
+that reconstruction and reports how many fragments it had to merge —
+the quantity experiment E17 compares against the R-tree's direct
+object-level retrieval.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.geometry.rect import Rect
+
+
+class _RQNode:
+    __slots__ = ("cell", "fragments", "children")
+
+    def __init__(self, cell: Rect):
+        self.cell = cell
+        # (clipped rect, oid) fragments stored at this node
+        self.fragments: list[tuple[Rect, Any]] = []
+        self.children: Optional[list["_RQNode"]] = None
+
+
+class RegionQuadtree:
+    """A quadtree storing rectangles by quadrant decomposition.
+
+    Args:
+        universe: spatial extent.
+        max_depth: decomposition depth; a rectangle is pushed down and
+            split at quadrant boundaries until it either covers a cell
+            entirely or the depth limit is reached.
+        bucket: fragments a cell may hold before subdividing further.
+    """
+
+    def __init__(self, universe: Rect, max_depth: int = 8, bucket: int = 4):
+        if max_depth < 0:
+            raise ValueError("max_depth must be non-negative")
+        if bucket < 1:
+            raise ValueError("bucket capacity must be positive")
+        if universe.area() <= 0:
+            raise ValueError("universe must have positive area")
+        self.universe = universe
+        self.max_depth = max_depth
+        self.bucket = bucket
+        self._root = _RQNode(universe)
+        self._size = 0
+        self._fragment_count = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def fragment_count(self) -> int:
+        """Total stored fragments — the decomposition blow-up."""
+        return self._fragment_count
+
+    # -- insert ------------------------------------------------------------
+
+    def insert(self, rect: Rect, oid: Any) -> None:
+        """Insert a rectangle, decomposing it across quadrants.
+
+        Raises:
+            ValueError: when the rectangle is not inside the universe.
+        """
+        if not self.universe.contains(rect):
+            raise ValueError(f"{rect} is not contained in the universe")
+        self._insert(self._root, rect, oid, depth=0)
+        self._size += 1
+
+    def _insert(self, node: _RQNode, rect: Rect, oid: Any,
+                depth: int) -> None:
+        clipped = node.cell.intersection(rect)
+        if clipped is None or clipped.area() == 0.0:
+            return
+        covers_cell = clipped == node.cell
+        if covers_cell or depth >= self.max_depth:
+            node.fragments.append((clipped, oid))
+            self._fragment_count += 1
+            return
+        if node.children is None:
+            if len(node.fragments) < self.bucket:
+                node.fragments.append((clipped, oid))
+                self._fragment_count += 1
+                return
+            self._subdivide(node, depth)
+        assert node.children is not None
+        for child in node.children:
+            self._insert(child, clipped, oid, depth + 1)
+
+    def _subdivide(self, node: _RQNode, depth: int) -> None:
+        cx, cy = node.cell.center()
+        c = node.cell
+        node.children = [
+            _RQNode(Rect(c.x1, c.y1, cx, cy)),
+            _RQNode(Rect(cx, c.y1, c.x2, cy)),
+            _RQNode(Rect(c.x1, cy, cx, c.y2)),
+            _RQNode(Rect(cx, cy, c.x2, c.y2)),
+        ]
+        fragments = node.fragments
+        node.fragments = []
+        self._fragment_count -= len(fragments)
+        for rect, oid in fragments:
+            for child in node.children:
+                self._insert(child, rect, oid, depth + 1)
+
+    # -- search ------------------------------------------------------------
+
+    def search_fragments(self, window: Rect,
+                         on_node: Optional[Callable[[Any], None]] = None,
+                         ) -> list[tuple[Rect, Any]]:
+        """All stored fragments intersecting *window* (raw, undeduplicated)."""
+        out: list[tuple[Rect, Any]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if on_node is not None:
+                on_node(node)
+            out.extend((r, oid) for r, oid in node.fragments
+                       if r.intersects(window))
+            if node.children is not None:
+                stack.extend(ch for ch in node.children
+                             if ch.cell.intersects(window))
+        return out
+
+    def search_objects(self, window: Rect) -> tuple[list[Any], int]:
+        """Objects intersecting *window*, plus the fragment count merged.
+
+        This is the "elaborate reconstruction process" the paper notes:
+        fragments must be collected and deduplicated by object identity
+        before the result can be returned at object granularity.
+        """
+        fragments = self.search_fragments(window)
+        seen: dict[Any, None] = {}
+        for _rect, oid in fragments:
+            seen.setdefault(oid)
+        return list(seen), len(fragments)
+
+    def count_search_accesses(self, window: Rect) -> int:
+        """Nodes visited by a fragment search."""
+        count = 0
+
+        def bump(_node: Any) -> None:
+            nonlocal count
+            count += 1
+
+        self.search_fragments(window, on_node=bump)
+        return count
+
+    # -- introspection -----------------------------------------------------
+
+    def node_count(self) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if node.children is not None:
+                stack.extend(node.children)
+        return count

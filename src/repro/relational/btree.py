@@ -1,0 +1,313 @@
+"""An in-memory B+-tree (Bayer & McCreight 1972).
+
+This is the "indexed the usual way" of the paper's Section 2.1: secondary
+indexes over alphanumeric columns.  Keys are any totally ordered Python
+values; duplicates are supported by keeping a list of values per key at
+the leaf level.  Leaves are chained for cheap range scans.
+
+The structure is deliberately classic: internal nodes hold separator keys
+and children; leaves hold (key, values) pairs.  ``order`` is the maximum
+number of children of an internal node (equivalently, a leaf holds at
+most ``order - 1`` keys).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, Optional
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: list[Any] = []
+        self.values: list[list[Any]] = []
+        self.next: Optional["_Leaf"] = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[Any] = []
+        self.children: list[Any] = []  # _Leaf or _Internal
+
+
+class BTree:
+    """A B+-tree index mapping keys to lists of values.
+
+    Args:
+        order: maximum fan-out of internal nodes; at least 3.
+
+    Example::
+
+        idx = BTree(order=32)
+        idx.insert("Springfield", row_id)
+        idx.search("Springfield")          # -> [row_id]
+        list(idx.range("A", "M"))          # keys in [A, M)
+    """
+
+    def __init__(self, order: int = 32):
+        if order < 3:
+            raise ValueError("B-tree order must be at least 3")
+        self.order = order
+        self._root: _Leaf | _Internal = _Leaf()
+        self._size = 0  # number of (key, value) pairs
+
+    @classmethod
+    def bulk_load(cls, items, order: int = 32,
+                  fill: float = 1.0) -> "BTree":
+        """Build a tree bottom-up from (key, value) pairs.
+
+        The B-tree analogue of the paper's PACK: sort once, emit full
+        leaves left to right, then build the interior levels over them.
+        Far cheaper than repeated inserts and yields maximal fill.
+
+        Args:
+            items: iterable of ``(key, value)`` pairs (any order;
+                duplicates allowed — they merge per key).
+            order: fan-out, as for the constructor.
+            fill: target leaf fill fraction in (0, 1]; lower values leave
+                room for later inserts.
+
+        Raises:
+            ValueError: for an invalid order or fill fraction.
+        """
+        if not 0.0 < fill <= 1.0:
+            raise ValueError(f"fill must be in (0, 1], got {fill}")
+        tree = cls(order=order)
+        pairs = sorted(items, key=lambda kv: kv[0])
+        if not pairs:
+            return tree
+
+        # Merge duplicates into (key, [values]) runs.
+        merged: list[tuple] = []
+        values: list = []
+        for key, value in pairs:
+            if merged and merged[-1][0] == key:
+                merged[-1][1].append(value)
+            else:
+                merged.append((key, [value]))
+        per_leaf = max(1, int((order - 1) * fill))
+
+        leaves: list[_Leaf] = []
+        for start in range(0, len(merged), per_leaf):
+            leaf = _Leaf()
+            chunk = merged[start:start + per_leaf]
+            leaf.keys = [k for k, _v in chunk]
+            leaf.values = [v for _k, v in chunk]
+            if leaves:
+                leaves[-1].next = leaf
+            leaves.append(leaf)
+
+        level: list = leaves
+        while len(level) > 1:
+            # Chunk boundaries: full fan-out, but never a 1-child tail —
+            # rebalance the last two chunks to (order - 1, 2) instead.
+            sizes = []
+            remaining = len(level)
+            while remaining > 0:
+                take = min(order, remaining)
+                if remaining - take == 1 and take == order:
+                    take -= 1
+                sizes.append(take)
+                remaining -= take
+            parents: list[_Internal] = []
+            start = 0
+            for size in sizes:
+                children = level[start:start + size]
+                start += size
+                node = _Internal()
+                node.children = children
+                node.keys = [cls._smallest_key(c) for c in children[1:]]
+                parents.append(node)
+            level = parents
+        tree._root = level[0]
+        tree._size = len(pairs)
+        return tree
+
+    @staticmethod
+    def _smallest_key(node: "_Leaf | _Internal"):
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return node.keys[0]
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- insert --------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Add one (key, value) pair; duplicates of *key* accumulate."""
+        result = self._insert(self._root, key, value)
+        if result is not None:
+            sep, right = result
+            new_root = _Internal()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._size += 1
+
+    def _insert(self, node: _Leaf | _Internal, key: Any,
+                value: Any) -> Optional[tuple[Any, Any]]:
+        if isinstance(node, _Leaf):
+            i = bisect.bisect_left(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                node.values[i].append(value)
+                return None
+            node.keys.insert(i, key)
+            node.values.insert(i, [value])
+            if len(node.keys) >= self.order:
+                return self._split_leaf(node)
+            return None
+        i = bisect.bisect_right(node.keys, key)
+        result = self._insert(node.children[i], key, value)
+        if result is None:
+            return None
+        sep, right = result
+        node.keys.insert(i, sep)
+        node.children.insert(i + 1, right)
+        if len(node.children) > self.order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, leaf: _Leaf) -> tuple[Any, _Leaf]:
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right.next = leaf.next
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal) -> tuple[Any, _Internal]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Internal()
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        return sep, right
+
+    # -- lookup --------------------------------------------------------------
+
+    def search(self, key: Any) -> list[Any]:
+        """All values stored under *key* (empty list when absent)."""
+        leaf, i = self._find_leaf(key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            return list(leaf.values[i])
+        return []
+
+    def contains(self, key: Any) -> bool:
+        """True when at least one value is stored under *key*."""
+        leaf, i = self._find_leaf(key)
+        return i < len(leaf.keys) and leaf.keys[i] == key
+
+    def _find_leaf(self, key: Any) -> tuple[_Leaf, int]:
+        node = self._root
+        while isinstance(node, _Internal):
+            i = bisect.bisect_right(node.keys, key)
+            node = node.children[i]
+        return node, bisect.bisect_left(node.keys, key)
+
+    # -- scans ----------------------------------------------------------------
+
+    def range(self, lo: Any = None,
+              hi: Any = None) -> Iterator[tuple[Any, Any]]:
+        """(key, value) pairs with ``lo <= key < hi``, in key order.
+
+        ``None`` bounds are open (scan from the start / to the end).
+        """
+        if lo is None:
+            leaf: Optional[_Leaf] = self._leftmost_leaf()
+            i = 0
+        else:
+            found, i = self._find_leaf(lo)
+            leaf = found
+        while leaf is not None:
+            while i < len(leaf.keys):
+                key = leaf.keys[i]
+                if hi is not None and key >= hi:
+                    return
+                for v in leaf.values[i]:
+                    yield key, v
+                i += 1
+            leaf = leaf.next
+            i = 0
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Every (key, value) pair in key order."""
+        return self.range()
+
+    def keys(self) -> Iterator[Any]:
+        """Distinct keys in order."""
+        leaf: Optional[_Leaf] = self._leftmost_leaf()
+        while leaf is not None:
+            yield from leaf.keys
+            leaf = leaf.next
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return node
+
+    # -- delete ---------------------------------------------------------------
+
+    def delete(self, key: Any, value: Any) -> bool:
+        """Remove one (key, value) pair; returns False when absent.
+
+        Underflow handling is lazy (leaves may become sparse) — adequate
+        for a workload the paper itself describes as "not update
+        intensive but rather static".  Keys with no remaining values are
+        removed from their leaf.
+        """
+        leaf, i = self._find_leaf(key)
+        if i >= len(leaf.keys) or leaf.keys[i] != key:
+            return False
+        try:
+            leaf.values[i].remove(value)
+        except ValueError:
+            return False
+        if not leaf.values[i]:
+            del leaf.keys[i]
+            del leaf.values[i]
+        self._size -= 1
+        return True
+
+    # -- introspection -----------------------------------------------------------
+
+    def height(self) -> int:
+        """Edges from the root to the leaf level."""
+        h = 0
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+            h += 1
+        return h
+
+    def validate(self) -> None:
+        """Check ordering and fan-out invariants (testing hook)."""
+        def walk(node: _Leaf | _Internal,
+                 lo: Any, hi: Any) -> None:
+            if isinstance(node, _Leaf):
+                assert node.keys == sorted(node.keys), "unsorted leaf"
+                for k in node.keys:
+                    assert lo is None or k >= lo, "leaf key below bound"
+                    assert hi is None or k < hi, "leaf key above bound"
+                return
+            assert node.keys == sorted(node.keys), "unsorted internal node"
+            assert len(node.children) == len(node.keys) + 1, \
+                "child/key count mismatch"
+            assert len(node.children) <= self.order, "internal overflow"
+            for idx, child in enumerate(node.children):
+                child_lo = node.keys[idx - 1] if idx > 0 else lo
+                child_hi = node.keys[idx] if idx < len(node.keys) else hi
+                walk(child, child_lo, child_hi)
+
+        walk(self._root, None, None)
+        assert self._size == sum(1 for _ in self.items()), "size drift"

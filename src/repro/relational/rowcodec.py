@@ -1,0 +1,73 @@
+"""Row (de)serialisation for disk-backed relations.
+
+Rows are dictionaries mixing alphanumeric values with pictorial domain
+objects; JSON carries the alphanumerics and pictorial values travel as
+tagged structures::
+
+    Point   -> {"$point":   [x, y]}
+    Segment -> {"$segment": [x1, y1, x2, y2]}
+    Region  -> {"$region":  [[x, y], ...]}
+    Rect    -> {"$rect":    [x1, y1, x2, y2]}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.region import Region
+from repro.geometry.segment import Segment
+
+
+def encode_row(row: dict[str, Any]) -> bytes:
+    """Serialise a row dictionary to UTF-8 JSON bytes."""
+    return json.dumps({k: _encode(v) for k, v in row.items()},
+                      separators=(",", ":")).encode("utf-8")
+
+
+def decode_row(data: bytes) -> dict[str, Any]:
+    """Inverse of :func:`encode_row`.
+
+    Raises:
+        ValueError: for malformed payloads.
+    """
+    try:
+        raw = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"malformed row payload: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ValueError("row payload must decode to an object")
+    return {k: _decode(v) for k, v in raw.items()}
+
+
+def _encode(value: Any) -> Any:
+    if isinstance(value, Point):
+        return {"$point": [value.x, value.y]}
+    if isinstance(value, Segment):
+        return {"$segment": [value.start.x, value.start.y,
+                             value.end.x, value.end.y]}
+    if isinstance(value, Region):
+        return {"$region": [[p.x, p.y] for p in value.vertices]}
+    if isinstance(value, Rect):
+        return {"$rect": [value.x1, value.y1, value.x2, value.y2]}
+    return value
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, dict) and len(value) == 1:
+        ((tag, body),) = value.items()
+        if tag == "$point":
+            x, y = body
+            return Point(float(x), float(y))
+        if tag == "$segment":
+            x1, y1, x2, y2 = body
+            return Segment(Point(float(x1), float(y1)),
+                           Point(float(x2), float(y2)))
+        if tag == "$region":
+            return Region([Point(float(x), float(y)) for x, y in body])
+        if tag == "$rect":
+            x1, y1, x2, y2 = body
+            return Rect(float(x1), float(y1), float(x2), float(y2))
+    return value

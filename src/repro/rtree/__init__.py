@@ -1,0 +1,107 @@
+"""R-trees and the PACK bulk-loading algorithm — the paper's core contribution.
+
+Exports the dynamic :class:`~repro.rtree.tree.RTree` (Guttman INSERT /
+DELETE / SEARCH), the :func:`~repro.rtree.packing.pack` family of bulk
+loaders (Section 3.3), the coverage/overlap metrics of Section 3.1 and the
+constructive theory results of Section 3.2.
+"""
+
+from repro.rtree.node import Entry, Node
+from repro.rtree.tree import RTree
+from repro.rtree.split import (
+    ExhaustiveSplit,
+    LinearSplit,
+    QuadraticSplit,
+    RStarSplit,
+    SplitStrategy,
+    get_split_strategy,
+)
+from repro.rtree.packing import (
+    PACK_METHODS,
+    pack,
+    pack_hilbert,
+    pack_lowx,
+    pack_nearest_neighbor,
+    pack_str,
+)
+from repro.rtree.metrics import (
+    TreeStats,
+    average_nodes_visited,
+    coverage,
+    overlap,
+    tree_stats,
+)
+from repro.rtree.search import (
+    SearchStats,
+    knn_search,
+    point_search,
+    window_search,
+    window_search_within,
+)
+from repro.rtree.analysis import TreeReport, analyze, dump_tree, format_report
+from repro.rtree.costmodel import (
+    CostEstimate,
+    expected_window_accesses,
+    measured_window_accesses,
+)
+from repro.rtree.join import JoinStats, spatial_join
+from repro.rtree.serialize import (
+    dict_to_tree,
+    load_tree,
+    save_tree,
+    tree_to_dict,
+)
+from repro.rtree.repack import RepackResult, local_repack
+from repro.rtree.theory import (
+    ZeroOverlapPartition,
+    theorem_33_counterexample,
+    verify_no_zero_overlap_grouping,
+    zero_overlap_partition,
+)
+
+__all__ = [
+    "CostEstimate",
+    "Entry",
+    "ExhaustiveSplit",
+    "JoinStats",
+    "LinearSplit",
+    "Node",
+    "PACK_METHODS",
+    "QuadraticSplit",
+    "RStarSplit",
+    "RTree",
+    "RepackResult",
+    "SearchStats",
+    "SplitStrategy",
+    "TreeReport",
+    "TreeStats",
+    "ZeroOverlapPartition",
+    "analyze",
+    "average_nodes_visited",
+    "coverage",
+    "dict_to_tree",
+    "dump_tree",
+    "expected_window_accesses",
+    "format_report",
+    "get_split_strategy",
+    "knn_search",
+    "load_tree",
+    "local_repack",
+    "measured_window_accesses",
+    "overlap",
+    "spatial_join",
+    "pack",
+    "save_tree",
+    "tree_to_dict",
+    "pack_hilbert",
+    "pack_lowx",
+    "pack_nearest_neighbor",
+    "pack_str",
+    "point_search",
+    "theorem_33_counterexample",
+    "tree_stats",
+    "verify_no_zero_overlap_grouping",
+    "window_search",
+    "window_search_within",
+    "zero_overlap_partition",
+]

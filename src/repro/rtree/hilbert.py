@@ -1,0 +1,60 @@
+"""Hilbert space-filling curve index, used by the Hilbert bulk loader.
+
+The 1985 paper packs by nearest neighbour; later literature (Kamel &
+Faloutsos 1993) packs by Hilbert value.  We include the Hilbert packer as
+an ablation comparator (experiment E12 in DESIGN.md), so the curve mapping
+lives here as a small self-contained utility.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+def hilbert_d(order: int, x: int, y: int) -> int:
+    """Distance along the Hilbert curve of 2**order x 2**order cells.
+
+    Args:
+        order: curve order; the grid has ``2**order`` cells per side.
+        x, y: integer cell coordinates in ``[0, 2**order)``.
+
+    Returns:
+        The cell's one-dimensional index along the curve.
+    """
+    side = 1 << order
+    if not (0 <= x < side and 0 <= y < side):
+        raise ValueError(f"cell ({x}, {y}) outside a {side}x{side} grid")
+    rx = ry = 0
+    d = 0
+    s = side >> 1
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        # Rotate the quadrant.
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        s >>= 1
+    return d
+
+
+def hilbert_key(point: Point, universe: Rect, order: int = 16) -> int:
+    """Hilbert index of *point* within *universe* at the given curve order.
+
+    Points on the universe boundary map to the last cell; points outside
+    the universe are clamped (the packer only needs a consistent ordering).
+    """
+    side = 1 << order
+    w = universe.x2 - universe.x1
+    h = universe.y2 - universe.y1
+    if w <= 0 or h <= 0:
+        return 0
+    fx = (point.x - universe.x1) / w
+    fy = (point.y - universe.y1) / h
+    cx = min(side - 1, max(0, int(fx * side)))
+    cy = min(side - 1, max(0, int(fy * side)))
+    return hilbert_d(order, cx, cy)

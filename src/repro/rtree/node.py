@@ -1,0 +1,115 @@
+"""R-tree node and entry records.
+
+These mirror the paper's PASCAL declarations (Section 3):
+
+.. code-block:: pascal
+
+    type ENTRY = record
+        X1, X2, Y1, Y2: integer;
+        POINTER: integer;
+    end;
+    NODE = record
+        CLASS: (leaf, non_leaf);
+        DESC: array [1..4] of ENTRY;
+        VALID: integer;
+    end;
+
+The Python version replaces the fixed ``DESC`` array + ``VALID`` counter
+with a plain list (its length is ``VALID``) and stores either a child node
+reference or an opaque object identifier in place of the integer POINTER.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.geometry.rect import Rect, mbr_of_rects
+
+
+@dataclass(slots=True)
+class Entry:
+    """One slot of an R-tree node.
+
+    For leaf nodes ``oid`` is the tuple identifier (the paper's pointer to
+    a relation tuple) and ``child`` is ``None``; for non-leaf nodes
+    ``child`` points to the descendant node and ``oid`` is ``None``.
+    """
+
+    rect: Rect
+    child: Optional["Node"] = None
+    oid: Any = None
+
+    def is_leaf_entry(self) -> bool:
+        return self.child is None
+
+
+@dataclass(slots=True)
+class Node:
+    """An R-tree node: a leaf/non-leaf flag plus a list of entries."""
+
+    is_leaf: bool
+    entries: list[Entry] = field(default_factory=list)
+    parent: Optional["Node"] = None
+
+    def mbr(self) -> Rect:
+        """MBR covering all entries of this node.
+
+        Raises:
+            ValueError: for an empty node (only the root of an empty tree).
+        """
+        return mbr_of_rects(e.rect for e in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def add(self, entry: Entry) -> None:
+        """Append *entry*, maintaining the parent back-pointer."""
+        self.entries.append(entry)
+        if entry.child is not None:
+            entry.child.parent = self
+
+    def remove(self, entry: Entry) -> None:
+        """Remove *entry* (identity comparison)."""
+        for i, e in enumerate(self.entries):
+            if e is entry:
+                del self.entries[i]
+                return
+        raise ValueError("entry not present in node")
+
+    def entry_for_child(self, child: "Node") -> Entry:
+        """The entry of this node that points at *child*."""
+        for e in self.entries:
+            if e.child is child:
+                return e
+        raise ValueError("child not referenced by this node")
+
+    def descend(self) -> Iterator["Node"]:
+        """All nodes of the subtree rooted here, preorder."""
+        yield self
+        if not self.is_leaf:
+            for e in self.entries:
+                assert e.child is not None
+                yield from e.child.descend()
+
+    def leaf_entries(self) -> Iterator[Entry]:
+        """All leaf-level entries of the subtree rooted here."""
+        if self.is_leaf:
+            yield from self.entries
+        else:
+            for e in self.entries:
+                assert e.child is not None
+                yield from e.child.leaf_entries()
+
+    def height(self) -> int:
+        """Edges from this node down to the leaf level (0 for a leaf)."""
+        node = self
+        h = 0
+        while not node.is_leaf:
+            if not node.entries:
+                break
+            child = node.entries[0].child
+            assert child is not None
+            node = child
+            h += 1
+        return h

@@ -1,0 +1,142 @@
+"""Local re-packing — the paper's Section 4 future work, implemented.
+
+    "We are currently investigating the possibility of dynamic
+    invocation of the PACK algorithm during insertions and deletions to
+    efficiently perform a 'local' reorganization.  This will achieve the
+    search performance obtained by the PACK algorithm for dynamically
+    reorganized R-trees."
+
+:func:`local_repack` finds the smallest subtree whose MBR covers a given
+region, rebuilds that subtree with PACK, and splices it back — restoring
+packed-quality structure around update hot spots without touching the
+rest of the tree.  With ``region=None`` it re-packs the whole tree in
+place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geometry.rect import Rect
+from repro.rtree.node import Entry, Node
+from repro.rtree.packing import (
+    _lookup_distance,
+    _lookup_method,
+    _pack_level,
+)
+from repro.rtree.tree import RTree
+
+
+@dataclass(frozen=True)
+class RepackResult:
+    """What a local re-pack did."""
+
+    entries_repacked: int
+    nodes_before: int
+    nodes_after: int
+    subtree_height: int
+
+    @property
+    def nodes_saved(self) -> int:
+        return self.nodes_before - self.nodes_after
+
+
+def local_repack(tree: RTree, region: Optional[Rect] = None,
+                 method: str = "nn",
+                 distance: str = "center") -> RepackResult:
+    """Re-PACK the smallest subtree covering *region* (whole tree if None).
+
+    The rebuilt subtree keeps the original subtree's height (padding with
+    single-child interior nodes when packing would make it shallower), so
+    every leaf of the tree stays at the same depth and no ancestor needs
+    restructuring — only its MBR chain is refreshed.
+
+    Args:
+        tree: the tree to reorganise (modified in place).
+        region: hot-spot rectangle; ``None`` re-packs everything.
+        method / distance: forwarded to the PACK grouping strategy.
+
+    Returns:
+        A :class:`RepackResult` with before/after node counts.
+    """
+    group_fn = _lookup_method(method)
+    distance_fn = _lookup_distance(distance)
+
+    target = tree.root if region is None else _smallest_subtree(tree, region)
+    entries = list(target.leaf_entries())
+    if not entries:
+        return RepackResult(0, 1, 1, 0)
+    nodes_before = sum(1 for _ in target.descend())
+    old_height = target.height()
+
+    fresh = [Entry(rect=e.rect, oid=e.oid) for e in entries]
+    new_root = _pack_level(fresh, tree.max_entries, group_fn, distance_fn,
+                           is_leaf=True)
+    if target is not tree.root:
+        # Splicing into a parent: the subtree must keep its height so all
+        # leaves of the tree stay at one depth.  A root swap is free to
+        # shrink the whole tree instead.
+        new_root = _pad_to_height(new_root, old_height)
+    nodes_after = sum(1 for _ in new_root.descend())
+
+    if target is tree.root:
+        new_root.parent = None
+        tree.root = new_root
+        RTree._fix_parents(new_root)
+    else:
+        parent = target.parent
+        assert parent is not None
+        slot = parent.entry_for_child(target)
+        slot.child = new_root
+        slot.rect = new_root.mbr()
+        new_root.parent = parent
+        RTree._fix_parents(new_root)
+        _refresh_ancestor_mbrs(parent)
+    return RepackResult(entries_repacked=len(entries),
+                        nodes_before=nodes_before, nodes_after=nodes_after,
+                        subtree_height=old_height)
+
+
+def _smallest_subtree(tree: RTree, region: Rect) -> Node:
+    """The deepest non-leaf node whose MBR contains *region*.
+
+    Falls back to the root when no single child covers the region (the
+    hot spot straddles top-level partitions).
+    """
+    node = tree.root
+    while not node.is_leaf:
+        covering = [e for e in node.entries
+                    if e.child is not None and not e.child.is_leaf
+                    and e.rect.contains(region)]
+        if len(covering) != 1:
+            break
+        node = covering[0].child  # type: ignore[assignment]
+        assert node is not None
+    return node
+
+
+def _pad_to_height(root: Node, height: int) -> Node:
+    """Chain single-entry interior nodes until *root* reaches *height*.
+
+    Packing a sparse subtree can legitimately produce a shallower tree;
+    padding keeps the global all-leaves-same-depth invariant without
+    restructuring ancestors.  The pad nodes violate only the minimum-fill
+    rule, which packed trees already relax (``validate(check_fill=False)``).
+    """
+    current = root.height()
+    while current < height:
+        wrapper = Node(is_leaf=False)
+        wrapper.add(Entry(rect=root.mbr(), child=root))
+        root = wrapper
+        current += 1
+    return root
+
+
+def _refresh_ancestor_mbrs(node: Node) -> None:
+    """Recompute entry MBRs from *node* up to the root."""
+    while node is not None:
+        parent = node.parent
+        if parent is not None:
+            parent.entry_for_child(node).rect = node.mbr()
+        node = parent  # type: ignore[assignment]

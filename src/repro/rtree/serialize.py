@@ -1,0 +1,106 @@
+"""JSON (de)serialisation for in-memory R-trees.
+
+The disk-resident :class:`~repro.storage.disk_rtree.DiskRTree` stores
+integer object ids on binary pages; this module instead snapshots a
+whole in-memory :class:`~repro.rtree.tree.RTree` — structure included —
+as JSON, preserving the exact node layout (a freshly PACKed structure
+survives the round-trip, it is not rebuilt).
+
+Object identifiers must be JSON-representable (strings, numbers, bools,
+None, or nested lists/dicts of those); tuples come back as lists.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.geometry.rect import Rect
+from repro.rtree.node import Entry, Node
+from repro.rtree.tree import RTree
+
+#: Format marker written into every snapshot.
+FORMAT_VERSION = 1
+
+
+def tree_to_dict(tree: RTree) -> dict[str, Any]:
+    """A JSON-ready dictionary capturing *tree* exactly."""
+    return {
+        "format": FORMAT_VERSION,
+        "max_entries": tree.max_entries,
+        "min_entries": tree.min_entries,
+        "split": tree.split_strategy.name,
+        "size": len(tree),
+        "root": _node_to_dict(tree.root),
+    }
+
+
+def _node_to_dict(node: Node) -> dict[str, Any]:
+    entries = []
+    for e in node.entries:
+        item: dict[str, Any] = {"rect": [e.rect.x1, e.rect.y1,
+                                         e.rect.x2, e.rect.y2]}
+        if node.is_leaf:
+            item["oid"] = e.oid
+        else:
+            assert e.child is not None
+            item["child"] = _node_to_dict(e.child)
+        entries.append(item)
+    return {"leaf": node.is_leaf, "entries": entries}
+
+
+def dict_to_tree(data: dict[str, Any]) -> RTree:
+    """Rebuild an :class:`RTree` from :func:`tree_to_dict` output.
+
+    Raises:
+        ValueError: on unknown format versions or malformed structure.
+    """
+    version = data.get("format")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported snapshot format {version!r}")
+    try:
+        root = _dict_to_node(data["root"])
+        tree = RTree.from_root(root,
+                               max_entries=data["max_entries"],
+                               min_entries=data["min_entries"],
+                               split=data["split"])
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed R-tree snapshot: {exc}") from exc
+    if len(tree) != data.get("size"):
+        raise ValueError(
+            f"snapshot size field {data.get('size')} disagrees with "
+            f"{len(tree)} stored entries")
+    return tree
+
+
+def _dict_to_node(data: dict[str, Any]) -> Node:
+    node = Node(is_leaf=bool(data["leaf"]))
+    for item in data["entries"]:
+        x1, y1, x2, y2 = item["rect"]
+        rect = Rect(float(x1), float(y1), float(x2), float(y2))
+        if not rect.is_valid():
+            raise ValueError(f"invalid rectangle in snapshot: {item['rect']}")
+        if node.is_leaf:
+            node.add(Entry(rect=rect, oid=item["oid"]))
+        else:
+            node.add(Entry(rect=rect, child=_dict_to_node(item["child"])))
+    return node
+
+
+def save_tree(tree: RTree, path: str) -> None:
+    """Write a JSON snapshot of *tree* to *path*."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(tree_to_dict(tree), f)
+
+
+def load_tree(path: str) -> RTree:
+    """Load a snapshot written by :func:`save_tree`.
+
+    Raises:
+        ValueError: for malformed or version-mismatched files.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    if not isinstance(data, dict):
+        raise ValueError("snapshot root must be a JSON object")
+    return dict_to_tree(data)

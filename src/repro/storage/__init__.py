@@ -1,0 +1,44 @@
+"""Paged storage substrate: the "disk" under the R-tree.
+
+The paper argues R-trees beat quad-trees partly because "the storage
+organization of R-trees is based on B-trees, they are better in dealing
+with paging and disk I/O buffering" (Section 1).  This package provides
+the 1985-style storage stack needed to measure that claim:
+
+- :class:`~repro.storage.pager.Pager` — fixed-size pages in a single file
+  with allocation, free-list reuse and checksummed headers.
+- :class:`~repro.storage.buffer.BufferPool` — an LRU page cache with
+  hit/miss/eviction accounting (the I/O numbers of experiment E16).
+- :mod:`~repro.storage.serial` — binary (de)serialisation of R-tree nodes
+  into pages via :mod:`struct`.
+- :class:`~repro.storage.disk_rtree.DiskRTree` — a persistent R-tree whose
+  nodes live on pages and are faulted in through the buffer pool.
+"""
+
+from repro.storage.pager import PAGE_SIZE, CorruptPageError, Page, Pager
+from repro.storage.buffer import BufferPool, BufferStats
+from repro.storage.serial import (
+    NodeRecord,
+    deserialize_node,
+    max_entries_per_page,
+    serialize_node,
+)
+from repro.storage.disk_rtree import DiskRTree
+from repro.storage.heapfile import HeapFile, HeapFileError, RowAddress
+
+__all__ = [
+    "BufferPool",
+    "BufferStats",
+    "CorruptPageError",
+    "DiskRTree",
+    "HeapFile",
+    "HeapFileError",
+    "NodeRecord",
+    "PAGE_SIZE",
+    "Page",
+    "Pager",
+    "RowAddress",
+    "deserialize_node",
+    "max_entries_per_page",
+    "serialize_node",
+]

@@ -1,0 +1,197 @@
+"""LRU buffer pool over a :class:`~repro.storage.pager.Pager`.
+
+The experiments in E16 measure how much a packed R-tree benefits from
+"paging and disk I/O buffering" (Section 1 of the paper).  The pool is a
+classic steal/no-force LRU cache: dirty pages are written back on
+eviction or flush, and every hit/miss/eviction is counted.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.storage.pager import Pager
+
+
+@dataclass
+class BufferStats:
+    """Access accounting for one buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of page requests served from memory (0.0 when idle)."""
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _Frame:
+    payload: bytes
+    dirty: bool = False
+    pins: int = 0
+    referenced: bool = True  # clock policy's second-chance bit
+
+
+class BufferPool:
+    """A fixed-capacity page cache with a pluggable replacement policy.
+
+    Args:
+        pager: the underlying page store.
+        capacity: maximum number of resident pages.  Must be positive.
+        policy: ``"lru"`` (default) or ``"clock"`` (second-chance).
+            Clock approximates LRU at O(1) bookkeeping per hit — the
+            policy most 1980s database buffers actually shipped.
+
+    Pages may be *pinned* while a caller holds a reference; pinned pages
+    are never evicted.  Requesting more pinned pages than the capacity
+    raises :class:`BufferFullError` — the failure-injection tests depend
+    on this being an error rather than silent growth.
+    """
+
+    def __init__(self, pager: Pager, capacity: int = 64,
+                 policy: str = "lru"):
+        if capacity < 1:
+            raise ValueError("buffer pool capacity must be positive")
+        if policy not in ("lru", "clock"):
+            raise ValueError(f"unknown replacement policy {policy!r}; "
+                             f"choose 'lru' or 'clock'")
+        self.pager = pager
+        self.capacity = capacity
+        self.policy = policy
+        self.stats = BufferStats()
+        self._frames: OrderedDict[int, _Frame] = OrderedDict()
+        self._clock_hand = 0
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, page_no: int) -> bytes:
+        """The payload of *page_no*, faulting it in on a miss."""
+        frame = self._frames.get(page_no)
+        if frame is not None:
+            self.stats.hits += 1
+            self._touch(page_no, frame)
+            return frame.payload
+        self.stats.misses += 1
+        payload = self.pager.read_page(page_no).data
+        self._install(page_no, _Frame(payload=payload))
+        return payload
+
+    # -- writes -------------------------------------------------------------
+
+    def put(self, page_no: int, payload: bytes) -> None:
+        """Stage *payload* for *page_no*; written back on eviction/flush."""
+        frame = self._frames.get(page_no)
+        if frame is not None:
+            frame.payload = payload
+            frame.dirty = True
+            self._touch(page_no, frame)
+            return
+        self._install(page_no, _Frame(payload=payload, dirty=True))
+
+    # -- pinning -------------------------------------------------------------
+
+    def pin(self, page_no: int) -> None:
+        """Protect a resident page from eviction (faulting it in if absent)."""
+        if page_no not in self._frames:
+            self.get(page_no)
+        self._frames[page_no].pins += 1
+
+    def unpin(self, page_no: int) -> None:
+        """Release one pin on *page_no*.
+
+        Raises:
+            KeyError: when the page is not resident.
+            ValueError: when the page is not pinned.
+        """
+        frame = self._frames[page_no]
+        if frame.pins <= 0:
+            raise ValueError(f"page {page_no} is not pinned")
+        frame.pins -= 1
+
+    # -- maintenance -------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write every dirty page back to the pager."""
+        for page_no, frame in self._frames.items():
+            if frame.dirty:
+                self.pager.write_page(page_no, frame.payload)
+                frame.dirty = False
+                self.stats.writebacks += 1
+
+    def invalidate(self, page_no: int) -> None:
+        """Drop *page_no* without writing it back (used after free())."""
+        self._frames.pop(page_no, None)
+
+    def clear(self) -> None:
+        """Flush and drop every frame (cold-cache the pool)."""
+        self.flush()
+        self._frames.clear()
+
+    @property
+    def resident(self) -> int:
+        return len(self._frames)
+
+    # -- internals -----------------------------------------------------------
+
+    def _touch(self, page_no: int, frame: _Frame) -> None:
+        """Record a reference according to the replacement policy."""
+        if self.policy == "lru":
+            self._frames.move_to_end(page_no)
+        else:
+            frame.referenced = True
+
+    def _install(self, page_no: int, frame: _Frame) -> None:
+        while len(self._frames) >= self.capacity:
+            self._evict_one()
+        self._frames[page_no] = frame
+
+    def _evict_one(self) -> None:
+        victim_no = (self._pick_lru_victim() if self.policy == "lru"
+                     else self._pick_clock_victim())
+        if victim_no is None:
+            raise BufferFullError(
+                f"all {self.capacity} buffer frames are pinned")
+        victim = self._frames[victim_no]
+        if victim.dirty:
+            self.pager.write_page(victim_no, victim.payload)
+            self.stats.writebacks += 1
+        del self._frames[victim_no]
+        self.stats.evictions += 1
+
+    def _pick_lru_victim(self) -> int | None:
+        for page_no, frame in self._frames.items():
+            if frame.pins == 0:
+                return page_no
+        return None
+
+    def _pick_clock_victim(self) -> int | None:
+        """Second-chance sweep: clear reference bits until one is cold."""
+        pages = list(self._frames.keys())
+        n = len(pages)
+        # Two full sweeps suffice: the first clears reference bits, the
+        # second must find a victim unless everything is pinned.
+        for step in range(2 * n):
+            page_no = pages[(self._clock_hand + step) % n]
+            frame = self._frames[page_no]
+            if frame.pins > 0:
+                continue
+            if frame.referenced:
+                frame.referenced = False
+                continue
+            self._clock_hand = (self._clock_hand + step + 1) % n
+            return page_no
+        return None
+
+
+class BufferFullError(Exception):
+    """Every frame is pinned; nothing can be evicted."""

@@ -1,0 +1,553 @@
+"""A persistent, page-resident R-tree.
+
+Nodes live on pager pages and are faulted in through a
+:class:`~repro.storage.buffer.BufferPool`; every query therefore has a
+measurable page-I/O cost, which experiment E16 compares between packed
+and dynamically grown trees.
+
+Layout: page 1 is the tree's meta page (root page number, object count,
+branching factor); every other allocated page holds one serialised node
+(:mod:`repro.storage.serial`).  Object identifiers are non-negative
+integers, exactly the tuple identifiers PSQL's ``loc`` column stores.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Iterable, Optional, Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect, mbr_of_rects
+from repro.rtree.node import Entry
+from repro.rtree.packing import _lookup_distance, _lookup_method
+from repro.rtree.split import QuadraticSplit
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import PAGE_SIZE, Pager
+from repro.storage.serial import (
+    NodeRecord,
+    deserialize_node,
+    max_entries_per_page,
+    serialize_node,
+)
+
+_META_FMT = "<QQII"  # root_page, size, max_entries, min_entries
+_META_PAGE = 1
+
+DiskEntry = tuple[float, float, float, float, int]
+
+
+def _entry_rect(e: DiskEntry) -> Rect:
+    return Rect(e[0], e[1], e[2], e[3])
+
+
+class DiskRTree:
+    """Disk-backed R-tree with dynamic INSERT/DELETE and bulk loading.
+
+    Args:
+        path: backing file for the pager.
+        max_entries: branching factor; defaults to what fits one page.
+        page_size: pager page size.
+        buffer_capacity: buffer pool frames.
+        buffer_policy: page replacement policy ("lru" or "clock").
+
+    Use :meth:`bulk_load` for PACK-style construction, or :meth:`insert`
+    for Guttman-style growth.  ``pool.stats`` exposes hit/miss counts and
+    ``pager.reads`` the physical I/O.
+    """
+
+    def __init__(self, path: str, max_entries: Optional[int] = None,
+                 page_size: int = PAGE_SIZE, buffer_capacity: int = 64,
+                 buffer_policy: str = "lru"):
+        self.pager = Pager(path, page_size=page_size)
+        self.pool = BufferPool(self.pager, capacity=buffer_capacity,
+                               policy=buffer_policy)
+        payload_capacity = page_size - 8  # pager page prefix
+        fit = max_entries_per_page(payload_capacity)
+        if max_entries is None:
+            max_entries = fit
+        if max_entries > fit:
+            raise ValueError(
+                f"branching factor {max_entries} does not fit a "
+                f"{page_size}-byte page (max {fit})")
+        if max_entries < 2:
+            raise ValueError("branching factor must be at least 2")
+        self.max_entries = max_entries
+        self.min_entries = max(1, max_entries // 2)
+        self._splitter = QuadraticSplit()
+        if self.pager.page_count <= _META_PAGE:
+            # Fresh file: allocate the meta page and an empty leaf root.
+            meta_page = self.pager.allocate()
+            assert meta_page == _META_PAGE
+            self._root_page = self._write_node(
+                self.pager.allocate(), NodeRecord(is_leaf=True, entries=()))
+            self._size = 0
+            self._write_meta()
+        else:
+            self._read_meta()
+
+    # -- meta ---------------------------------------------------------------
+
+    def _write_meta(self) -> None:
+        payload = struct.pack(_META_FMT, self._root_page, self._size,
+                              self.max_entries, self.min_entries)
+        self.pool.put(_META_PAGE, payload)
+
+    def _read_meta(self) -> None:
+        payload = self.pool.get(_META_PAGE)
+        root, size, max_e, min_e = struct.unpack_from(_META_FMT, payload)
+        self._root_page = root
+        self._size = size
+        self.max_entries = max_e
+        self.min_entries = min_e
+
+    # -- node I/O ---------------------------------------------------------------
+
+    def _read_node(self, page_no: int) -> NodeRecord:
+        return deserialize_node(self.pool.get(page_no))
+
+    def _write_node(self, page_no: int, record: NodeRecord) -> int:
+        self.pool.put(page_no, serialize_node(record))
+        return page_no
+
+    # -- properties -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def root_page(self) -> int:
+        return self._root_page
+
+    def depth(self) -> int:
+        """Edges from the root down to the leaf level."""
+        d = 0
+        node = self._read_node(self._root_page)
+        while not node.is_leaf:
+            node = self._read_node(node.entries[0][4])
+            d += 1
+        return d
+
+    def node_count(self) -> int:
+        """Total nodes, root included (walks the whole tree)."""
+        count = 0
+        stack = [self._root_page]
+        while stack:
+            node = self._read_node(stack.pop())
+            count += 1
+            if not node.is_leaf:
+                stack.extend(e[4] for e in node.entries)
+        return count
+
+    # -- bulk load ---------------------------------------------------------------
+
+    def bulk_load(self, items: Iterable[tuple[Rect, int]],
+                  method: str = "nn", distance: str = "center") -> None:
+        """PACK the items into a fresh tree, replacing current contents.
+
+        The grouping strategies are shared with the in-memory packer
+        (``nn``/``lowx``/``str``/``hilbert``); nodes are written level by
+        level, so the build performs sequential page writes — the
+        construction-cost advantage PACK has in practice.
+
+        Raises:
+            ValueError: when the tree already contains objects (bulk load
+                is an initial-construction operation, per Section 3.3).
+        """
+        if self._size:
+            raise ValueError("bulk_load requires an empty tree")
+        group_fn = _lookup_method(method)
+        distance_fn = _lookup_distance(distance)
+        entries = [Entry(rect=rect, oid=oid) for rect, oid in items]
+        self._size = len(entries)
+        if not entries:
+            self._write_meta()
+            return
+        is_leaf = True
+        while len(entries) > self.max_entries:
+            groups = group_fn(entries, self.max_entries, distance_fn)
+            next_level: list[Entry] = []
+            for group in groups:
+                page_no = self._materialize(group, is_leaf)
+                mbr = mbr_of_rects(e.rect for e in group)
+                next_level.append(Entry(rect=mbr, oid=page_no))
+            entries = next_level
+            is_leaf = False
+        self._root_page = self._materialize(entries, is_leaf)
+        self._write_meta()
+
+    def _materialize(self, group: Sequence[Entry], is_leaf: bool) -> int:
+        record = NodeRecord(is_leaf=is_leaf, entries=tuple(
+            (e.rect.x1, e.rect.y1, e.rect.x2, e.rect.y2, int(e.oid))
+            for e in group))
+        return self._write_node(self.pager.allocate(), record)
+
+    # -- search ---------------------------------------------------------------
+
+    def search(self, window: Rect) -> list[int]:
+        """Object ids whose rectangle intersects *window*."""
+        out: list[int] = []
+        stack = [self._root_page]
+        while stack:
+            node = self._read_node(stack.pop())
+            for e in node.entries:
+                if _entry_rect(e).intersects(window):
+                    if node.is_leaf:
+                        out.append(e[4])
+                    else:
+                        stack.append(e[4])
+        return out
+
+    def search_within(self, window: Rect) -> list[int]:
+        """Object ids whose rectangle lies entirely within *window*.
+
+        The paper's SEARCH semantics (INTERSECTS to descend, WITHIN at
+        the leaves), mirroring :meth:`repro.rtree.tree.RTree.search_within`.
+        """
+        out: list[int] = []
+        stack = [self._root_page]
+        while stack:
+            node = self._read_node(stack.pop())
+            for e in node.entries:
+                if node.is_leaf:
+                    if window.contains(_entry_rect(e)):
+                        out.append(e[4])
+                elif _entry_rect(e).intersects(window):
+                    stack.append(e[4])
+        return out
+
+    def point_query(self, point: Point) -> list[int]:
+        """Object ids whose rectangle contains *point*."""
+        out: list[int] = []
+        stack = [self._root_page]
+        while stack:
+            node = self._read_node(stack.pop())
+            for e in node.entries:
+                if _entry_rect(e).contains_point(point):
+                    if node.is_leaf:
+                        out.append(e[4])
+                    else:
+                        stack.append(e[4])
+        return out
+
+    def knn(self, point: Point, k: int = 1) -> list[tuple[float, int]]:
+        """The *k* objects nearest *point*, as ``(distance, oid)`` pairs.
+
+        Best-first MINDIST branch-and-bound over pages (the disk-resident
+        version of :func:`repro.rtree.search.knn_search`); only pages
+        whose MBR could contain a result are faulted in.
+
+        Raises:
+            ValueError: for non-positive *k*.
+        """
+        import heapq
+
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if self._size == 0:
+            return []
+        qrect = Rect.from_point(point)
+        counter = 0
+        # Heap items: (distance, tiebreak, is_object, page_or_oid)
+        heap: list[tuple[float, int, bool, int]] = [
+            (0.0, counter, False, self._root_page)]
+        out: list[tuple[float, int]] = []
+        while heap and len(out) < k:
+            dist, _tb, is_object, ref = heapq.heappop(heap)
+            if is_object:
+                out.append((dist, ref))
+                continue
+            node = self._read_node(ref)
+            for e in node.entries:
+                counter += 1
+                d = _entry_rect(e).min_distance_to(qrect)
+                heapq.heappush(heap, (d, counter, node.is_leaf, e[4]))
+        return out
+
+    # -- insert -----------------------------------------------------------------
+
+    def insert(self, rect: Rect, oid: int) -> None:
+        """Guttman INSERT against the on-page representation."""
+        if oid < 0:
+            raise ValueError("object ids must be non-negative integers")
+        if not rect.is_valid():
+            raise ValueError(f"invalid rectangle {rect!r}")
+        path = self._choose_leaf_path(rect)
+        leaf_page = path[-1]
+        node = self._read_node(leaf_page)
+        entries = list(node.entries)
+        entries.append((rect.x1, rect.y1, rect.x2, rect.y2, oid))
+        self._store_and_adjust(path, entries, is_leaf=True)
+        self._size += 1
+        self._write_meta()
+
+    def _choose_leaf_path(self, rect: Rect) -> list[int]:
+        """Page numbers from the root to the chosen leaf."""
+        path = [self._root_page]
+        node = self._read_node(self._root_page)
+        while not node.is_leaf:
+            best_page = -1
+            best_enlargement = float("inf")
+            best_area = float("inf")
+            for e in node.entries:
+                er = _entry_rect(e)
+                enlargement = er.enlargement(rect)
+                area = er.area()
+                if (enlargement < best_enlargement
+                        or (enlargement == best_enlargement
+                            and area < best_area)):
+                    best_page = e[4]
+                    best_enlargement = enlargement
+                    best_area = area
+            path.append(best_page)
+            node = self._read_node(best_page)
+        return path
+
+    def _store_and_adjust(self, path: list[int], entries: list[DiskEntry],
+                          is_leaf: bool) -> None:
+        """Write the modified node, splitting and propagating as needed."""
+        level = len(path) - 1
+        page_no = path[level]
+        sibling: Optional[tuple[Rect, int]] = None  # (mbr, page)
+
+        while True:
+            if len(entries) > self.max_entries:
+                g1, g2 = self._split_disk_entries(entries)
+                self._write_node(page_no, NodeRecord(
+                    is_leaf=is_leaf, entries=tuple(g1)))
+                sib_page = self.pager.allocate()
+                self._write_node(sib_page, NodeRecord(
+                    is_leaf=is_leaf, entries=tuple(g2)))
+                sibling = (self._entries_mbr(g2), sib_page)
+            else:
+                self._write_node(page_no, NodeRecord(
+                    is_leaf=is_leaf, entries=tuple(entries)))
+                sibling = None
+
+            if level == 0:
+                if sibling is not None:
+                    node_mbr = self._entries_mbr(
+                        deserialize_node(self.pool.get(page_no)).entries)
+                    self._grow_root(page_no, node_mbr, sibling)
+                return
+            node_mbr = self._entries_mbr(
+                deserialize_node(self.pool.get(page_no)).entries)
+            # Update the parent entry for this page, then move up.
+            parent_page = path[level - 1]
+            parent = self._read_node(parent_page)
+            parent_entries = [
+                ((node_mbr.x1, node_mbr.y1, node_mbr.x2, node_mbr.y2, p)
+                 if p == page_no else (x1, y1, x2, y2, p))
+                for (x1, y1, x2, y2, p) in parent.entries]
+            if sibling is not None:
+                smbr, spage = sibling
+                parent_entries.append(
+                    (smbr.x1, smbr.y1, smbr.x2, smbr.y2, spage))
+            level -= 1
+            page_no = parent_page
+            entries = parent_entries
+            is_leaf = False
+
+    def _split_disk_entries(self,
+                            entries: list[DiskEntry],
+                            ) -> tuple[list[DiskEntry], list[DiskEntry]]:
+        wrapped = [Entry(rect=_entry_rect(e), oid=e[4]) for e in entries]
+        g1, g2 = self._splitter.split(wrapped, self.min_entries)
+
+        def unwrap(group: list[Entry]) -> list[DiskEntry]:
+            return [(e.rect.x1, e.rect.y1, e.rect.x2, e.rect.y2, int(e.oid))
+                    for e in group]
+
+        return unwrap(g1), unwrap(g2)
+
+    @staticmethod
+    def _entries_mbr(entries: Sequence[DiskEntry]) -> Rect:
+        return mbr_of_rects(_entry_rect(e) for e in entries)
+
+    def _grow_root(self, old_root: int, old_mbr: Rect,
+                   sibling: tuple[Rect, int]) -> None:
+        smbr, spage = sibling
+        new_root = self.pager.allocate()
+        self._write_node(new_root, NodeRecord(is_leaf=False, entries=(
+            (old_mbr.x1, old_mbr.y1, old_mbr.x2, old_mbr.y2, old_root),
+            (smbr.x1, smbr.y1, smbr.x2, smbr.y2, spage),
+        )))
+        self._root_page = new_root
+
+    # -- delete ---------------------------------------------------------------
+
+    def delete(self, rect: Rect, oid: int) -> bool:
+        """Delete one record; returns False when it is not present.
+
+        Underfull nodes are dissolved and their remaining objects
+        re-inserted (a leaf-level variant of Guttman's CondenseTree —
+        orphaned subtrees are flattened to data entries before
+        re-insertion, which preserves correctness at some extra I/O).
+        """
+        found = self._find_leaf_path(self._root_page, rect, oid, [])
+        if found is None:
+            return False
+        path = found
+        leaf_page = path[-1]
+        node = self._read_node(leaf_page)
+        entries = [e for e in node.entries
+                   if not (e[4] == oid and _entry_rect(e) == rect)]
+        self._size -= 1
+
+        orphans: list[DiskEntry] = []
+        if len(entries) < self.min_entries and len(path) > 1:
+            orphans.extend(entries)
+            self._detach(path)
+        else:
+            self._store_and_adjust(path, entries, is_leaf=True)
+        for x1, y1, x2, y2, orphan_oid in orphans:
+            self._size -= 1  # insert() will re-increment
+            self.insert(Rect(x1, y1, x2, y2), orphan_oid)
+        self._collapse_root()
+        self._write_meta()
+        return True
+
+    def _find_leaf_path(self, page_no: int, rect: Rect, oid: int,
+                        prefix: list[int]) -> Optional[list[int]]:
+        node = self._read_node(page_no)
+        path = prefix + [page_no]
+        if node.is_leaf:
+            for e in node.entries:
+                if e[4] == oid and _entry_rect(e) == rect:
+                    return path
+            return None
+        for e in node.entries:
+            if _entry_rect(e).intersects(rect):
+                found = self._find_leaf_path(e[4], rect, oid, path)
+                if found is not None:
+                    return found
+        return None
+
+    def _detach(self, path: list[int]) -> None:
+        """Remove the node at path[-1] from its parent, fixing MBRs up."""
+        dead_page = path[-1]
+        self.pool.invalidate(dead_page)
+        self.pager.free(dead_page)
+        parent_path = path[:-1]
+        parent = self._read_node(parent_path[-1])
+        entries = [e for e in parent.entries if e[4] != dead_page]
+        if len(entries) < self.min_entries and len(parent_path) > 1:
+            # The parent in turn became underfull: flatten its subtrees
+            # into data entries and re-insert them.
+            data = []
+            for e in entries:
+                data.extend(self._collect_leaf_entries(e[4]))
+            self._detach(parent_path)
+            for x1, y1, x2, y2, oid in data:
+                self._size -= 1
+                self.insert(Rect(x1, y1, x2, y2), oid)
+        else:
+            self._store_and_adjust(parent_path, entries, is_leaf=False)
+
+    def _collect_leaf_entries(self, page_no: int) -> list[DiskEntry]:
+        out: list[DiskEntry] = []
+        stack = [page_no]
+        pages = []
+        while stack:
+            p = stack.pop()
+            pages.append(p)
+            node = self._read_node(p)
+            if node.is_leaf:
+                out.extend(node.entries)
+            else:
+                stack.extend(e[4] for e in node.entries)
+        for p in pages:
+            self.pool.invalidate(p)
+            self.pager.free(p)
+        return out
+
+    def _collapse_root(self) -> None:
+        node = self._read_node(self._root_page)
+        while not node.is_leaf and len(node.entries) == 1:
+            old = self._root_page
+            self._root_page = node.entries[0][4]
+            self.pool.invalidate(old)
+            self.pager.free(old)
+            node = self._read_node(self._root_page)
+
+    # -- maintenance ------------------------------------------------------------
+
+    def vacuum(self) -> tuple[int, int]:
+        """Rewrite the backing file compactly, dropping free pages.
+
+        Deletes leave freed pages in the file; after heavy update bursts
+        (Section 3.4's workload) the file can be much larger than the
+        live tree.  Vacuuming copies the live nodes into a fresh file
+        (siblings land physically adjacent — good for window scans) and
+        atomically swaps it in.
+
+        Returns:
+            ``(pages_before, pages_after)``.
+        """
+        self.flush()
+        pages_before = self.pager.page_count
+        tmp_path = self.pager.path + ".vacuum"
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
+        fresh = DiskRTree(tmp_path, max_entries=self.max_entries,
+                          page_size=self.pager.page_size,
+                          buffer_capacity=self.pool.capacity)
+        # Recycle the constructor's empty root page as the copied root so
+        # repeated vacuums are page-for-page stable.
+        recycled_root = fresh._root_page
+        fresh._root_page = self._copy_subtree_into(fresh, self._root_page,
+                                                   into=recycled_root)
+        fresh._size = self._size
+        fresh._write_meta()
+        fresh.flush()
+        pages_after = fresh.pager.page_count
+        fresh.pager.close()
+
+        self.pager.close()
+        os.replace(tmp_path, self.pager.path)
+        self.pager = Pager(self.pager.path, page_size=self.pager.page_size)
+        self.pool = BufferPool(self.pager, capacity=self.pool.capacity,
+                               policy=self.pool.policy)
+        self._read_meta()
+        return pages_before, pages_after
+
+    def _copy_subtree_into(self, target: "DiskRTree", page_no: int,
+                           into: Optional[int] = None) -> int:
+        """Copy the subtree at *page_no* into *target*; return its new root.
+
+        Depth-first: each node's children occupy consecutive pages in the
+        new file, ahead of their parent.  *into* reuses an existing page
+        of *target* for the subtree root instead of allocating one.
+        """
+        node = self._read_node(page_no)
+        if node.is_leaf:
+            dest = target.pager.allocate() if into is None else into
+            return target._write_node(dest, node)
+        new_entries = []
+        for x1, y1, x2, y2, child in node.entries:
+            new_child = self._copy_subtree_into(target, child)
+            new_entries.append((x1, y1, x2, y2, new_child))
+        dest = target.pager.allocate() if into is None else into
+        return target._write_node(
+            dest, NodeRecord(is_leaf=False, entries=tuple(new_entries)))
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write all dirty pages and the meta page to disk."""
+        self._write_meta()
+        self.pool.flush()
+        self.pager.sync()
+
+    def close(self) -> None:
+        """Flush and close the backing file (idempotent)."""
+        if self.pager.is_closed:
+            return
+        self.flush()
+        self.pager.close()
+
+    def __enter__(self) -> "DiskRTree":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

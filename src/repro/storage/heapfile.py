@@ -1,0 +1,254 @@
+"""Slotted-page heap file: variable-length records on fixed pages.
+
+The classic layout: each page payload carries a slot directory growing
+from the front and record bytes growing from the back.  Records are
+addressed by ``(page, slot)``; deleting a record tombstones its slot so
+addresses stay stable (the same property PSQL needs from tuple
+identifiers referenced by R-tree leaves).
+
+Page payload layout (little-endian)::
+
+    u16 slot_count
+    u16 free_space_offset          # start of the record area
+    then slot_count x (u16 offset, u16 length)   # length 0xFFFF = dead
+    ...free space...
+    record bytes packed at the tail
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, NamedTuple, Optional
+
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import PAGE_SIZE, Pager
+
+_HEADER_FMT = "<HH"
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+_SLOT_FMT = "<HH"
+_SLOT_SIZE = struct.calcsize(_SLOT_FMT)
+_DEAD = 0xFFFF
+
+
+class RowAddress(NamedTuple):
+    """Stable address of one record."""
+
+    page: int
+    slot: int
+
+
+class HeapFileError(Exception):
+    """Structural misuse of a heap file (bad address, oversize record)."""
+
+
+class HeapFile:
+    """A heap of variable-length byte records over a pager.
+
+    Args:
+        path: backing file.
+        page_size: pager page size; records must fit one page.
+        buffer_capacity: buffer pool frames.
+
+    The free-space map is kept in memory and rebuilt on open by scanning
+    the page directory — acceptable for the "relatively static" databases
+    the paper targets.
+    """
+
+    def __init__(self, path: str, page_size: int = PAGE_SIZE,
+                 buffer_capacity: int = 64):
+        self.pager = Pager(path, page_size=page_size)
+        self.pool = BufferPool(self.pager, capacity=buffer_capacity)
+        self._payload_size = page_size - 8  # pager page prefix
+        self._pages: list[int] = []
+        self._free_space: dict[int, int] = {}
+        self._scan_existing()
+
+    # -- capacity ------------------------------------------------------------
+
+    @property
+    def max_record_size(self) -> int:
+        """Largest record one empty page can hold."""
+        return self._payload_size - _HEADER_SIZE - _SLOT_SIZE
+
+    def _scan_existing(self) -> None:
+        for page_no in range(1, self.pager.page_count):
+            try:
+                payload = self.pool.get(page_no)
+            except Exception:
+                continue  # not a heap page (e.g. freed)
+            if len(payload) < _HEADER_SIZE:
+                continue
+            self._pages.append(page_no)
+            self._free_space[page_no] = self._page_free(payload)
+
+    def _page_free(self, payload: bytes) -> int:
+        count, free_off = struct.unpack_from(_HEADER_FMT, payload)
+        directory_end = _HEADER_SIZE + count * _SLOT_SIZE
+        return free_off - directory_end
+
+    # -- operations ------------------------------------------------------------
+
+    def insert(self, data: bytes) -> RowAddress:
+        """Store *data*; returns its stable address.
+
+        Raises:
+            HeapFileError: when the record exceeds one page.
+        """
+        needed = len(data) + _SLOT_SIZE
+        if len(data) > self.max_record_size:
+            raise HeapFileError(
+                f"record of {len(data)} bytes exceeds page capacity "
+                f"{self.max_record_size}")
+        page_no = self._find_page(needed)
+        payload = bytearray(self.pool.get(page_no))
+        count, free_off = struct.unpack_from(_HEADER_FMT, payload)
+
+        new_off = free_off - len(data)
+        payload[new_off:free_off] = data
+        # Reuse a dead slot when one exists; else append a new slot.
+        slot = self._find_dead_slot(payload, count)
+        if slot is None:
+            slot = count
+            count += 1
+        struct.pack_into(_SLOT_FMT, payload,
+                         _HEADER_SIZE + slot * _SLOT_SIZE,
+                         new_off, len(data))
+        struct.pack_into(_HEADER_FMT, payload, 0, count, new_off)
+        self.pool.put(page_no, bytes(payload))
+        self._free_space[page_no] = self._page_free(bytes(payload))
+        return RowAddress(page=page_no, slot=slot)
+
+    @staticmethod
+    def _find_dead_slot(payload: bytearray, count: int) -> Optional[int]:
+        for slot in range(count):
+            _off, length = struct.unpack_from(
+                _SLOT_FMT, payload, _HEADER_SIZE + slot * _SLOT_SIZE)
+            if length == _DEAD:
+                return slot
+        return None
+
+    def get(self, addr: RowAddress) -> bytes:
+        """Fetch the record at *addr*.
+
+        Raises:
+            HeapFileError: for unknown pages, slots, or deleted records.
+        """
+        payload = self._page_for(addr)
+        off, length = self._slot(payload, addr)
+        if length == _DEAD:
+            raise HeapFileError(f"record {addr} was deleted")
+        return payload[off:off + length]
+
+    def delete(self, addr: RowAddress) -> None:
+        """Tombstone the record at *addr* (space reclaimed on compaction).
+
+        Raises:
+            HeapFileError: for unknown or already-deleted records.
+        """
+        payload = bytearray(self._page_for(addr))
+        off, length = self._slot(bytes(payload), addr)
+        if length == _DEAD:
+            raise HeapFileError(f"record {addr} already deleted")
+        struct.pack_into(_SLOT_FMT, payload,
+                         _HEADER_SIZE + addr.slot * _SLOT_SIZE, 0, _DEAD)
+        self.pool.put(addr.page, bytes(payload))
+
+    def update(self, addr: RowAddress, data: bytes) -> RowAddress:
+        """Replace the record at *addr*; may move it (returns new address).
+
+        In-place when the new record fits the old slot exactly or is
+        smaller; otherwise delete + insert.
+        """
+        payload = bytearray(self._page_for(addr))
+        off, length = self._slot(bytes(payload), addr)
+        if length != _DEAD and len(data) <= length:
+            payload[off:off + len(data)] = data
+            struct.pack_into(_SLOT_FMT, payload,
+                             _HEADER_SIZE + addr.slot * _SLOT_SIZE,
+                             off, len(data))
+            self.pool.put(addr.page, bytes(payload))
+            return addr
+        self.delete(addr)
+        return self.insert(data)
+
+    def scan(self) -> Iterator[tuple[RowAddress, bytes]]:
+        """Every live record, page order."""
+        for page_no in self._pages:
+            payload = self.pool.get(page_no)
+            count, _free = struct.unpack_from(_HEADER_FMT, payload)
+            for slot in range(count):
+                off, length = struct.unpack_from(
+                    _SLOT_FMT, payload, _HEADER_SIZE + slot * _SLOT_SIZE)
+                if length != _DEAD:
+                    yield (RowAddress(page=page_no, slot=slot),
+                           payload[off:off + length])
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.scan())
+
+    # -- internals ------------------------------------------------------------
+
+    def _find_page(self, needed: int) -> int:
+        for page_no in self._pages:
+            if self._free_space.get(page_no, 0) >= needed:
+                return page_no
+        page_no = self.pager.allocate()
+        payload = bytearray(self._payload_size)
+        struct.pack_into(_HEADER_FMT, payload, 0, 0, self._payload_size)
+        self.pool.put(page_no, bytes(payload))
+        self._pages.append(page_no)
+        self._free_space[page_no] = self._payload_size - _HEADER_SIZE
+        return page_no
+
+    def _page_for(self, addr: RowAddress) -> bytes:
+        if addr.page not in self._free_space:
+            raise HeapFileError(f"page {addr.page} is not a heap page")
+        return self.pool.get(addr.page)
+
+    def _slot(self, payload: bytes, addr: RowAddress) -> tuple[int, int]:
+        count, _free = struct.unpack_from(_HEADER_FMT, payload)
+        if not 0 <= addr.slot < count:
+            raise HeapFileError(f"slot {addr.slot} out of range on page "
+                                f"{addr.page}")
+        return struct.unpack_from(_SLOT_FMT, payload,
+                                  _HEADER_SIZE + addr.slot * _SLOT_SIZE)
+
+    # -- maintenance ------------------------------------------------------------
+
+    def compact(self) -> dict[RowAddress, RowAddress]:
+        """Rewrite every live record tightly; returns old -> new addresses.
+
+        Tombstoned slots and dead record space are reclaimed.  Addresses
+        may change, so the caller must remap any external references
+        (B-tree values, R-tree leaf oids) using the returned mapping —
+        the same contract as the paper's "partial reorganization of the
+        associated pictorial index" on updates (Section 2.3).
+        """
+        live = list(self.scan())
+        # Reset every known page to empty, then reinsert in page order.
+        for page_no in self._pages:
+            payload = bytearray(self._payload_size)
+            struct.pack_into(_HEADER_FMT, payload, 0, 0, self._payload_size)
+            self.pool.put(page_no, bytes(payload))
+            self._free_space[page_no] = self._payload_size - _HEADER_SIZE
+        mapping: dict[RowAddress, RowAddress] = {}
+        for old_addr, data in live:
+            mapping[old_addr] = self.insert(data)
+        return mapping
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def flush(self) -> None:
+        self.pool.flush()
+        self.pager.sync()
+
+    def close(self) -> None:
+        if not self.pager.is_closed:
+            self.flush()
+            self.pager.close()
+
+    def __enter__(self) -> "HeapFile":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

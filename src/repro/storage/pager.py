@@ -1,0 +1,214 @@
+"""Fixed-size page storage in a single file.
+
+A deliberately simple 1985-style pager: the file is an array of
+``PAGE_SIZE``-byte pages.  Page 0 is the pager header (magic, page count,
+free-list head).  Freed pages are chained into a free list and reused.
+Each data page carries a CRC32 checksum so corruption is detected on
+read rather than propagated into the index.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+#: Default page size in bytes.  Small by modern standards, faithful to the
+#: "logical disk block" framing of the paper; configurable per Pager.
+PAGE_SIZE = 4096
+
+_MAGIC = b"RPRT"
+_HEADER_FMT = "<4sIIQ"  # magic, page_size, page_count, free_list_head
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+_PAGE_PREFIX_FMT = "<II"  # crc32, payload_length
+_PAGE_PREFIX_SIZE = struct.calcsize(_PAGE_PREFIX_FMT)
+_FREE_SENTINEL = 0  # page 0 is the header, so 0 terminates the free list
+
+
+class PagerError(Exception):
+    """Base class for pager failures."""
+
+
+class CorruptPageError(PagerError):
+    """A page failed its checksum or structural validation."""
+
+
+@dataclass(frozen=True)
+class Page:
+    """An immutable snapshot of one page's payload."""
+
+    page_no: int
+    data: bytes
+
+
+class Pager:
+    """Page-granular storage over a single file.
+
+    Args:
+        path: backing file.  Created (with a fresh header) if absent or
+            empty; otherwise the header is validated against *page_size*.
+        page_size: size of every page in bytes.
+
+    The pager tracks physical reads and writes (``reads`` / ``writes``)
+    so the experiments can report I/O without a buffer pool in the way.
+    """
+
+    def __init__(self, path: str | os.PathLike[str],
+                 page_size: int = PAGE_SIZE):
+        if page_size < _PAGE_PREFIX_SIZE + 64:
+            raise ValueError(f"page size {page_size} is too small to be useful")
+        self.path = os.fspath(path)
+        self.page_size = page_size
+        self.reads = 0
+        self.writes = 0
+        # O_CREAT without O_TRUNC: create if missing, keep existing data.
+        # ("a+b" would be simpler but append mode ignores seek() on write.)
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        self._file = os.fdopen(fd, "r+b")
+        self._file.seek(0, os.SEEK_END)
+        if self._file.tell() == 0:
+            self._page_count = 1
+            self._free_head = _FREE_SENTINEL
+            self._write_header()
+        else:
+            self._read_header()
+
+    # -- header ------------------------------------------------------------
+
+    def _write_header(self) -> None:
+        header = struct.pack(_HEADER_FMT, _MAGIC, self.page_size,
+                             self._page_count, self._free_head)
+        self._file.seek(0)
+        self._file.write(header.ljust(self.page_size, b"\0"))
+        self._file.flush()
+
+    def _read_header(self) -> None:
+        self._file.seek(0)
+        raw = self._file.read(self.page_size)
+        if len(raw) < _HEADER_SIZE:
+            raise CorruptPageError("truncated pager header")
+        magic, page_size, count, free_head = struct.unpack(
+            _HEADER_FMT, raw[:_HEADER_SIZE])
+        if magic != _MAGIC:
+            raise CorruptPageError(f"bad magic {magic!r}")
+        if page_size != self.page_size:
+            raise PagerError(
+                f"file has page size {page_size}, pager opened with "
+                f"{self.page_size}")
+        self._page_count = count
+        self._free_head = free_head
+
+    # -- page lifecycle ------------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages in the file, including the header page."""
+        return self._page_count
+
+    def allocate(self) -> int:
+        """Reserve a page number, reusing the free list when possible."""
+        if self._free_head != _FREE_SENTINEL:
+            page_no = self._free_head
+            raw = self._raw_read(page_no)
+            (next_free,) = struct.unpack_from("<Q", raw, _PAGE_PREFIX_SIZE)
+            self._free_head = next_free
+            self._write_header()
+            return page_no
+        page_no = self._page_count
+        self._page_count += 1
+        self._raw_write(page_no, b"\0" * self.page_size)
+        self._write_header()
+        return page_no
+
+    def free(self, page_no: int) -> None:
+        """Return *page_no* to the free list."""
+        self._check_page_no(page_no)
+        payload = struct.pack("<Q", self._free_head)
+        body = struct.pack(_PAGE_PREFIX_FMT, 0, 0) + payload
+        self._raw_write(page_no, body.ljust(self.page_size, b"\0"))
+        self._free_head = page_no
+        self._write_header()
+
+    # -- payload I/O ------------------------------------------------------------
+
+    def write_page(self, page_no: int, payload: bytes) -> None:
+        """Store *payload* (checksummed) in page *page_no*.
+
+        Raises:
+            ValueError: if the payload does not fit in one page.
+        """
+        self._check_page_no(page_no)
+        max_payload = self.page_size - _PAGE_PREFIX_SIZE
+        if len(payload) > max_payload:
+            raise ValueError(
+                f"payload of {len(payload)} bytes exceeds page capacity "
+                f"{max_payload}")
+        crc = zlib.crc32(payload)
+        body = struct.pack(_PAGE_PREFIX_FMT, crc, len(payload)) + payload
+        self._raw_write(page_no, body.ljust(self.page_size, b"\0"))
+
+    def read_page(self, page_no: int) -> Page:
+        """Fetch and checksum-verify page *page_no*.
+
+        Raises:
+            CorruptPageError: when the checksum or length is inconsistent.
+        """
+        self._check_page_no(page_no)
+        raw = self._raw_read(page_no)
+        crc, length = struct.unpack_from(_PAGE_PREFIX_FMT, raw)
+        if length > self.page_size - _PAGE_PREFIX_SIZE:
+            raise CorruptPageError(
+                f"page {page_no}: recorded length {length} exceeds capacity")
+        payload = raw[_PAGE_PREFIX_SIZE:_PAGE_PREFIX_SIZE + length]
+        if zlib.crc32(payload) != crc:
+            raise CorruptPageError(f"page {page_no}: checksum mismatch")
+        return Page(page_no=page_no, data=payload)
+
+    # -- low level ------------------------------------------------------------
+
+    def _check_page_no(self, page_no: int) -> None:
+        if not 1 <= page_no < self._page_count:
+            raise PagerError(
+                f"page {page_no} out of range [1, {self._page_count})")
+
+    def _raw_read(self, page_no: int) -> bytes:
+        self.reads += 1
+        self._file.seek(page_no * self.page_size)
+        raw = self._file.read(self.page_size)
+        if len(raw) < self.page_size:
+            raise CorruptPageError(f"page {page_no} truncated on disk")
+        return raw
+
+    def _raw_write(self, page_no: int, raw: bytes) -> None:
+        assert len(raw) == self.page_size
+        self.writes += 1
+        self._file.seek(page_no * self.page_size)
+        self._file.write(raw)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Flush buffered writes to the operating system."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    @property
+    def is_closed(self) -> bool:
+        """True once the backing file has been closed."""
+        return self._file.closed
+
+    def close(self) -> None:
+        """Flush and close the backing file (idempotent)."""
+        if not self._file.closed:
+            self._write_header()
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "Pager":
+        return self
+
+    def __exit__(self, *exc: object) -> Optional[bool]:
+        self.close()
+        return None

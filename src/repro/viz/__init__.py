@@ -1,0 +1,25 @@
+"""Rendering — the stand-in for the paper's graphics monitor.
+
+PSQL directs qualifying spatial objects to a graphical output device
+(Figures 2.1b, 2.2c).  Without 1985 display hardware we render to:
+
+- SVG files (:mod:`repro.viz.svg`, :mod:`repro.viz.tree_render`) — tree
+  MBR overlays per level, packing stages (Figure 3.8) and query results;
+- ASCII grids (:mod:`repro.viz.ascii_art`) for terminal inspection.
+"""
+
+from repro.viz.svg import SvgCanvas
+from repro.viz.ascii_art import ascii_rects
+from repro.viz.tree_render import (
+    render_query_result,
+    render_rtree,
+    render_pack_stages,
+)
+
+__all__ = [
+    "SvgCanvas",
+    "ascii_rects",
+    "render_pack_stages",
+    "render_query_result",
+    "render_rtree",
+]

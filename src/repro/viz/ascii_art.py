@@ -1,0 +1,46 @@
+"""Coarse ASCII rendering of rectangles and points for terminals."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+def ascii_rects(rects: Sequence[Rect], world: Rect,
+                points: Optional[Iterable[Point]] = None,
+                cols: int = 72, rows: int = 24) -> str:
+    """Render rectangle outlines (and optional points) on a char grid.
+
+    Rectangles draw with ``#`` corners / ``-``/``|`` edges; points with
+    ``*``.  Later shapes overwrite earlier ones.  Useful for eyeballing a
+    packing in a terminal (examples print these for quick feedback).
+    """
+    if world.area() <= 0:
+        raise ValueError("world viewport must have positive area")
+    if cols < 2 or rows < 2:
+        raise ValueError("grid must be at least 2 x 2")
+    grid = [[" "] * cols for _ in range(rows)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        cx = int((x - world.x1) / world.width * (cols - 1))
+        cy = int((world.y2 - y) / world.height * (rows - 1))
+        return (min(cols - 1, max(0, cx)), min(rows - 1, max(0, cy)))
+
+    for r in rects:
+        (c1, r2), (c2, r1) = cell(r.x1, r.y1), cell(r.x2, r.y2)
+        for c in range(c1, c2 + 1):
+            grid[r1][c] = "-"
+            grid[r2][c] = "-"
+        for rr in range(r1, r2 + 1):
+            grid[rr][c1] = "|"
+            grid[rr][c2] = "|"
+        for rr, cc in ((r1, c1), (r1, c2), (r2, c1), (r2, c2)):
+            grid[rr][cc] = "#"
+
+    for p in points or ():
+        cc, rr = cell(p.x, p.y)
+        grid[rr][cc] = "*"
+
+    return "\n".join("".join(row) for row in grid)

@@ -1,0 +1,103 @@
+"""A minimal SVG writer (no third-party dependencies).
+
+Coordinates are given in *world* space; the canvas flips the y-axis so
+north is up, as on the paper's maps.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Optional, Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class SvgCanvas:
+    """Accumulates SVG elements over a world-coordinate viewport.
+
+    Args:
+        world: the region of world space to show.
+        width: pixel width of the output; height preserves aspect ratio.
+        margin: pixel padding on every side.
+    """
+
+    def __init__(self, world: Rect, width: int = 800, margin: int = 20):
+        if world.area() <= 0:
+            raise ValueError("world viewport must have positive area")
+        self.world = world
+        self.margin = margin
+        self.width = width
+        self.height = int(width * world.height / world.width)
+        self._scale = width / world.width
+        self._elements: list[str] = []
+
+    # -- coordinate transform ------------------------------------------------
+
+    def _tx(self, x: float) -> float:
+        return self.margin + (x - self.world.x1) * self._scale
+
+    def _ty(self, y: float) -> float:
+        # SVG y grows downward; world y grows upward.
+        return self.margin + (self.world.y2 - y) * self._scale
+
+    # -- shapes ----------------------------------------------------------------
+
+    def rect(self, r: Rect, stroke: str = "#333", fill: str = "none",
+             stroke_width: float = 1.0, opacity: float = 1.0,
+             dash: Optional[str] = None) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<rect x="{self._tx(r.x1):.2f}" y="{self._ty(r.y2):.2f}" '
+            f'width="{r.width * self._scale:.2f}" '
+            f'height="{r.height * self._scale:.2f}" '
+            f'stroke="{stroke}" fill="{fill}" '
+            f'stroke-width="{stroke_width}" opacity="{opacity}"{dash_attr}/>')
+
+    def circle(self, center: Point, radius_px: float = 3.0,
+               fill: str = "#d33", stroke: str = "none") -> None:
+        self._elements.append(
+            f'<circle cx="{self._tx(center.x):.2f}" '
+            f'cy="{self._ty(center.y):.2f}" r="{radius_px:.2f}" '
+            f'fill="{fill}" stroke="{stroke}"/>')
+
+    def line(self, a: Point, b: Point, stroke: str = "#555",
+             stroke_width: float = 1.5) -> None:
+        self._elements.append(
+            f'<line x1="{self._tx(a.x):.2f}" y1="{self._ty(a.y):.2f}" '
+            f'x2="{self._tx(b.x):.2f}" y2="{self._ty(b.y):.2f}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width}"/>')
+
+    def polygon(self, points: Sequence[Point], stroke: str = "#333",
+                fill: str = "none", opacity: float = 1.0) -> None:
+        coords = " ".join(f"{self._tx(p.x):.2f},{self._ty(p.y):.2f}"
+                          for p in points)
+        self._elements.append(
+            f'<polygon points="{coords}" stroke="{stroke}" fill="{fill}" '
+            f'opacity="{opacity}"/>')
+
+    def text(self, at: Point, label: str, size_px: int = 10,
+             fill: str = "#000") -> None:
+        self._elements.append(
+            f'<text x="{self._tx(at.x):.2f}" y="{self._ty(at.y):.2f}" '
+            f'font-size="{size_px}" font-family="sans-serif" '
+            f'fill="{fill}">{html.escape(label)}</text>')
+
+    # -- output --------------------------------------------------------------------
+
+    def to_svg(self) -> str:
+        """The complete SVG document."""
+        total_w = self.width + 2 * self.margin
+        total_h = self.height + 2 * self.margin
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{total_w}" height="{total_h}" '
+            f'viewBox="0 0 {total_w} {total_h}">\n'
+            f'  <rect width="100%" height="100%" fill="white"/>\n'
+            f"  {body}\n</svg>\n")
+
+    def save(self, path: str) -> None:
+        """Write the SVG document to *path*."""
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.to_svg())

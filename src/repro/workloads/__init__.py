@@ -1,0 +1,38 @@
+"""Workload generators for the experiments.
+
+- :mod:`~repro.workloads.uniform` — the Table 1 workload: uniform random
+  points over ``[0, 1000] x [0, 1000]``.
+- :mod:`~repro.workloads.clustered` — Gaussian cluster mixtures, used by
+  the ablations (real maps are clustered, not uniform).
+- :mod:`~repro.workloads.usmap` — a deterministic synthetic "US map"
+  pictorial database with cities, states, lakes, highways and time zones,
+  standing in for the paper's digitised maps (see DESIGN.md substitutions).
+- :mod:`~repro.workloads.queries` — query workload generators.
+"""
+
+from repro.workloads.uniform import (
+    TABLE1_J_VALUES,
+    TABLE1_UNIVERSE,
+    uniform_points,
+    uniform_rects,
+)
+from repro.workloads.clustered import clustered_points
+from repro.workloads.queries import (
+    random_point_probes,
+    random_windows,
+    windows_of_selectivity,
+)
+from repro.workloads.usmap import USMap, build_us_map
+
+__all__ = [
+    "TABLE1_J_VALUES",
+    "TABLE1_UNIVERSE",
+    "USMap",
+    "build_us_map",
+    "clustered_points",
+    "random_point_probes",
+    "random_windows",
+    "uniform_points",
+    "uniform_rects",
+    "windows_of_selectivity",
+]

@@ -1,0 +1,75 @@
+"""Query workload generators.
+
+Table 1 uses point probes ("Is point (x, y) contained in the database?");
+the PSQL experiments use rectangular windows like the paper's
+``{4±4, 11±9}`` Eastern-US area.  Both are generated deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.workloads.uniform import TABLE1_UNIVERSE
+
+
+def random_point_probes(n: int, universe: Rect = TABLE1_UNIVERSE,
+                        seed: int = 1) -> list[Point]:
+    """*n* uniform probe points — the Table 1 query workload."""
+    if n < 0:
+        raise ValueError("cannot generate a negative number of probes")
+    rng = random.Random(seed)
+    return [Point(rng.uniform(universe.x1, universe.x2),
+                  rng.uniform(universe.y1, universe.y2))
+            for _ in range(n)]
+
+
+def random_windows(n: int, universe: Rect = TABLE1_UNIVERSE,
+                   max_extent: float = 100.0, seed: int = 1) -> list[Rect]:
+    """*n* random query windows with extents uniform in (0, max_extent].
+
+    Windows are clamped to the universe.
+    """
+    if n < 0:
+        raise ValueError("cannot generate a negative number of windows")
+    if max_extent <= 0:
+        raise ValueError("max_extent must be positive")
+    rng = random.Random(seed)
+    out: list[Rect] = []
+    for _ in range(n):
+        cx = rng.uniform(universe.x1, universe.x2)
+        cy = rng.uniform(universe.y1, universe.y2)
+        hw = rng.uniform(0.0, max_extent) / 2.0
+        hh = rng.uniform(0.0, max_extent) / 2.0
+        out.append(Rect(max(universe.x1, cx - hw), max(universe.y1, cy - hh),
+                        min(universe.x2, cx + hw), min(universe.y2, cy + hh)))
+    return out
+
+
+def windows_of_selectivity(n: int, selectivity: float,
+                           universe: Rect = TABLE1_UNIVERSE,
+                           seed: int = 1) -> list[Rect]:
+    """*n* square windows whose area is *selectivity* of the universe.
+
+    Under a uniform data distribution a window of area ``s * |U|``
+    retrieves an expected fraction ``s`` of the objects, which is how the
+    ablation benchmarks sweep query size.
+
+    Raises:
+        ValueError: when selectivity is outside ``(0, 1]``.
+    """
+    if not 0.0 < selectivity <= 1.0:
+        raise ValueError(f"selectivity must be in (0, 1], got {selectivity}")
+    rng = random.Random(seed)
+    side = math.sqrt(selectivity * universe.area())
+    half = side / 2.0
+    out: list[Rect] = []
+    for _ in range(n):
+        cx = rng.uniform(universe.x1 + half, universe.x2 - half) \
+            if universe.width > side else universe.center().x
+        cy = rng.uniform(universe.y1 + half, universe.y2 - half) \
+            if universe.height > side else universe.center().y
+        out.append(Rect(cx - half, cy - half, cx + half, cy + half))
+    return out

@@ -1,0 +1,54 @@
+"""Uniform random spatial data — the paper's Table 1 workload.
+
+Section 3.5: "Data objects were points having coordinates (x, y),
+(0 <= x <= 1000, 0 <= y <= 1000), and were randomly generated with a
+uniform distribution in the plane."
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+#: The paper's data universe.
+TABLE1_UNIVERSE = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+#: The J column of Table 1.
+TABLE1_J_VALUES = (10, 25, 50, 75, 100, 125, 150, 175, 200, 250,
+                   300, 400, 500, 600, 700, 800, 900)
+
+
+def uniform_points(n: int, universe: Rect = TABLE1_UNIVERSE,
+                   seed: int = 0) -> list[Point]:
+    """*n* points uniform over *universe*, deterministic under *seed*."""
+    if n < 0:
+        raise ValueError("cannot generate a negative number of points")
+    rng = random.Random(seed)
+    return [Point(rng.uniform(universe.x1, universe.x2),
+                  rng.uniform(universe.y1, universe.y2))
+            for _ in range(n)]
+
+
+def uniform_rects(n: int, universe: Rect = TABLE1_UNIVERSE,
+                  max_side: float = 20.0, seed: int = 0) -> list[Rect]:
+    """*n* small rectangles with uniform centres and uniform side lengths.
+
+    Used by the region-object ablations; rectangles are clipped to the
+    universe so coverage numbers stay comparable.
+    """
+    if n < 0:
+        raise ValueError("cannot generate a negative number of rectangles")
+    if max_side <= 0:
+        raise ValueError("max_side must be positive")
+    rng = random.Random(seed)
+    out: list[Rect] = []
+    for _ in range(n):
+        cx = rng.uniform(universe.x1, universe.x2)
+        cy = rng.uniform(universe.y1, universe.y2)
+        hw = rng.uniform(0.0, max_side) / 2.0
+        hh = rng.uniform(0.0, max_side) / 2.0
+        out.append(Rect(max(universe.x1, cx - hw), max(universe.y1, cy - hh),
+                        min(universe.x2, cx + hw), min(universe.y2, cy + hh)))
+    return out

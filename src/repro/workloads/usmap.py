@@ -1,0 +1,245 @@
+"""A deterministic synthetic "US map" pictorial database.
+
+The paper's example database (Section 2.1):
+
+.. code-block:: text
+
+    cities(city, state, population, loc)
+    states(state, population-density, loc)
+    time-zones(zone, hour-diff, loc)
+    lakes(lake, area, volume, loc)
+    highways(hwy-name, hwy-section, loc)
+
+We cannot ship the digitised US maps of 1985, so this module fabricates a
+map with the same schema and spatial character: a grid of jittered
+rectangular "states", Zipf-distributed city populations clustered inside
+states, vertical time-zone bands, small polygonal lakes and multi-segment
+highways connecting large cities.  Everything is a pure function of the
+seed, so experiments and documentation examples are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.region import Region
+from repro.geometry.segment import Segment
+
+#: The synthetic map's universe, matching the Table 1 experiments.
+MAP_UNIVERSE = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+_STATE_NAMES = [
+    "Avalon", "Bergen", "Cascadia", "Dakota", "Erie", "Franklin",
+    "Geneva", "Huron", "Iroquois", "Jefferson", "Keystone", "Lincoln",
+    "Mohave", "Niagara", "Ozark", "Potomac", "Quivira", "Rainier",
+    "Sequoia", "Tidewater", "Umpqua", "Vandalia", "Wabash", "Yosemite",
+]
+
+_CITY_STEMS = [
+    "Spring", "River", "Lake", "Hill", "Green", "Fair", "Mill", "Oak",
+    "Clear", "Stone", "Bridge", "Ash", "Elm", "Iron", "Silver", "Gold",
+]
+_CITY_SUFFIXES = ["field", "ton", "ville", "burg", "port", "haven", "dale",
+                  "wood"]
+
+
+@dataclass(frozen=True)
+class City:
+    """A row of the ``cities`` relation."""
+
+    name: str
+    state: str
+    population: int
+    loc: Point
+
+
+@dataclass(frozen=True)
+class State:
+    """A row of the ``states`` relation."""
+
+    name: str
+    population_density: float
+    loc: Region
+
+
+@dataclass(frozen=True)
+class TimeZone:
+    """A row of the ``time-zones`` relation."""
+
+    zone: str
+    hour_diff: int
+    loc: Region
+
+
+@dataclass(frozen=True)
+class Lake:
+    """A row of the ``lakes`` relation."""
+
+    name: str
+    area: float
+    volume: float
+    loc: Region
+
+
+@dataclass(frozen=True)
+class HighwaySection:
+    """A row of the ``highways`` relation — one section of one highway."""
+
+    hwy_name: str
+    hwy_section: int
+    loc: Segment
+
+
+@dataclass
+class USMap:
+    """The full synthetic pictorial database."""
+
+    universe: Rect = MAP_UNIVERSE
+    cities: list[City] = field(default_factory=list)
+    states: list[State] = field(default_factory=list)
+    time_zones: list[TimeZone] = field(default_factory=list)
+    lakes: list[Lake] = field(default_factory=list)
+    highways: list[HighwaySection] = field(default_factory=list)
+
+    def city_items(self) -> list[tuple[Rect, City]]:
+        """``(mbr, record)`` pairs ready for R-tree loading."""
+        return [(Rect.from_point(c.loc), c) for c in self.cities]
+
+    def state_items(self) -> list[tuple[Rect, State]]:
+        return [(s.loc.mbr(), s) for s in self.states]
+
+    def time_zone_items(self) -> list[tuple[Rect, TimeZone]]:
+        return [(z.loc.mbr(), z) for z in self.time_zones]
+
+    def lake_items(self) -> list[tuple[Rect, Lake]]:
+        return [(l.loc.mbr(), l) for l in self.lakes]
+
+    def highway_items(self) -> list[tuple[Rect, HighwaySection]]:
+        return [(h.loc.mbr(), h) for h in self.highways]
+
+
+def build_us_map(seed: int = 42, states_x: int = 6, states_y: int = 4,
+                 cities_per_state: int = 12, lakes: int = 15,
+                 highways: int = 8) -> USMap:
+    """Fabricate the synthetic map.
+
+    Args:
+        seed: RNG seed; the whole map is a deterministic function of it.
+        states_x, states_y: the state grid dimensions (at most 24 states
+            are named; extra cells reuse numbered names).
+        cities_per_state: cities generated inside each state.
+        lakes: number of lakes.
+        highways: number of highways (each a chain of 3-8 sections).
+    """
+    if states_x < 1 or states_y < 1:
+        raise ValueError("state grid must be at least 1 x 1")
+    rng = random.Random(seed)
+    universe = MAP_UNIVERSE
+    cell_w = universe.width / states_x
+    cell_h = universe.height / states_y
+
+    the_map = USMap(universe=universe)
+
+    # States: grid cells with jittered interior corners so boundaries are
+    # not perfectly regular (but still a partition-like layout).
+    state_rects: list[tuple[str, Rect]] = []
+    idx = 0
+    for gy in range(states_y):
+        for gx in range(states_x):
+            if idx < len(_STATE_NAMES):
+                name = _STATE_NAMES[idx]
+            else:
+                name = f"Territory-{idx}"
+            idx += 1
+            x1 = universe.x1 + gx * cell_w
+            y1 = universe.y1 + gy * cell_h
+            rect = Rect(x1, y1, x1 + cell_w, y1 + cell_h)
+            state_rects.append((name, rect))
+            density = rng.uniform(5.0, 400.0)
+            the_map.states.append(State(
+                name=name,
+                population_density=round(density, 1),
+                loc=Region.from_rect(rect),
+            ))
+
+    # Cities: clustered near a "capital" spot inside each state, with
+    # Zipf-ish populations so population filters are selective.
+    used_names: set[str] = set()
+    for name, rect in state_rects:
+        hub = Point(rng.uniform(rect.x1 + 0.2 * cell_w, rect.x2 - 0.2 * cell_w),
+                    rng.uniform(rect.y1 + 0.2 * cell_h, rect.y2 - 0.2 * cell_h))
+        for rank in range(cities_per_state):
+            city_name = _fresh_city_name(rng, used_names)
+            spread = cell_w / 6.0
+            x = min(rect.x2, max(rect.x1, rng.gauss(hub.x, spread)))
+            y = min(rect.y2, max(rect.y1, rng.gauss(hub.y, spread)))
+            population = int(2_500_000 / (rank + 1) * rng.uniform(0.5, 1.5))
+            the_map.cities.append(City(
+                name=city_name, state=name, population=population,
+                loc=Point(x, y)))
+
+    # Time zones: four vertical bands, hour differences 0..-3 westward.
+    band_w = universe.width / 4.0
+    zone_names = ["Eastern", "Central", "Mountain", "Pacific"]
+    for i, zone in enumerate(zone_names):
+        x2 = universe.x2 - i * band_w
+        x1 = x2 - band_w
+        the_map.time_zones.append(TimeZone(
+            zone=zone, hour_diff=-i,
+            loc=Region.from_rect(Rect(x1, universe.y1, x2, universe.y2))))
+
+    # Lakes: irregular polygons around random centres.
+    for i in range(lakes):
+        cx = rng.uniform(universe.x1 + 30, universe.x2 - 30)
+        cy = rng.uniform(universe.y1 + 30, universe.y2 - 30)
+        lake_region = _blob(rng, Point(cx, cy),
+                            radius=rng.uniform(8.0, 30.0))
+        area = lake_region.area()
+        the_map.lakes.append(Lake(
+            name=f"Lake {_STATE_NAMES[i % len(_STATE_NAMES)]}",
+            area=round(area, 1),
+            volume=round(area * rng.uniform(5.0, 60.0), 1),
+            loc=lake_region))
+
+    # Highways: chains of sections between randomly chosen big cities.
+    big_cities = sorted(the_map.cities, key=lambda c: -c.population)
+    big_cities = big_cities[:max(2, len(big_cities) // 4)]
+    for h in range(highways):
+        name = f"I-{5 + 5 * h}"
+        waypoints = rng.sample(big_cities, k=min(len(big_cities),
+                                                 rng.randint(3, 8)))
+        for section, (a, b) in enumerate(zip(waypoints, waypoints[1:])):
+            the_map.highways.append(HighwaySection(
+                hwy_name=name, hwy_section=section,
+                loc=Segment(a.loc, b.loc)))
+
+    return the_map
+
+
+def _fresh_city_name(rng: random.Random, used: set[str]) -> str:
+    """A city name not generated before (numbered on exhaustion)."""
+    for _ in range(50):
+        name = rng.choice(_CITY_STEMS) + rng.choice(_CITY_SUFFIXES)
+        if name not in used:
+            used.add(name)
+            return name
+    n = len(used)
+    name = f"Newtown-{n}"
+    used.add(name)
+    return name
+
+
+def _blob(rng: random.Random, center: Point, radius: float,
+          vertices: int = 8) -> Region:
+    """An irregular convex-ish polygon around *center* (a lake)."""
+    import math
+    pts = []
+    for i in range(vertices):
+        angle = 2.0 * math.pi * i / vertices
+        r = radius * rng.uniform(0.6, 1.0)
+        pts.append(Point(center.x + r * math.cos(angle),
+                         center.y + r * math.sin(angle)))
+    return Region(pts)

@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.relational import Column, Database
+from repro.workloads import build_us_map, uniform_points
+
+
+@pytest.fixture(scope="session")
+def small_points() -> list[Point]:
+    """100 deterministic uniform points over the Table 1 universe."""
+    return uniform_points(100, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def small_items(small_points) -> list[tuple[Rect, int]]:
+    """(rect, oid) pairs for the small point set."""
+    return [(Rect.from_point(p), i) for i, p in enumerate(small_points)]
+
+
+@pytest.fixture(scope="session")
+def us_map():
+    """A small deterministic synthetic map (session-scoped: read-only)."""
+    return build_us_map(seed=7, states_x=4, states_y=3,
+                        cities_per_state=6, lakes=5, highways=3)
+
+
+@pytest.fixture()
+def map_database(us_map) -> Database:
+    """A fully loaded Database with pictures and packed indexes."""
+    db = Database()
+    cities = db.create_relation("cities", [
+        Column("city", "str"), Column("state", "str"),
+        Column("population", "int"), Column("loc", "point")])
+    for c in us_map.cities:
+        cities.insert({"city": c.name, "state": c.state,
+                       "population": c.population, "loc": c.loc})
+    states = db.create_relation("states", [
+        Column("state", "str"), Column("population-density", "float"),
+        Column("loc", "region")])
+    for s in us_map.states:
+        states.insert({"state": s.name,
+                       "population-density": s.population_density,
+                       "loc": s.loc})
+    zones = db.create_relation("time-zones", [
+        Column("zone", "str"), Column("hour-diff", "int"),
+        Column("loc", "region")])
+    for z in us_map.time_zones:
+        zones.insert({"zone": z.zone, "hour-diff": z.hour_diff,
+                      "loc": z.loc})
+    lakes = db.create_relation("lakes", [
+        Column("lake", "str"), Column("area", "float"),
+        Column("volume", "float"), Column("loc", "region")])
+    for l in us_map.lakes:
+        lakes.insert({"lake": l.name, "area": l.area,
+                      "volume": l.volume, "loc": l.loc})
+    highways = db.create_relation("highways", [
+        Column("hwy-name", "str"), Column("hwy-section", "int"),
+        Column("loc", "segment")])
+    for h in us_map.highways:
+        highways.insert({"hwy-name": h.hwy_name,
+                         "hwy-section": h.hwy_section, "loc": h.loc})
+
+    us_pic = db.create_picture("us-map", us_map.universe)
+    us_pic.register(cities, "loc")
+    us_pic.register(states, "loc")
+    us_pic.register(highways, "loc")
+    lake_pic = db.create_picture("lake-map", us_map.universe)
+    lake_pic.register(lakes, "loc")
+    zone_pic = db.create_picture("time-zone-map", us_map.universe)
+    zone_pic.register(zones, "loc")
+    return db

@@ -1,0 +1,137 @@
+"""Tests for the experiment harness — assert the paper's *shapes* hold."""
+
+import pytest
+
+from repro.experiments import (
+    format_table1,
+    run_fig33_pruning,
+    run_fig34_deadspace,
+    run_fig37_grouping,
+    run_fig38_stages,
+    run_lemma31,
+    run_table1,
+    run_table1_row,
+    run_theorem32,
+    run_theorem33,
+)
+from repro.experiments.table1 import PAPER_TABLE1
+from repro.rtree.theory import expected_pack_depth, expected_pack_node_count
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        # J >= 100: rows where the paper's PACK N column matches the exact
+        # geometric series (the paper's leftover handling differs by 1-2
+        # nodes for J in {10, 25, 50, 75}).
+        return run_table1(j_values=(100, 200, 500), queries=200, seed=1)
+
+    def test_row_structure(self, rows):
+        assert [r.j for r in rows] == [100, 200, 500]
+        for r in rows:
+            assert r.insert.size == r.pack.size == r.j
+
+    def test_pack_depth_never_exceeds_insert(self, rows):
+        for r in rows:
+            assert r.pack.depth <= r.insert.depth
+
+    def test_pack_node_count_is_minimal(self, rows):
+        for r in rows:
+            assert r.pack.node_count == expected_pack_node_count(r.j, 4)
+            assert r.pack.node_count < r.insert.node_count
+
+    def test_pack_depth_matches_paper_exactly(self, rows):
+        """D and N are deterministic functions of J for a packed tree and
+        reproduce the paper's PACK columns exactly."""
+        for r in rows:
+            paper_pack = PAPER_TABLE1[r.j][1]
+            assert r.pack.depth == paper_pack[2]
+            assert r.pack.node_count == paper_pack[3]
+            assert r.pack.depth == expected_pack_depth(r.j, 4)
+
+    def test_pack_beats_insert_on_overlap_at_scale(self):
+        row = run_table1_row(500, queries=100, seed=2, split="linear")
+        assert row.pack.overlap_counted < row.insert.overlap_counted
+
+    def test_pack_beats_insert_on_accesses_at_scale(self):
+        row = run_table1_row(700, queries=200, seed=3, split="linear")
+        assert row.pack.avg_nodes_visited < row.insert.avg_nodes_visited
+
+    def test_formatting(self, rows):
+        text = format_table1(rows, include_paper=True)
+        assert "GUTTMAN INSERT" in text
+        assert "PACK" in text
+        assert "paper>" in text
+        assert str(rows[0].j) in text
+
+    def test_deterministic(self):
+        a = run_table1_row(100, queries=50, seed=9)
+        b = run_table1_row(100, queries=50, seed=9)
+        assert a == b
+
+
+class TestPaperConstants:
+    def test_paper_table_covers_all_j_values(self):
+        from repro.workloads import TABLE1_J_VALUES
+        assert set(PAPER_TABLE1) == set(TABLE1_J_VALUES)
+
+    def test_paper_pack_columns_follow_geometric_series(self):
+        """For J >= 300 the paper's PACK D and N match the exact series
+        (below that, their leftover handling deviates by 1-2 nodes)."""
+        for j, (_ins, pk) in PAPER_TABLE1.items():
+            if j >= 300:
+                assert pk[2] == expected_pack_depth(j, 4), j
+                assert pk[3] == expected_pack_node_count(j, 4), j
+            # Depth matches the formula at every J regardless.
+            assert pk[2] == expected_pack_depth(j, 4), j
+
+    def test_paper_insert_monotonically_degrades(self):
+        """The paper's INSERT O and A grow with J (the trend we compare)."""
+        ordered = sorted(PAPER_TABLE1)
+        overlaps = [PAPER_TABLE1[j][0][1] for j in ordered]
+        accesses = [PAPER_TABLE1[j][0][4] for j in ordered]
+        # Allow small local dips; the overall trend must be upward.
+        assert overlaps[-1] > overlaps[0] * 10
+        assert accesses[-1] > accesses[0] * 10
+
+    def test_format_without_paper_rows(self):
+        rows = run_table1(j_values=(10,), queries=20)
+        text = format_table1(rows, include_paper=False)
+        assert "paper>" not in text
+
+
+class TestFigures:
+    def test_fig34_dead_space_positive(self):
+        d = run_fig34_deadspace()
+        assert d.dead_space > 0
+        assert d.pack_coverage <= d.insert_coverage
+
+    def test_fig33_pack_prunes_better(self):
+        p = run_fig33_pruning()
+        assert p.pack_visit_fraction < p.insert_visit_fraction
+        assert 0 < p.pack_nodes_visited <= p.pack_total_nodes
+
+    def test_fig37_nn_tighter_than_slabs(self):
+        g = run_fig37_grouping()
+        assert g.improvement > 2.0  # NN grouping at least halves coverage
+
+    def test_fig38_levels_shrink_geometrically(self):
+        s = run_fig38_stages(n=48)
+        sizes = [len(level) for level in s.levels]
+        assert sizes[-1] == 1  # ends at the root
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+
+    def test_lemma31_rotation_separates(self):
+        r = run_lemma31()
+        assert r.distinct_before < r.n
+        assert r.distinct_after == r.n
+
+    def test_theorem32_partition(self):
+        r = run_theorem32(n=60)
+        assert r.disjoint
+        assert r.overlap_area == pytest.approx(0.0)
+        assert r.groups == 15
+
+    def test_theorem33_counterexample(self):
+        r = run_theorem33()
+        assert r.counterexample_holds

@@ -1,0 +1,125 @@
+"""Property-based tests for geometric predicates and MBR algebra."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.geometry.predicates import (
+    covered_by,
+    covers,
+    disjoined,
+    intersects,
+    overlapping,
+)
+from repro.geometry.rotation import rotate_points
+
+coords = st.floats(min_value=-500.0, max_value=500.0, allow_nan=False,
+                   allow_infinity=False)
+sizes = st.floats(min_value=0.0, max_value=200.0, allow_nan=False)
+
+
+@st.composite
+def rects(draw):
+    x = draw(coords)
+    y = draw(coords)
+    return Rect(x, y, x + draw(sizes), y + draw(sizes))
+
+
+@st.composite
+def points(draw):
+    return Point(draw(coords), draw(coords))
+
+
+@given(rects(), rects())
+@settings(max_examples=200, deadline=None)
+def test_covers_covered_by_duality(a, b):
+    assert covers(a, b) == covered_by(b, a)
+
+
+@given(rects(), rects())
+@settings(max_examples=200, deadline=None)
+def test_disjoined_is_negated_intersects(a, b):
+    assert disjoined(a, b) == (not intersects(a, b))
+
+
+@given(rects(), rects())
+@settings(max_examples=200, deadline=None)
+def test_symmetry(a, b):
+    assert intersects(a, b) == intersects(b, a)
+    assert overlapping(a, b) == overlapping(b, a)
+    assert disjoined(a, b) == disjoined(b, a)
+
+
+@given(rects(), rects())
+@settings(max_examples=200, deadline=None)
+def test_overlap_implies_intersects(a, b):
+    if overlapping(a, b):
+        assert intersects(a, b)
+
+
+@given(rects(), rects())
+@settings(max_examples=200, deadline=None)
+def test_containment_implies_intersects(a, b):
+    if covers(a, b):
+        assert intersects(a, b)
+
+
+@given(rects(), rects())
+@settings(max_examples=200, deadline=None)
+def test_union_contains_both(a, b):
+    u = a.union(b)
+    assert u.contains(a) and u.contains(b)
+
+
+@given(rects(), rects())
+@settings(max_examples=200, deadline=None)
+def test_union_extents_exact(a, b):
+    u = a.union(b)
+    assert u.area() >= max(a.area(), b.area()) - 1e-9
+    assert u.width == max(a.x2, b.x2) - min(a.x1, b.x1)
+    assert u.height == max(a.y2, b.y2) - min(a.y1, b.y1)
+
+
+@given(rects(), rects())
+@settings(max_examples=200, deadline=None)
+def test_intersection_consistent_with_area(a, b):
+    inter = a.intersection(b)
+    if inter is None:
+        assert a.intersection_area(b) == 0.0
+    else:
+        assert inter.area() == a.intersection_area(b)
+        assert a.contains(inter) and b.contains(inter)
+
+
+@given(rects(), rects())
+@settings(max_examples=200, deadline=None)
+def test_enlargement_nonnegative(a, b):
+    assert a.enlargement(b) >= -1e-9
+
+
+@given(rects(), rects())
+@settings(max_examples=200, deadline=None)
+def test_min_distance_symmetric_and_consistent(a, b):
+    d = a.min_distance_to(b)
+    assert d == b.min_distance_to(a)
+    assert (d == 0.0) == intersects(a, b)
+
+
+@given(rects(), points())
+@settings(max_examples=200, deadline=None)
+def test_point_containment_matches_degenerate_rect(r, p):
+    assert r.contains_point(p) == r.contains(Rect.from_point(p))
+
+
+@given(st.lists(points(), min_size=2, max_size=20),
+       st.floats(min_value=0.0, max_value=2 * math.pi, allow_nan=False))
+@settings(max_examples=150, deadline=None)
+def test_rotation_is_an_isometry(pts, alpha):
+    rotated = rotate_points(pts, alpha)
+    for i in range(len(pts) - 1):
+        original = pts[i].distance_to(pts[i + 1])
+        after = rotated[i].distance_to(rotated[i + 1])
+        assert after == __import__("pytest").approx(
+            original, rel=1e-9, abs=1e-6)

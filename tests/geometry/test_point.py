@@ -1,0 +1,57 @@
+"""Unit tests for Point."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point, centroid, euclidean_distance
+
+
+def test_distance_to():
+    assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+
+def test_distance_squared_avoids_sqrt():
+    assert Point(0, 0).distance_squared_to(Point(3, 4)) == 25.0
+
+
+def test_euclidean_distance_function():
+    assert euclidean_distance(Point(1, 1), Point(1, 5)) == 4.0
+
+
+def test_translated():
+    assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+
+def test_points_are_hashable_and_orderable():
+    s = {Point(1, 2), Point(1, 2), Point(2, 1)}
+    assert len(s) == 2
+    assert sorted(s) == [Point(1, 2), Point(2, 1)]
+
+
+def test_centroid():
+    assert centroid([Point(0, 0), Point(2, 0), Point(1, 3)]) == Point(1, 1)
+
+
+def test_centroid_single_point():
+    assert centroid([Point(5, -3)]) == Point(5, -3)
+
+
+def test_centroid_empty_raises():
+    with pytest.raises(ValueError):
+        centroid([])
+
+
+def test_distance_is_symmetric():
+    a, b = Point(1.5, -2.25), Point(-7, 0.125)
+    assert a.distance_to(b) == b.distance_to(a)
+
+
+def test_distance_triangle_inequality():
+    a, b, c = Point(0, 0), Point(5, 1), Point(2, 9)
+    assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-12
+
+
+def test_point_unpacks_as_tuple():
+    x, y = Point(3, 7)
+    assert (x, y) == (3, 7)

@@ -1,0 +1,67 @@
+"""Unit tests for the PSQL spatial operator predicates."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.geometry.predicates import (
+    OPERATORS,
+    covered_by,
+    covers,
+    disjoined,
+    intersects,
+    overlapping,
+)
+
+OUTER = Rect(0, 0, 10, 10)
+INNER = Rect(2, 2, 5, 5)
+EDGE_NEIGHBOR = Rect(10, 0, 15, 10)
+FAR = Rect(20, 20, 30, 30)
+CROSSING = Rect(5, 5, 15, 15)
+
+
+def test_covers():
+    assert covers(OUTER, INNER)
+    assert not covers(INNER, OUTER)
+
+
+def test_covers_is_reflexive():
+    assert covers(OUTER, OUTER)
+
+
+def test_covered_by_is_converse_of_covers():
+    assert covered_by(INNER, OUTER)
+    assert not covered_by(OUTER, INNER)
+
+
+def test_overlapping_requires_interior_area():
+    assert overlapping(OUTER, CROSSING)
+    assert not overlapping(OUTER, EDGE_NEIGHBOR)  # only edge contact
+
+
+def test_overlapping_symmetric():
+    assert overlapping(CROSSING, OUTER) == overlapping(OUTER, CROSSING)
+
+
+def test_disjoined_excludes_edge_contact():
+    assert disjoined(OUTER, FAR)
+    assert not disjoined(OUTER, EDGE_NEIGHBOR)  # closed rects touch
+
+
+def test_intersects_includes_edge_contact():
+    assert intersects(OUTER, EDGE_NEIGHBOR)
+    assert not intersects(OUTER, FAR)
+
+
+def test_disjoined_is_negation_of_intersects():
+    for other in (INNER, EDGE_NEIGHBOR, FAR, CROSSING):
+        assert disjoined(OUTER, other) == (not intersects(OUTER, other))
+
+
+def test_operator_registry_has_paper_names():
+    assert set(OPERATORS) >= {"covering", "covered-by", "overlapping",
+                              "disjoined"}
+
+
+@pytest.mark.parametrize("name", sorted(OPERATORS))
+def test_registry_entries_are_callable(name):
+    assert OPERATORS[name](OUTER, INNER) in (True, False)

@@ -1,0 +1,145 @@
+"""Unit tests for the Rect MBR algebra."""
+
+import math
+
+import pytest
+
+from repro.geometry import EMPTY_RECT, Point, Rect, mbr_of_points, mbr_of_rects
+
+
+class TestConstruction:
+    def test_make_orders_corners(self):
+        assert Rect.make(5, 7, 1, 2) == Rect(1, 2, 5, 7)
+
+    def test_from_point_is_degenerate(self):
+        r = Rect.from_point(Point(3, 4))
+        assert r == Rect(3, 4, 3, 4)
+        assert r.area() == 0.0
+
+    def test_from_center_matches_paper_window_notation(self):
+        # The paper's {4±4, 11±9} window.
+        r = Rect.from_center(Point(4, 11), 4, 9)
+        assert r == Rect(0, 2, 8, 20)
+
+    def test_from_center_square_default(self):
+        assert Rect.from_center(Point(0, 0), 2) == Rect(-2, -2, 2, 2)
+
+    def test_from_center_rejects_negative_extent(self):
+        with pytest.raises(ValueError):
+            Rect.from_center(Point(0, 0), -1)
+
+
+class TestMeasures:
+    def test_area(self):
+        assert Rect(0, 0, 4, 5).area() == 20.0
+
+    def test_perimeter(self):
+        assert Rect(0, 0, 4, 5).perimeter() == 18.0
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 6).center() == Point(2, 3)
+
+    def test_corners_counter_clockwise(self):
+        assert Rect(0, 0, 1, 2).corners() == (
+            Point(0, 0), Point(1, 0), Point(1, 2), Point(0, 2))
+
+    def test_is_valid(self):
+        assert Rect(0, 0, 1, 1).is_valid()
+        assert not Rect(1, 0, 0, 1).is_valid()
+        assert not Rect(0, float("nan"), 1, 1).is_valid()
+
+
+class TestRelations:
+    def test_contains_point_boundary_is_closed(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(Point(0, 0))
+        assert r.contains_point(Point(10, 10))
+        assert not r.contains_point(Point(10.001, 5))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains(Rect(2, 2, 8, 8))
+        assert outer.contains(outer)
+        assert not outer.contains(Rect(5, 5, 11, 8))
+
+    def test_intersects_includes_edge_contact(self):
+        assert Rect(0, 0, 5, 5).intersects(Rect(5, 0, 10, 5))
+
+    def test_overlaps_interior_excludes_edge_contact(self):
+        assert not Rect(0, 0, 5, 5).overlaps_interior(Rect(5, 0, 10, 5))
+        assert Rect(0, 0, 5, 5).overlaps_interior(Rect(4, 4, 10, 10))
+
+    def test_disjoint_rects_do_not_intersect(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(2, 2, 3, 3))
+
+    def test_intersection_none_when_disjoint(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(2, 2, 3, 3)) is None
+
+    def test_intersection_rect(self):
+        got = Rect(0, 0, 5, 5).intersection(Rect(3, 3, 8, 8))
+        assert got == Rect(3, 3, 5, 5)
+
+    def test_intersection_area_zero_for_edge_contact(self):
+        assert Rect(0, 0, 5, 5).intersection_area(Rect(5, 0, 9, 5)) == 0.0
+
+    def test_intersection_area(self):
+        assert Rect(0, 0, 5, 5).intersection_area(Rect(3, 3, 8, 8)) == 4.0
+
+    def test_union(self):
+        assert Rect(0, 0, 1, 1).union(Rect(5, 5, 6, 7)) == Rect(0, 0, 6, 7)
+
+    def test_enlargement_zero_when_contained(self):
+        assert Rect(0, 0, 10, 10).enlargement(Rect(1, 1, 2, 2)) == 0.0
+
+    def test_enlargement_positive_outside(self):
+        # growing [0,1]^2 to include [2,3]x[0,1] gives a 3x1 box: +2 area
+        assert Rect(0, 0, 1, 1).enlargement(Rect(2, 0, 3, 1)) == 2.0
+
+
+class TestDistances:
+    def test_min_distance_zero_when_intersecting(self):
+        assert Rect(0, 0, 5, 5).min_distance_to(Rect(4, 4, 9, 9)) == 0.0
+
+    def test_min_distance_axis_aligned_gap(self):
+        assert Rect(0, 0, 1, 1).min_distance_to(Rect(4, 0, 5, 1)) == 3.0
+
+    def test_min_distance_diagonal_gap(self):
+        d = Rect(0, 0, 1, 1).min_distance_to(Rect(4, 5, 6, 7))
+        assert d == pytest.approx(math.hypot(3, 4))
+
+    def test_center_distance(self):
+        d = Rect(0, 0, 2, 2).center_distance_to(Rect(6, 8, 8, 10))
+        assert d == pytest.approx(10.0)
+
+
+class TestTransforms:
+    def test_translated(self):
+        assert Rect(0, 0, 1, 2).translated(5, -1) == Rect(5, -1, 6, 1)
+
+    def test_scaled_about_center(self):
+        assert Rect(0, 0, 4, 4).scaled_about_center(0.5) == Rect(1, 1, 3, 3)
+
+
+class TestAggregates:
+    def test_mbr_of_points(self):
+        pts = [Point(1, 5), Point(-2, 3), Point(4, -1)]
+        assert mbr_of_points(pts) == Rect(-2, -1, 4, 5)
+
+    def test_mbr_of_points_single(self):
+        assert mbr_of_points([Point(2, 2)]) == Rect(2, 2, 2, 2)
+
+    def test_mbr_of_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            mbr_of_points([])
+
+    def test_mbr_of_rects(self):
+        rects = [Rect(0, 0, 1, 1), Rect(5, -2, 6, 0)]
+        assert mbr_of_rects(rects) == Rect(0, -2, 6, 1)
+
+    def test_mbr_of_rects_empty_raises(self):
+        with pytest.raises(ValueError):
+            mbr_of_rects([])
+
+    def test_empty_rect_is_union_identity(self):
+        r = Rect(1, 2, 3, 4)
+        assert EMPTY_RECT.union(r) == r

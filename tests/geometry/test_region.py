@@ -1,0 +1,89 @@
+"""Unit tests for Region polygons."""
+
+import pytest
+
+from repro.geometry import Point, Rect, Region
+
+
+@pytest.fixture()
+def unit_square() -> Region:
+    return Region([Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)])
+
+
+@pytest.fixture()
+def triangle() -> Region:
+    return Region([Point(0, 0), Point(4, 0), Point(0, 4)])
+
+
+def test_needs_three_vertices():
+    with pytest.raises(ValueError):
+        Region([Point(0, 0), Point(1, 1)])
+
+
+def test_mbr(triangle):
+    assert triangle.mbr() == Rect(0, 0, 4, 4)
+
+
+def test_area_square(unit_square):
+    assert unit_square.area() == 1.0
+
+
+def test_area_triangle(triangle):
+    assert triangle.area() == 8.0
+
+
+def test_area_independent_of_winding():
+    cw = Region([Point(0, 1), Point(1, 1), Point(1, 0), Point(0, 0)])
+    assert cw.area() == 1.0
+
+
+def test_from_rect():
+    r = Region.from_rect(Rect(1, 2, 5, 6))
+    assert r.area() == 16.0
+    assert r.mbr() == Rect(1, 2, 5, 6)
+
+
+def test_centroid_square(unit_square):
+    assert unit_square.centroid() == Point(0.5, 0.5)
+
+
+def test_contains_point_inside(triangle):
+    assert triangle.contains_point(Point(1, 1))
+
+
+def test_contains_point_outside(triangle):
+    assert not triangle.contains_point(Point(3, 3))
+
+
+def test_contains_point_on_edge(unit_square):
+    assert unit_square.contains_point(Point(0.5, 0.0))
+
+
+def test_contains_point_on_vertex(unit_square):
+    assert unit_square.contains_point(Point(0, 0))
+
+
+def test_contains_rect(unit_square):
+    assert unit_square.contains_rect(Rect(0.25, 0.25, 0.75, 0.75))
+    assert not unit_square.contains_rect(Rect(0.5, 0.5, 1.5, 1.5))
+
+
+def test_concave_region_containment():
+    # An L-shape: the notch should not be "inside".
+    l_shape = Region([Point(0, 0), Point(4, 0), Point(4, 2),
+                      Point(2, 2), Point(2, 4), Point(0, 4)])
+    assert l_shape.contains_point(Point(1, 3))
+    assert l_shape.contains_point(Point(3, 1))
+    assert not l_shape.contains_point(Point(3, 3))
+    assert l_shape.area() == 12.0
+
+
+def test_equality_and_hash(unit_square):
+    same = Region([Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)])
+    assert unit_square == same
+    assert hash(unit_square) == hash(same)
+    assert len({unit_square, same}) == 1
+
+
+def test_len_counts_vertices(triangle):
+    assert len(triangle) == 3

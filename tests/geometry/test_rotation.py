@@ -1,0 +1,77 @@
+"""Unit tests for the Lemma 3.1 rotation machinery."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+from repro.geometry.rotation import (
+    bad_angles,
+    distinct_x_count,
+    distinct_x_rotation,
+    rotate_point,
+    rotate_points,
+)
+
+
+def test_rotate_point_quarter_turn():
+    p = rotate_point(Point(1, 0), math.pi / 2)
+    assert p.x == pytest.approx(0.0, abs=1e-12)
+    assert p.y == pytest.approx(1.0)
+
+
+def test_rotate_points_preserves_pairwise_distances():
+    pts = [Point(0, 0), Point(3, 1), Point(-2, 5)]
+    rotated = rotate_points(pts, 0.7)
+    for i in range(3):
+        for j in range(3):
+            assert pts[i].distance_to(pts[j]) == pytest.approx(
+                rotated[i].distance_to(rotated[j]))
+
+
+def test_distinct_x_count():
+    pts = [Point(1, 0), Point(1, 5), Point(2, 0)]
+    assert distinct_x_count(pts) == 2
+
+
+def test_bad_angles_vertical_pair():
+    # Two points sharing an x collide at alpha = 0 (mod pi).
+    angles = bad_angles([Point(1, 0), Point(1, 5)])
+    assert len(angles) == 1
+    assert angles[0] == pytest.approx(0.0)
+
+
+def test_bad_angles_count_bounded_by_pairs():
+    pts = [Point(i, i * i) for i in range(6)]
+    assert len(bad_angles(pts)) <= 15  # C(6,2)
+
+
+def test_distinct_x_rotation_separates_collinear_verticals():
+    pts = [Point(1, y) for y in range(5)]
+    alpha = distinct_x_rotation(pts)
+    rotated = rotate_points(pts, alpha)
+    assert distinct_x_count(rotated) == 5
+
+
+def test_distinct_x_rotation_on_grid():
+    pts = [Point(x, y) for x in range(4) for y in range(4)]
+    alpha = distinct_x_rotation(pts)
+    rotated = rotate_points(pts, alpha)
+    assert distinct_x_count(rotated) == 16
+
+
+def test_distinct_x_rotation_trivial_cases():
+    assert distinct_x_rotation([]) == 0.0
+    assert distinct_x_rotation([Point(3, 3)]) == 0.0
+
+
+def test_distinct_x_rotation_no_op_when_already_distinct():
+    pts = [Point(0, 0), Point(1, 100)]
+    alpha = distinct_x_rotation(pts)
+    rotated = rotate_points(pts, alpha)
+    assert distinct_x_count(rotated) == 2
+
+
+def test_duplicate_points_rejected():
+    with pytest.raises(ValueError):
+        distinct_x_rotation([Point(1, 1), Point(1, 1)])

@@ -1,0 +1,86 @@
+"""Unit tests for Segment."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point, Rect, Segment
+
+
+def test_mbr_orders_endpoints():
+    s = Segment(Point(5, 1), Point(2, 7))
+    assert s.mbr() == Rect(2, 1, 5, 7)
+
+
+def test_length():
+    assert Segment(Point(0, 0), Point(3, 4)).length() == 5.0
+
+
+def test_midpoint():
+    assert Segment(Point(0, 0), Point(4, 6)).midpoint() == Point(2, 3)
+
+
+def test_reversed():
+    s = Segment(Point(1, 2), Point(3, 4))
+    assert s.reversed() == Segment(Point(3, 4), Point(1, 2))
+
+
+def test_point_at_interpolates():
+    s = Segment(Point(0, 0), Point(10, 20))
+    assert s.point_at(0.0) == Point(0, 0)
+    assert s.point_at(1.0) == Point(10, 20)
+    assert s.point_at(0.5) == Point(5, 10)
+
+
+def test_distance_to_point_perpendicular():
+    s = Segment(Point(0, 0), Point(10, 0))
+    assert s.distance_to_point(Point(5, 3)) == 3.0
+
+
+def test_distance_to_point_beyond_endpoint():
+    s = Segment(Point(0, 0), Point(10, 0))
+    assert s.distance_to_point(Point(13, 4)) == 5.0
+
+
+def test_distance_to_point_degenerate_segment():
+    s = Segment(Point(2, 2), Point(2, 2))
+    assert s.distance_to_point(Point(5, 6)) == 5.0
+
+
+class TestSegmentIntersection:
+    def test_crossing_segments(self):
+        a = Segment(Point(0, 0), Point(10, 10))
+        b = Segment(Point(0, 10), Point(10, 0))
+        assert a.intersects_segment(b)
+
+    def test_parallel_disjoint(self):
+        a = Segment(Point(0, 0), Point(10, 0))
+        b = Segment(Point(0, 1), Point(10, 1))
+        assert not a.intersects_segment(b)
+
+    def test_collinear_overlapping(self):
+        a = Segment(Point(0, 0), Point(5, 0))
+        b = Segment(Point(3, 0), Point(8, 0))
+        assert a.intersects_segment(b)
+
+    def test_collinear_disjoint(self):
+        a = Segment(Point(0, 0), Point(2, 0))
+        b = Segment(Point(3, 0), Point(5, 0))
+        assert not a.intersects_segment(b)
+
+    def test_touching_at_endpoint(self):
+        a = Segment(Point(0, 0), Point(5, 5))
+        b = Segment(Point(5, 5), Point(9, 0))
+        assert a.intersects_segment(b)
+
+    def test_t_junction(self):
+        a = Segment(Point(0, 0), Point(10, 0))
+        b = Segment(Point(5, -3), Point(5, 0))
+        assert a.intersects_segment(b)
+
+
+def test_heading():
+    assert Segment(Point(0, 0), Point(1, 1)).heading() == pytest.approx(
+        math.pi / 4)
+    assert Segment(Point(0, 0), Point(-1, 0)).heading() == pytest.approx(
+        math.pi)

@@ -1,0 +1,75 @@
+"""Unit tests for the union-area sweep and overlap computation."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.geometry.sweep import overlap_area, pairwise_intersections, union_area
+
+
+class TestUnionArea:
+    def test_empty(self):
+        assert union_area([]) == 0.0
+
+    def test_single(self):
+        assert union_area([Rect(0, 0, 2, 3)]) == 6.0
+
+    def test_disjoint_sum(self):
+        assert union_area([Rect(0, 0, 1, 1), Rect(5, 5, 7, 6)]) == 3.0
+
+    def test_identical_counted_once(self):
+        r = Rect(0, 0, 4, 4)
+        assert union_area([r, r, r]) == 16.0
+
+    def test_partial_overlap(self):
+        # two 2x2 squares overlapping in a 1x2 strip: 4 + 4 - 2 = 6
+        assert union_area([Rect(0, 0, 2, 2), Rect(1, 0, 3, 2)]) == 6.0
+
+    def test_nested(self):
+        assert union_area([Rect(0, 0, 10, 10), Rect(2, 2, 4, 4)]) == 100.0
+
+    def test_degenerate_ignored(self):
+        assert union_area([Rect(0, 0, 0, 5), Rect(0, 0, 5, 0)]) == 0.0
+
+    def test_cross_shape(self):
+        # vertical 1x5 and horizontal 5x1 crossing: 5 + 5 - 1 = 9
+        assert union_area([Rect(2, 0, 3, 5), Rect(0, 2, 5, 3)]) == 9.0
+
+    def test_checkerboard(self):
+        rects = [Rect(x, y, x + 1, y + 1)
+                 for x in range(4) for y in range(4) if (x + y) % 2 == 0]
+        assert union_area(rects) == 8.0
+
+
+class TestPairwiseIntersections:
+    def test_no_pairs(self):
+        assert pairwise_intersections([Rect(0, 0, 1, 1)]) == []
+
+    def test_disjoint_empty(self):
+        assert pairwise_intersections(
+            [Rect(0, 0, 1, 1), Rect(5, 5, 6, 6)]) == []
+
+    def test_edge_contact_excluded(self):
+        assert pairwise_intersections(
+            [Rect(0, 0, 1, 1), Rect(1, 0, 2, 1)]) == []
+
+    def test_three_way(self):
+        rects = [Rect(0, 0, 2, 2), Rect(1, 0, 3, 2), Rect(0, 1, 2, 3)]
+        inters = pairwise_intersections(rects)
+        assert len(inters) == 3
+
+
+class TestOverlapArea:
+    def test_zero_for_disjoint(self):
+        assert overlap_area([Rect(0, 0, 1, 1), Rect(3, 3, 4, 4)]) == 0.0
+
+    def test_simple_overlap(self):
+        assert overlap_area([Rect(0, 0, 2, 2), Rect(1, 0, 3, 2)]) == 2.0
+
+    def test_triple_overlap_not_double_counted(self):
+        # three identical squares: the overlap region is the square itself
+        r = Rect(0, 0, 2, 2)
+        assert overlap_area([r, r, r]) == 4.0
+
+    def test_overlap_never_exceeds_union(self):
+        rects = [Rect(0, 0, 3, 3), Rect(1, 1, 4, 4), Rect(2, 0, 5, 2)]
+        assert overlap_area(rects) <= union_area(rects)

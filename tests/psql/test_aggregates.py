@@ -1,0 +1,135 @@
+"""Tests for PSQL aggregate functions (Section 2.1's set-valued functions)."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.psql import PsqlSemanticError, Session
+
+
+@pytest.fixture()
+def session(map_database) -> Session:
+    return Session(map_database)
+
+
+class TestHighwayAggregates:
+    """The paper's own example: northest over a set of highway segments."""
+
+    def test_northest_per_highway(self, session, us_map):
+        r = session.execute(
+            "select hwy-name, northest(loc) from highways")
+        got = dict(r.rows)
+        by_name: dict[str, float] = {}
+        for h in us_map.highways:
+            top = max(h.loc.start.y, h.loc.end.y)
+            by_name[h.hwy_name] = max(by_name.get(h.hwy_name, -1e9), top)
+        assert got == pytest.approx(by_name)
+
+    def test_global_aggregate_without_keys(self, session, us_map):
+        r = session.execute("select northest(loc) from highways")
+        assert len(r) == 1
+        expect = max(max(h.loc.start.y, h.loc.end.y)
+                     for h in us_map.highways)
+        assert r.rows[0][0] == pytest.approx(expect)
+
+    def test_count_sections_per_highway(self, session, us_map):
+        r = session.execute("select hwy-name, count(loc) from highways")
+        got = dict(r.rows)
+        expect: dict[str, int] = {}
+        for h in us_map.highways:
+            expect[h.hwy_name] = expect.get(h.hwy_name, 0) + 1
+        assert got == expect
+
+    def test_mbr_aggregate_bounds_whole_highway(self, session, us_map):
+        r = session.execute("select hwy-name, mbr(loc) from highways")
+        for name, box in r.rows:
+            assert isinstance(box, Rect)
+            for h in us_map.highways:
+                if h.hwy_name == name:
+                    assert box.contains(h.loc.mbr())
+
+
+class TestNumericAggregates:
+    def test_sum_avg_min_max(self, session, us_map):
+        r = session.execute(
+            "select state, sum(population), avg(population), "
+            "min(population), max(population) from cities")
+        pops: dict[str, list[int]] = {}
+        for c in us_map.cities:
+            pops.setdefault(c.state, []).append(c.population)
+        for state, total, mean, lo, hi in r.rows:
+            assert total == sum(pops[state])
+            assert mean == pytest.approx(sum(pops[state]) / len(pops[state]))
+            assert lo == min(pops[state])
+            assert hi == max(pops[state])
+
+    def test_where_applies_before_grouping(self, session, us_map):
+        r = session.execute(
+            "select state, count(city) from cities "
+            "where population > 1_000_000")
+        expect: dict[str, int] = {}
+        for c in us_map.cities:
+            if c.population > 1_000_000:
+                expect[c.state] = expect.get(c.state, 0) + 1
+        assert dict(r.rows) == expect
+
+    def test_spatial_search_then_aggregate(self, session, us_map):
+        r = session.execute(
+            "select count(city) from cities on us-map "
+            "at loc covered-by {500 ± 250, 500 ± 250}")
+        window = Rect(250, 250, 750, 750)
+        expect = sum(1 for c in us_map.cities
+                     if window.contains_point(c.loc))
+        assert r.rows == [(expect,)]
+
+
+class TestCompassBackwardCompatibility:
+    def test_compass_still_scalar_in_where(self, session, us_map):
+        """northest() keeps its scalar meaning inside a where-clause."""
+        r = session.execute(
+            "select city from cities where northest(loc) > 900")
+        expect = sorted(c.name for c in us_map.cities if c.loc.y > 900)
+        assert sorted(r.column("city")) == expect
+
+    def test_compass_aggregate_of_one_equals_scalar(self, session, us_map):
+        """Grouping by a unique key degenerates to the scalar meaning."""
+        r = session.execute("select city, northest(loc) from cities")
+        got = dict(r.rows)
+        for c in us_map.cities:
+            assert got[c.name] == pytest.approx(c.loc.y)
+
+
+class TestErrors:
+    def test_scalar_function_beside_aggregate_rejected(self, session):
+        with pytest.raises(PsqlSemanticError, match="plain column"):
+            session.execute(
+                "select area(loc), count(city) from cities")
+
+    def test_aggregate_arity_checked(self, session):
+        with pytest.raises(PsqlSemanticError, match="exactly one"):
+            session.execute("select count(city, state) from cities")
+
+    def test_aggregate_over_no_rows_yields_no_groups(self, session):
+        """Zero qualifying rows create zero groups, hence zero output
+        rows — the aggregate is never invoked on an empty list."""
+        r = session.execute(
+            "select avg(population) from cities where population < 0")
+        assert len(r) == 0
+        r = session.execute(
+            "select count(city) from cities where population < 0")
+        assert len(r) == 0
+
+    def test_empty_group_guard_in_aggregate_functions(self):
+        """The aggregate implementations themselves reject empty input."""
+        from repro.psql.functions import DEFAULT_AGGREGATES
+        for name in ("avg", "min", "max", "mbr", "northest"):
+            with pytest.raises(PsqlSemanticError, match="empty group"):
+                DEFAULT_AGGREGATES[name]([])
+
+
+class TestCustomAggregates:
+    def test_register_aggregate(self, session):
+        session.functions.register_aggregate(
+            "median-pop", lambda vs: sorted(vs)[len(vs) // 2])
+        r = session.execute(
+            "select state, median-pop(population) from cities")
+        assert len(r) > 0

@@ -1,0 +1,55 @@
+"""Unit tests for AST node behaviour (string forms, equality)."""
+
+from repro.psql import ast
+
+
+def test_column_ref_str():
+    assert str(ast.ColumnRef(column="loc")) == "loc"
+    assert str(ast.ColumnRef(column="loc", relation="cities")) == \
+        "cities.loc"
+
+
+def test_function_call_str():
+    fn = ast.FunctionCall(name="area",
+                          args=(ast.ColumnRef(column="loc"),))
+    assert str(fn) == "area(loc)"
+    two = ast.FunctionCall(name="distance", args=(
+        ast.ColumnRef(column="loc", relation="a"),
+        ast.ColumnRef(column="loc", relation="b")))
+    assert str(two) == "distance(a.loc, b.loc)"
+
+
+def test_nested_function_str():
+    inner = ast.FunctionCall(name="length",
+                             args=(ast.ColumnRef(column="loc"),))
+    outer = ast.FunctionCall(name="sum", args=(inner,))
+    assert str(outer) == "sum(length(loc))"
+
+
+def test_ast_nodes_hashable_and_comparable():
+    a = ast.Comparison(left=ast.ColumnRef(column="x"), op=">",
+                       right=ast.Literal(value=5))
+    b = ast.Comparison(left=ast.ColumnRef(column="x"), op=">",
+                       right=ast.Literal(value=5))
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_query_equality_structural():
+    q1 = ast.Query(select=(ast.Star(),), relations=("r",))
+    q2 = ast.Query(select=(ast.Star(),), relations=("r",))
+    q3 = ast.Query(select=(ast.Star(),), relations=("s",))
+    assert q1 == q2
+    assert q1 != q3
+
+
+def test_window_literal_fields():
+    w = ast.WindowLiteral(cx=4, dx=4, cy=11, dy=9)
+    assert (w.cx, w.dx, w.cy, w.dy) == (4, 4, 11, 9)
+
+
+def test_at_clause_composition():
+    at = ast.AtClause(left=ast.LocRef(column="loc"), op="covered-by",
+                      right=ast.WindowLiteral(cx=0, dx=1, cy=0, dy=1))
+    assert at.op == "covered-by"
+    assert isinstance(at.left, ast.LocRef)

@@ -1,0 +1,119 @@
+"""Property-based tests: the PSQL executor vs a brute-force reference."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.geometry.predicates import OPERATORS
+from repro.psql import Session
+from repro.relational import Column, Database
+
+coords = st.floats(min_value=0.0, max_value=100.0, allow_nan=False,
+                   allow_infinity=False)
+points = st.builds(Point, coords, coords)
+populations = st.integers(min_value=0, max_value=10_000_000)
+
+city_lists = st.lists(st.tuples(points, populations), min_size=0,
+                      max_size=40)
+
+
+def build_db(cities):
+    db = Database()
+    rel = db.create_relation("cities", [
+        Column("city", "str"), Column("population", "int"),
+        Column("loc", "point")])
+    for i, (p, pop) in enumerate(cities):
+        rel.insert({"city": f"C{i}", "population": pop, "loc": p})
+    pic = db.create_picture("map", Rect(0, 0, 100, 100))
+    pic.register(rel, "loc", max_entries=4)
+    return db
+
+
+@st.composite
+def windows(draw):
+    cx = draw(coords)
+    cy = draw(coords)
+    dx = draw(st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+    dy = draw(st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+    return cx, cy, dx, dy
+
+
+@given(city_lists, windows())
+@settings(max_examples=50, deadline=None)
+def test_covered_by_window_matches_brute_force(cities, window):
+    cx, cy, dx, dy = window
+    db = build_db(cities)
+    result = Session(db).execute(
+        f"select city from cities on map "
+        f"at loc covered-by {{{cx!r} ± {dx!r}, {cy!r} ± {dy!r}}}")
+    rect = Rect.from_center(Point(cx, cy), dx, dy)
+    expect = sorted(f"C{i}" for i, (p, _pop) in enumerate(cities)
+                    if rect.contains_point(p))
+    assert sorted(result.column("city")) == expect
+
+
+@given(city_lists, windows())
+@settings(max_examples=50, deadline=None)
+def test_disjoined_window_is_complement(cities, window):
+    cx, cy, dx, dy = window
+    db = build_db(cities)
+    session = Session(db)
+    spec = f"{{{cx!r} ± {dx!r}, {cy!r} ± {dy!r}}}"
+    inside = session.execute(
+        f"select city from cities on map at loc intersecting {spec}")
+    outside = session.execute(
+        f"select city from cities on map at loc disjoined {spec}")
+    assert len(inside) + len(outside) == len(cities)
+    assert not set(inside.column("city")) & set(outside.column("city"))
+
+
+@given(city_lists, populations)
+@settings(max_examples=50, deadline=None)
+def test_where_filter_matches_brute_force(cities, threshold):
+    db = build_db(cities)
+    result = Session(db).execute(
+        f"select city from cities where population > {threshold}")
+    expect = sorted(f"C{i}" for i, (_p, pop) in enumerate(cities)
+                    if pop > threshold)
+    assert sorted(result.column("city")) == expect
+
+
+@given(city_lists, populations)
+@settings(max_examples=30, deadline=None)
+def test_index_path_equals_scan_path(cities, threshold):
+    """The same query with and without a B-tree index agrees exactly."""
+    db = build_db(cities)
+    query = f"select city from cities where population >= {threshold}"
+    without = sorted(Session(db).execute(query).column("city"))
+    db.relation("cities").create_index("population")
+    with_index = sorted(Session(db).execute(query).column("city"))
+    assert without == with_index
+
+
+@given(city_lists)
+@settings(max_examples=30, deadline=None)
+def test_juxtaposition_matches_nested_loop(cities):
+    """R-tree join vs brute force over two relations."""
+    db = build_db(cities)
+    zones = db.create_relation("zones", [
+        Column("zone", "str"), Column("loc", "region")])
+    from repro.geometry import Region
+    quadrants = {
+        "SW": Rect(0, 0, 50, 50), "SE": Rect(50, 0, 100, 50),
+        "NW": Rect(0, 50, 50, 100), "NE": Rect(50, 50, 100, 100),
+    }
+    for name, rect in quadrants.items():
+        zones.insert({"zone": name, "loc": Region.from_rect(rect)})
+    db.create_picture("zone-map", Rect(0, 0, 100, 100)).register(
+        zones, "loc", max_entries=4)
+
+    result = Session(db).execute(
+        "select city, zone from cities, zones on map, zone-map "
+        "at cities.loc covered-by zones.loc")
+    got = sorted(result.rows)
+    expect = sorted(
+        (f"C{i}", name)
+        for i, (p, _pop) in enumerate(cities)
+        for name, rect in quadrants.items()
+        if rect.contains_point(p))
+    assert got == expect

@@ -1,0 +1,55 @@
+"""Round-trip tests for the PSQL pretty-printer."""
+
+import pytest
+
+from repro.psql import parse
+from repro.psql.format import format_query
+
+CORPUS = [
+    "select a from r",
+    "select * from r",
+    "select a, b, r.c from r",
+    "select city from cities on us-map "
+    "at loc covered-by {4 ± 4, 11 ± 9}",
+    "select city from cities on us-map "
+    "at loc covered-by {-4.5 ± 4, 11 ± 9.25}",
+    "select city, zone from cities, time-zones on us-map, time-zone-map "
+    "at cities.loc covered-by time-zones.loc",
+    "select a from r on p at loc overlapping {0 ± 1, 0 ± 1} "
+    "where x > 1 and y < 2",
+    "select a from r where x = 'text value' or not y <> 3",
+    "select area(loc), northest(loc) from states where area(loc) >= 100",
+    "select lake from lakes on lake-map at lakes.loc covered-by "
+    "(select states.loc from states on us-map "
+    " at states.loc covered-by {4 ± 4, 11 ± 9})",
+    "select a from r where (x > 1 or y > 2) and z = 3",
+    "select distance(a.loc, b.loc) from a, b",
+]
+
+
+@pytest.mark.parametrize("text", CORPUS)
+def test_roundtrip_fixed_point(text):
+    """parse -> format -> parse reaches a fixed point."""
+    once = parse(text)
+    rendered = format_query(once)
+    twice = parse(rendered)
+    assert once == twice
+    assert format_query(twice) == rendered
+
+
+def test_format_is_readable():
+    q = parse("select city from cities on us-map "
+              "at loc covered-by {4 ± 4, 11 ± 9} where population > 5")
+    text = format_query(q)
+    assert text.splitlines()[0].startswith("select ")
+    assert "covered-by" in text
+    assert "± " in text
+
+
+def test_nested_query_indented():
+    q = parse("select lake from lakes on lake-map at loc covered-by "
+              "select states.loc from states on us-map "
+              "at loc covered-by {0 ± 1, 0 ± 1}")
+    text = format_query(q)
+    assert "(\n" in text  # nested mapping rendered as an indented block
+    assert parse(text) == q

@@ -1,0 +1,92 @@
+"""Unit tests for pictorial functions."""
+
+import pytest
+
+from repro.geometry import Point, Rect, Region, Segment
+from repro.psql import PsqlSemanticError
+from repro.psql.functions import DEFAULT_FUNCTIONS, FunctionRegistry
+
+SQUARE = Region.from_rect(Rect(0, 0, 4, 4))
+SEG = Segment(Point(0, 0), Point(3, 4))
+
+
+def fn(name):
+    return DEFAULT_FUNCTIONS[name]
+
+
+def test_area_region_exact():
+    assert fn("area")(SQUARE) == 16.0
+
+
+def test_area_of_point_and_segment_zero():
+    assert fn("area")(Point(1, 2)) == 0.0
+    assert fn("area")(SEG) == 0.0
+
+
+def test_area_rejects_non_pictorial():
+    with pytest.raises(PsqlSemanticError):
+        fn("area")("nope")
+
+
+def test_perimeter():
+    assert fn("perimeter")(SQUARE) == 16.0
+    assert fn("perimeter")(SEG) == 5.0
+    assert fn("perimeter")(Rect(0, 0, 2, 3)) == 10.0
+
+
+def test_length_segment_only():
+    assert fn("length")(SEG) == 5.0
+    with pytest.raises(PsqlSemanticError):
+        fn("length")(SQUARE)
+
+
+def test_compass_extremes():
+    assert fn("northest")(SQUARE) == 4.0
+    assert fn("southest")(SQUARE) == 0.0
+    assert fn("eastest")(SQUARE) == 4.0
+    assert fn("westest")(SQUARE) == 0.0
+
+
+def test_compass_on_segment():
+    assert fn("northest")(SEG) == 4.0
+    assert fn("westest")(SEG) == 0.0
+
+
+def test_xy_of_point():
+    assert fn("x")(Point(7, 9)) == 7.0
+    assert fn("y")(Point(7, 9)) == 9.0
+
+
+def test_xy_of_region_is_center():
+    assert fn("x")(SQUARE) == 2.0
+    assert fn("y")(SQUARE) == 2.0
+
+
+def test_distance():
+    a = Region.from_rect(Rect(0, 0, 1, 1))
+    b = Region.from_rect(Rect(4, 1, 5, 2))
+    assert fn("distance")(a, b) == 3.0
+    assert fn("distance")(a, a) == 0.0
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        reg = FunctionRegistry()
+        assert reg.lookup("AREA") is DEFAULT_FUNCTIONS["area"]
+
+    def test_register_custom(self):
+        reg = FunctionRegistry()
+        reg.register("double-area", lambda v: 2 * DEFAULT_FUNCTIONS["area"](v))
+        assert reg.lookup("double-area")(SQUARE) == 32.0
+
+    def test_override_allowed(self):
+        reg = FunctionRegistry()
+        reg.register("area", lambda v: -1.0)
+        assert reg.lookup("area")(SQUARE) == -1.0
+        # The default table itself is untouched.
+        assert DEFAULT_FUNCTIONS["area"](SQUARE) == 16.0
+
+    def test_unknown_function(self):
+        reg = FunctionRegistry()
+        with pytest.raises(PsqlSemanticError, match="unknown function"):
+            reg.lookup("frobnicate")

@@ -1,0 +1,166 @@
+"""End-to-end integration scenarios across PSQL, catalog and R-trees."""
+
+import pytest
+
+from repro.geometry import Point, Rect, Region
+from repro.psql import Session
+from repro.relational import Column, Database
+
+
+@pytest.fixture()
+def session(map_database) -> Session:
+    return Session(map_database)
+
+
+class TestLiveUpdates:
+    """Section 2.3: updates reorganise the spatial index incrementally."""
+
+    def test_insert_then_query_sees_new_city(self, session, map_database):
+        window_q = ("select city from cities on us-map "
+                    "at loc covered-by {500 ± 5, 500 ± 5}")
+        before = session.execute(window_q)
+        map_database.insert("cities", {
+            "city": "Brandnew", "state": "Avalon",
+            "population": 123, "loc": Point(500, 500)})
+        after = session.execute(window_q)
+        assert "Brandnew" not in before.column("city")
+        assert "Brandnew" in after.column("city")
+
+    def test_delete_then_query_drops_city(self, session, map_database):
+        rid = map_database.insert("cities", {
+            "city": "Doomed", "state": "Avalon",
+            "population": 1, "loc": Point(111, 111)})
+        map_database.delete("cities", rid)
+        r = session.execute("select city from cities on us-map "
+                            "at loc covered-by {111 ± 2, 111 ± 2}")
+        assert "Doomed" not in r.column("city")
+
+    def test_update_burst_keeps_queries_consistent(self, session,
+                                                   map_database):
+        for i in range(50):
+            map_database.insert("cities", {
+                "city": f"Gen{i}", "state": "Avalon",
+                "population": i, "loc": Point(10.0 + i, 990.0)})
+        r = session.execute("select city from cities on us-map "
+                            "at loc covered-by {35 ± 30, 990 ± 1}")
+        expect = {f"Gen{i}" for i in range(50) if 5 <= 10 + i <= 65}
+        assert set(r.column("city")) >= expect
+
+
+class TestIndirectSearch:
+    """Requirement 3 of the intro: find by attribute, display on picture."""
+
+    def test_attribute_query_returns_locations(self, session):
+        r = session.execute(
+            "select city, loc from cities where population > 1_000_000")
+        # Every row carries its location for display.
+        assert all(isinstance(loc, Point) for loc in r.column("loc"))
+        assert len(r.pictorial) == len(r)
+
+    def test_attribute_and_spatial_compose(self, session, us_map):
+        spatial_only = session.execute(
+            "select city from cities on us-map "
+            "at loc covered-by {500 ± 500, 500 ± 500}")
+        both = session.execute(
+            "select city from cities on us-map "
+            "at loc covered-by {500 ± 500, 500 ± 500} "
+            "where population > 1_000_000 and state = 'Avalon'")
+        assert set(both.column("city")) <= set(spatial_only.column("city"))
+
+
+class TestMultiPicture:
+    def test_same_relation_two_pictures(self, map_database, us_map):
+        """One relation, two pictures (Section 2.1's sharability)."""
+        zoom = map_database.create_picture(
+            "zoom-map", Rect(0, 0, 500, 500))
+        zoom.register(map_database.relation("cities"), "loc")
+        session = Session(map_database)
+        a = session.execute("select city from cities on us-map "
+                            "at loc covered-by {250 ± 250, 250 ± 250}")
+        b = session.execute("select city from cities on zoom-map "
+                            "at loc covered-by {250 ± 250, 250 ± 250}")
+        assert sorted(a.column("city")) == sorted(b.column("city"))
+
+    def test_on_clause_picks_picture_with_index(self, session):
+        """With two pictures named, the executor finds the right index."""
+        r = session.execute(
+            "select city, zone from cities, time-zones "
+            "on time-zone-map, us-map "
+            "at cities.loc covered-by time-zones.loc")
+        assert len(r) > 0
+
+
+class TestRegionSemantics:
+    def test_point_in_concave_region_refinement(self):
+        """covered-by refines with exact polygon containment."""
+        db = Database()
+        pois = db.create_relation("pois", [
+            Column("name", "str"), Column("loc", "point")])
+        pois.insert({"name": "in-notch", "loc": Point(3, 3)})
+        pois.insert({"name": "in-arm", "loc": Point(1, 3)})
+        zones = db.create_relation("zones", [
+            Column("zone", "str"), Column("loc", "region")])
+        l_shape = Region([Point(0, 0), Point(4, 0), Point(4, 2),
+                          Point(2, 2), Point(2, 4), Point(0, 4)])
+        zones.insert({"zone": "L", "loc": l_shape})
+        pic = db.create_picture("map", Rect(0, 0, 10, 10))
+        pic.register(pois, "loc")
+        pic.register(zones, "loc")
+        r = Session(db).execute(
+            "select name, zone from pois, zones on map "
+            "at pois.loc covered-by zones.loc")
+        # The notch point is inside the MBR but outside the polygon.
+        assert r.column("name") == ["in-arm"]
+
+    def test_lake_volume_filter_with_spatial(self, session, us_map):
+        r = session.execute(
+            "select lake, volume from lakes on lake-map "
+            "at loc overlapping {500 ± 500, 500 ± 500} "
+            "where volume > 0")
+        assert len(r) == len(us_map.lakes)
+
+
+class TestSegmentJuxtaposition:
+    def test_highways_crossing_states(self, session, us_map):
+        """Segments (highways) joined against regions (states)."""
+        r = session.execute(
+            "select hwy-name, state from highways, states on us-map "
+            "at highways.loc intersecting states.loc")
+        assert len(r) > 0
+        # Verify one sampled pair geometrically (MBR semantics).
+        state_mbr = {s.name: s.loc.mbr() for s in us_map.states}
+        section_mbrs: dict[str, list] = {}
+        for h in us_map.highways:
+            section_mbrs.setdefault(h.hwy_name, []).append(h.loc.mbr())
+        for hwy, state in set(r.rows):
+            assert any(m.intersects(state_mbr[state])
+                       for m in section_mbrs[hwy])
+
+    def test_highway_length_aggregate(self, session, us_map):
+        r = session.execute(
+            "select hwy-name, sum(length(loc)) from highways")
+        got = dict(r.rows)
+        expect: dict[str, float] = {}
+        for h in us_map.highways:
+            expect[h.hwy_name] = expect.get(h.hwy_name, 0.0) + h.loc.length()
+        for name, total in expect.items():
+            assert got[name] == pytest.approx(total)
+
+
+class TestResultFormatting:
+    def test_table_rendering(self, session):
+        r = session.execute("select city, population from cities")
+        text = r.format_table(max_rows=5)
+        assert "city" in text and "population" in text
+        assert "more rows" in text  # the fixture map has > 5 cities
+
+    def test_as_dicts(self, session):
+        r = session.execute("select city, population from cities")
+        dicts = r.as_dicts()
+        assert len(dicts) == len(r)
+        assert set(dicts[0]) == {"city", "population"}
+
+    def test_column_accessor_unknown(self, session):
+        r = session.execute("select city from cities")
+        with pytest.raises(KeyError):
+            r.column("nope")

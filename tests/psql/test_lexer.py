@@ -1,0 +1,117 @@
+"""Unit tests for the PSQL tokenizer."""
+
+import pytest
+
+from repro.psql import PsqlSyntaxError, tokenize
+from repro.psql.lexer import EOF, IDENT, KEYWORD, NUMBER, STRING, SYMBOL
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]  # drop EOF
+
+
+def test_keywords_case_insensitive():
+    toks = tokenize("SELECT From WHERE")
+    assert [t.kind for t in toks[:-1]] == [KEYWORD] * 3
+    assert [t.text for t in toks[:-1]] == ["select", "from", "where"]
+
+
+def test_hyphenated_identifiers():
+    assert texts("time-zones covered-by us-map") == [
+        "time-zones", "covered-by", "us-map"]
+
+
+def test_identifier_with_digits_and_hyphen():
+    assert texts("I-5 hwy_2") == ["I-5", "hwy_2"]
+
+
+def test_trailing_hyphen_not_part_of_identifier():
+    # "loc-" followed by a brace: the hyphen cannot join.
+    toks = tokenize("loc -5")
+    assert toks[0].text == "loc"
+    assert toks[1].kind == NUMBER
+    assert toks[1].text == "-5"
+
+
+def test_numbers():
+    toks = tokenize("42 3.25 -7 450_000")
+    assert [t.kind for t in toks[:-1]] == [NUMBER] * 4
+    assert [t.text for t in toks[:-1]] == ["42", "3.25", "-7", "450000"]
+
+
+def test_scientific_notation():
+    toks = tokenize("1e-09 2.5E+3 7e2")
+    assert [t.kind for t in toks[:-1]] == [NUMBER] * 3
+    assert [float(t.text) for t in toks[:-1]] == [1e-09, 2.5e3, 700.0]
+
+
+def test_e_without_digits_is_identifier_boundary():
+    # "3e" is the number 3 followed by the identifier e.
+    toks = tokenize("3e x")
+    assert toks[0].kind == NUMBER and toks[0].text == "3"
+    assert toks[1].kind == IDENT and toks[1].text == "e"
+
+
+def test_plus_minus_unicode_and_ascii_equivalent():
+    a = tokenize("{4±4, 11±9}")
+    b = tokenize("{4+-4, 11+-9}")
+    assert [t.text for t in a] == [t.text for t in b]
+
+
+def test_strings():
+    toks = tokenize("'hello world' \"two\"")
+    assert [t.kind for t in toks[:-1]] == [STRING, STRING]
+    assert toks[0].text == "hello world"
+
+
+def test_unterminated_string():
+    with pytest.raises(PsqlSyntaxError, match="unterminated"):
+        tokenize("'oops")
+
+
+def test_comparison_symbols():
+    assert texts("a >= b <= c <> d > e < f = g") == [
+        "a", ">=", "b", "<=", "c", "<>", "d", ">", "e", "<", "f", "=", "g"]
+
+
+def test_punctuation():
+    assert texts("( ) { } , . *") == ["(", ")", "{", "}", ",", ".", "*"]
+
+
+def test_comments_skipped():
+    toks = tokenize("select -- a comment\nfrom")
+    assert [t.text for t in toks[:-1]] == ["select", "from"]
+
+
+def test_unexpected_character():
+    with pytest.raises(PsqlSyntaxError, match="unexpected character"):
+        tokenize("select @")
+
+
+def test_eof_always_present():
+    assert tokenize("")[-1].kind == EOF
+    assert tokenize("x")[-1].kind == EOF
+
+
+def test_positions_recorded():
+    toks = tokenize("select city")
+    assert toks[0].position == 0
+    assert toks[1].position == 7
+
+
+def test_full_paper_query_tokenizes():
+    text = """
+        select city,state,population,loc
+        from cities
+        on us-map
+        at loc covered-by {4±4, 11±9}
+        where population > 450_000
+    """
+    toks = tokenize(text)
+    assert toks[-1].kind == EOF
+    # select, from, on, at, where
+    assert sum(1 for t in toks if t.kind == KEYWORD) == 5

@@ -1,0 +1,64 @@
+"""Fuzz tests: the parser must fail cleanly, never crash.
+
+Whatever bytes arrive, the only acceptable outcomes are a parsed Query
+or a PsqlSyntaxError — no IndexError, RecursionError (at sane depths),
+or other internal exceptions leaking to callers.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.psql import PsqlSyntaxError, parse
+from repro.psql import ast
+from repro.psql.format import format_query
+from repro.psql.lexer import tokenize
+
+printable = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=120)
+
+query_shaped = st.text(
+    alphabet=st.sampled_from(list("select from where on at loc covered-by "
+                                  "{}()±.,<>='0123456789 \n")),
+    max_size=120)
+
+
+@given(printable)
+@settings(max_examples=300, deadline=None)
+def test_arbitrary_text_never_crashes_lexer(text):
+    try:
+        tokens = tokenize(text)
+        assert tokens[-1].kind == "EOF"
+    except PsqlSyntaxError:
+        pass
+
+
+@given(printable)
+@settings(max_examples=300, deadline=None)
+def test_arbitrary_text_never_crashes_parser(text):
+    try:
+        query = parse(text)
+        assert isinstance(query, ast.Query)
+    except PsqlSyntaxError:
+        pass
+
+
+@given(query_shaped)
+@settings(max_examples=300, deadline=None)
+def test_query_shaped_text_never_crashes_parser(text):
+    try:
+        query = parse(text)
+        assert isinstance(query, ast.Query)
+    except PsqlSyntaxError:
+        pass
+
+
+@given(query_shaped)
+@settings(max_examples=150, deadline=None)
+def test_anything_parseable_roundtrips_through_formatter(text):
+    try:
+        query = parse(text)
+    except PsqlSyntaxError:
+        return
+    rendered = format_query(query)
+    assert parse(rendered) == query

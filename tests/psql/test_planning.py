@@ -1,0 +1,130 @@
+"""Tests for named locations and the index-assisted access path."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.psql import PsqlSemanticError, Session
+from repro.psql import ast
+from repro.psql.executor import _Execution
+from repro.psql.parser import parse
+
+
+@pytest.fixture()
+def session(map_database) -> Session:
+    return Session(map_database)
+
+
+class TestNamedLocations:
+    def test_location_in_at_clause(self, session, map_database, us_map):
+        map_database.define_location("eastern-us", Rect(500, 0, 1000, 1000))
+        named = session.execute(
+            "select city from cities on us-map "
+            "at loc covered-by eastern-us")
+        literal = session.execute(
+            "select city from cities on us-map "
+            "at loc covered-by {750 ± 250, 500 ± 500}")
+        assert sorted(named.column("city")) == sorted(literal.column("city"))
+
+    def test_location_on_left_side(self, session, map_database):
+        map_database.define_location("probe", Rect(495, 495, 505, 505))
+        a = session.execute("select city from cities on us-map "
+                            "at probe covering loc")
+        b = session.execute("select city from cities on us-map "
+                            "at loc covered-by probe")
+        assert sorted(a.column("city")) == sorted(b.column("city"))
+
+    def test_relation_column_shadows_location(self, session, map_database):
+        """A column named like a location still resolves as the column."""
+        map_database.define_location("loc", Rect(0, 0, 1, 1))
+        r = session.execute("select city from cities on us-map "
+                            "at loc covered-by {500 ± 500, 500 ± 500}")
+        assert len(r) > 0  # searched the column, not the 1x1 location
+
+    def test_unknown_name_still_errors(self, session):
+        with pytest.raises(PsqlSemanticError):
+            session.execute("select city from cities on us-map "
+                            "at loc covered-by never-defined")
+
+    def test_invalid_location_rejected(self, map_database):
+        with pytest.raises(ValueError):
+            map_database.define_location("bad", Rect(5, 5, 1, 1))
+
+    def test_location_lookup(self, map_database):
+        map_database.define_location("here", Rect(0, 0, 2, 2))
+        assert map_database.location("here") == Rect(0, 0, 2, 2)
+        assert map_database.has_location("here")
+        with pytest.raises(KeyError):
+            map_database.location("nowhere")
+
+
+class TestIndexedAccessPath:
+    @pytest.fixture()
+    def indexed_db(self, map_database):
+        map_database.relation("cities").create_index("population")
+        map_database.relation("cities").create_index("state")
+        return map_database
+
+    def _plan(self, db, text):
+        """The binding set the index path produced, or None."""
+        execution = _Execution(Session(db), parse(text))
+        return execution._bindings_from_indexes()
+
+    def test_equality_uses_index(self, indexed_db):
+        plan = self._plan(indexed_db,
+                          "select city from cities where state = 'Avalon'")
+        assert plan is not None
+        full = list(indexed_db.relation("cities").rows())
+        assert 0 < len(plan) < len(full)
+
+    def test_range_uses_index(self, indexed_db):
+        plan = self._plan(
+            indexed_db,
+            "select city from cities where population > 1_000_000")
+        assert plan is not None
+
+    def test_unindexed_column_falls_back(self, indexed_db):
+        plan = self._plan(indexed_db,
+                          "select city from cities where city = 'X'")
+        assert plan is None
+
+    def test_or_condition_falls_back(self, indexed_db):
+        plan = self._plan(
+            indexed_db,
+            "select city from cities "
+            "where state = 'Avalon' or population > 5")
+        assert plan is None
+
+    def test_at_clause_disables_index_path(self, indexed_db):
+        plan = self._plan(
+            indexed_db,
+            "select city from cities on us-map "
+            "at loc covered-by {500 ± 500, 500 ± 500} "
+            "where state = 'Avalon'")
+        assert plan is None
+
+    @pytest.mark.parametrize("op", ["=", ">", ">=", "<", "<="])
+    def test_results_identical_with_and_without_index(self, map_database,
+                                                      op):
+        query = (f"select city, population from cities "
+                 f"where population {op} 1_000_000")
+        session = Session(map_database)
+        before = sorted(session.execute(query).rows)
+        map_database.relation("cities").create_index("population")
+        after = sorted(session.execute(query).rows)
+        assert before == after
+
+    def test_literal_on_left_flips(self, indexed_db):
+        session = Session(indexed_db)
+        a = sorted(session.execute(
+            "select city from cities where 1_000_000 < population").rows)
+        b = sorted(session.execute(
+            "select city from cities where population > 1_000_000").rows)
+        assert a == b
+
+    def test_conjunct_with_extra_filters_still_exact(self, indexed_db):
+        session = Session(indexed_db)
+        r = session.execute(
+            "select city, state, population from cities "
+            "where state = 'Avalon' and population > 500_000")
+        for _city, state, pop in r.rows:
+            assert state == "Avalon" and pop > 500_000

@@ -1,0 +1,98 @@
+"""Tests for the interactive PSQL shell."""
+
+import io
+
+import pytest
+
+from repro.psql.repl import Repl, build_demo_database
+
+
+def run_repl(script: str, db=None) -> str:
+    stdin = io.StringIO(script)
+    stdout = io.StringIO()
+    repl = Repl(db=db, stdin=stdin, stdout=stdout)
+    code = repl.run()
+    assert code == 0
+    return stdout.getvalue()
+
+
+@pytest.fixture(scope="module")
+def demo_db():
+    return build_demo_database(seed=42)
+
+
+def test_simple_query(demo_db):
+    out = run_repl("select city, population from cities "
+                   "where population > 2_000_000;\n\\quit\n", demo_db)
+    assert "city" in out
+    assert "rows)" in out
+
+
+def test_multiline_query(demo_db):
+    out = run_repl(
+        "select city from cities\n"
+        "on us-map\n"
+        "at loc covered-by {500 ± 100, 500 ± 100};\n"
+        "\\quit\n", demo_db)
+    assert "rows)" in out
+
+
+def test_named_location_available(demo_db):
+    out = run_repl("select city from cities on us-map "
+                   "at loc covered-by eastern-us;\n\\quit\n", demo_db)
+    assert "rows)" in out
+    assert "error" not in out
+
+
+def test_syntax_error_reported_not_fatal(demo_db):
+    out = run_repl("select from nothing;\n"
+                   "select city from cities where population > 0;\n"
+                   "\\quit\n", demo_db)
+    import re
+    assert "error:" in out
+    # the second query still ran and reported its row count
+    assert len(re.findall(r"^\(\d+ rows\)$", out, re.MULTILINE)) == 1
+
+
+def test_semantic_error_reported(demo_db):
+    out = run_repl("select x from no-such-relation;\n\\quit\n", demo_db)
+    assert "unknown relation" in out
+
+
+def test_relations_meta(demo_db):
+    out = run_repl("\\relations\n\\quit\n", demo_db)
+    assert "cities(" in out
+    assert "lakes(" in out
+
+
+def test_pictures_meta(demo_db):
+    out = run_repl("\\pictures\n\\quit\n", demo_db)
+    assert "us-map" in out
+    assert "cities.loc" in out
+
+
+def test_map_toggle_renders_ascii(demo_db):
+    out = run_repl("\\map\n"
+                   "select city, loc from cities on us-map "
+                   "at loc covered-by {500 ± 200, 500 ± 200};\n"
+                   "\\quit\n", demo_db)
+    assert "pictorial output on" in out
+    assert "*" in out  # cities plotted on the ASCII map
+
+
+def test_unknown_meta_command(demo_db):
+    out = run_repl("\\frobnicate\n\\quit\n", demo_db)
+    assert "unknown command" in out
+
+
+def test_eof_exits_cleanly(demo_db):
+    out = run_repl("", demo_db)
+    assert "PSQL shell" in out
+
+
+def test_demo_database_contents():
+    db = build_demo_database(seed=1)
+    assert db.has_relation("cities")
+    assert db.has_picture("us-map")
+    assert db.has_location("eastern-us")
+    assert len(db.relation("cities")) > 0

@@ -1,0 +1,79 @@
+"""Unit tests for the PR quadtree."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.quadtree import PointQuadtree
+from repro.workloads import uniform_points
+
+UNIVERSE = Rect(0, 0, 1000, 1000)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        PointQuadtree(UNIVERSE, bucket=0)
+    with pytest.raises(ValueError):
+        PointQuadtree(Rect(0, 0, 0, 10))
+
+
+def test_insert_outside_universe_rejected():
+    q = PointQuadtree(UNIVERSE)
+    with pytest.raises(ValueError):
+        q.insert(Point(-1, 5), "x")
+
+
+def test_insert_and_search():
+    q = PointQuadtree(UNIVERSE, bucket=2)
+    q.insert(Point(10, 10), "a")
+    q.insert(Point(900, 900), "b")
+    q.insert(Point(12, 12), "c")
+    assert sorted(q.search(Rect(0, 0, 50, 50))) == ["a", "c"]
+    assert q.search(Rect(800, 800, 1000, 1000)) == ["b"]
+    assert len(q) == 3
+
+
+def test_split_on_overflow():
+    q = PointQuadtree(UNIVERSE, bucket=2)
+    for i in range(10):
+        q.insert(Point(float(i), float(i)), i)
+    assert q.depth() > 0
+    assert sorted(q.search(UNIVERSE)) == list(range(10))
+
+
+def test_search_matches_brute_force():
+    pts = uniform_points(500, seed=31)
+    q = PointQuadtree(UNIVERSE, bucket=4)
+    for i, p in enumerate(pts):
+        q.insert(p, i)
+    for window in (Rect(100, 100, 400, 300), Rect(0, 0, 1000, 1000),
+                   Rect(990, 990, 999, 999)):
+        expect = sorted(i for i, p in enumerate(pts)
+                        if window.contains_point(p))
+        assert sorted(q.search(window)) == expect
+
+
+def test_coincident_points_bounded_by_max_depth():
+    q = PointQuadtree(UNIVERSE, bucket=1, max_depth=6)
+    for i in range(20):
+        q.insert(Point(500.0, 500.0), i)
+    assert q.depth() <= 6
+    assert len(q.search(Rect(499, 499, 501, 501))) == 20
+
+
+def test_access_counting():
+    pts = uniform_points(200, seed=32)
+    q = PointQuadtree(UNIVERSE, bucket=4)
+    for i, p in enumerate(pts):
+        q.insert(p, i)
+    small = q.count_search_accesses(Rect(10, 10, 20, 20))
+    full = q.count_search_accesses(UNIVERSE)
+    assert 1 <= small < full == q.node_count()
+
+
+def test_boundary_point_assignment():
+    """A point exactly on a split line lands in exactly one quadrant."""
+    q = PointQuadtree(Rect(0, 0, 100, 100), bucket=1)
+    q.insert(Point(10, 10), 0)
+    q.insert(Point(90, 90), 1)
+    q.insert(Point(50, 50), 2)  # on the split centre after a split
+    assert sorted(q.search(Rect(0, 0, 100, 100))) == [0, 1, 2]

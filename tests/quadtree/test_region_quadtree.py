@@ -1,0 +1,109 @@
+"""Unit tests for the decomposing region quadtree."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.quadtree import RegionQuadtree
+from repro.workloads import uniform_rects
+
+UNIVERSE = Rect(0, 0, 1000, 1000)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        RegionQuadtree(UNIVERSE, max_depth=-1)
+    with pytest.raises(ValueError):
+        RegionQuadtree(UNIVERSE, bucket=0)
+    with pytest.raises(ValueError):
+        RegionQuadtree(Rect(0, 0, 10, 0))
+
+
+def test_rect_outside_universe_rejected():
+    q = RegionQuadtree(UNIVERSE)
+    with pytest.raises(ValueError):
+        q.insert(Rect(-5, 0, 10, 10), "x")
+
+
+def test_insert_and_object_search():
+    q = RegionQuadtree(UNIVERSE, max_depth=4, bucket=2)
+    q.insert(Rect(0, 0, 100, 100), "a")
+    q.insert(Rect(600, 600, 800, 700), "b")
+    objects, _fragments = q.search_objects(Rect(50, 50, 650, 650))
+    assert sorted(objects) == ["a", "b"]
+    assert len(q) == 2
+
+
+def test_decomposition_creates_fragments():
+    """A rectangle straddling quadrant boundaries shatters into pieces —
+    the behaviour the paper criticises."""
+    q = RegionQuadtree(UNIVERSE, max_depth=4, bucket=1)
+    # Force subdivision first.
+    q.insert(Rect(10, 10, 20, 20), "seed")
+    q.insert(Rect(480, 480, 520, 520), "straddler")  # crosses the centre
+    assert q.fragment_count > 2
+
+
+def test_object_search_deduplicates_fragments():
+    q = RegionQuadtree(UNIVERSE, max_depth=5, bucket=1)
+    q.insert(Rect(5, 5, 8, 8), "seed")
+    q.insert(Rect(100, 100, 900, 900), "big")
+    objects, fragments = q.search_objects(Rect(0, 0, 1000, 1000))
+    assert sorted(objects) == ["big", "seed"]
+    assert fragments >= len(objects)
+
+
+def test_search_matches_brute_force():
+    rects = uniform_rects(120, max_side=80, seed=41)
+    q = RegionQuadtree(UNIVERSE, max_depth=6, bucket=4)
+    for i, r in enumerate(rects):
+        q.insert(r, i)
+    for window in (Rect(100, 100, 500, 500), Rect(0, 0, 1000, 1000)):
+        expect = sorted(i for i, r in enumerate(rects)
+                        if r.intersects(window) and r.area() > 0)
+        got, _ = q.search_objects(window)
+        # Degenerate rects store no fragments; exclude them from both sides.
+        assert sorted(g for g in got) == expect
+
+
+def test_access_counting():
+    rects = uniform_rects(60, max_side=50, seed=42)
+    q = RegionQuadtree(UNIVERSE, max_depth=6, bucket=2)
+    for i, r in enumerate(rects):
+        q.insert(r, i)
+    assert q.count_search_accesses(Rect(0, 0, 10, 10)) <= q.node_count()
+
+
+def test_fragmentation_grows_with_depth():
+    """Deeper decomposition limits shatter objects into more pieces —
+    the paper's 'lower level pictorial primitives' trade-off."""
+    rects = uniform_rects(80, max_side=120, seed=44)
+    shallow = RegionQuadtree(UNIVERSE, max_depth=2, bucket=1)
+    deep = RegionQuadtree(UNIVERSE, max_depth=7, bucket=1)
+    for i, r in enumerate(rects):
+        if r.area() > 0:
+            shallow.insert(r, i)
+            deep.insert(r, i)
+    assert deep.fragment_count >= shallow.fragment_count
+    # Same answers regardless of decomposition depth.
+    window = Rect(250, 250, 600, 600)
+    assert sorted(shallow.search_objects(window)[0]) == sorted(
+        deep.search_objects(window)[0])
+
+
+def test_bucket_size_controls_subdivision():
+    rects = [Rect(i * 8.0, i * 8.0, i * 8.0 + 5, i * 8.0 + 5)
+             for i in range(40)]
+    tight = RegionQuadtree(UNIVERSE, max_depth=8, bucket=1)
+    loose = RegionQuadtree(UNIVERSE, max_depth=8, bucket=16)
+    for i, r in enumerate(rects):
+        tight.insert(r, i)
+        loose.insert(r, i)
+    assert loose.node_count() <= tight.node_count()
+
+
+def test_full_cover_rect_stored_high():
+    """A rectangle covering the whole universe stays at the root."""
+    q = RegionQuadtree(UNIVERSE, max_depth=6, bucket=1)
+    q.insert(UNIVERSE, "everything")
+    assert q.fragment_count == 1
+    assert q.node_count() == 1

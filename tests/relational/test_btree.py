@@ -1,0 +1,211 @@
+"""Unit tests for the B+-tree index."""
+
+import random
+
+import pytest
+
+from repro.relational import BTree
+
+
+def test_order_must_be_at_least_three():
+    with pytest.raises(ValueError):
+        BTree(order=2)
+
+
+def test_empty_tree():
+    t = BTree()
+    assert len(t) == 0
+    assert t.search("anything") == []
+    assert not t.contains("anything")
+    assert list(t.items()) == []
+
+
+def test_insert_and_search():
+    t = BTree(order=4)
+    t.insert("b", 2)
+    t.insert("a", 1)
+    t.insert("c", 3)
+    assert t.search("a") == [1]
+    assert t.search("b") == [2]
+    assert t.search("z") == []
+
+
+def test_duplicates_accumulate():
+    t = BTree(order=4)
+    t.insert("k", 1)
+    t.insert("k", 2)
+    t.insert("k", 3)
+    assert sorted(t.search("k")) == [1, 2, 3]
+    assert len(t) == 3
+
+
+def test_items_in_key_order():
+    t = BTree(order=4)
+    for k in [5, 1, 9, 3, 7, 2, 8]:
+        t.insert(k, f"v{k}")
+    assert [k for k, _ in t.items()] == [1, 2, 3, 5, 7, 8, 9]
+
+
+def test_keys_distinct_ordered():
+    t = BTree(order=4)
+    for k in [2, 1, 2, 3, 1]:
+        t.insert(k, k)
+    assert list(t.keys()) == [1, 2, 3]
+
+
+def test_range_half_open():
+    t = BTree(order=4)
+    for k in range(10):
+        t.insert(k, k * 10)
+    got = [(k, v) for k, v in t.range(3, 7)]
+    assert got == [(3, 30), (4, 40), (5, 50), (6, 60)]
+
+
+def test_range_open_bounds():
+    t = BTree(order=4)
+    for k in range(5):
+        t.insert(k, k)
+    assert [k for k, _ in t.range(None, 2)] == [0, 1]
+    assert [k for k, _ in t.range(3, None)] == [3, 4]
+    assert [k for k, _ in t.range()] == [0, 1, 2, 3, 4]
+
+
+def test_range_from_between_keys():
+    t = BTree(order=4)
+    for k in (10, 20, 30):
+        t.insert(k, k)
+    assert [k for k, _ in t.range(15, 35)] == [20, 30]
+
+
+def test_delete():
+    t = BTree(order=4)
+    t.insert("k", 1)
+    t.insert("k", 2)
+    assert t.delete("k", 1)
+    assert t.search("k") == [2]
+    assert t.delete("k", 2)
+    assert not t.contains("k")
+    assert len(t) == 0
+
+
+def test_delete_missing():
+    t = BTree(order=4)
+    t.insert("k", 1)
+    assert not t.delete("k", 99)
+    assert not t.delete("missing", 1)
+    assert len(t) == 1
+
+
+def test_large_insert_maintains_invariants():
+    t = BTree(order=5)
+    rng = random.Random(17)
+    keys = list(range(2000))
+    rng.shuffle(keys)
+    for k in keys:
+        t.insert(k, k)
+    t.validate()
+    assert len(t) == 2000
+    assert t.height() >= 3
+    assert [k for k, _ in t.items()] == list(range(2000))
+
+
+def test_sequential_insert_stays_balanced():
+    t = BTree(order=8)
+    for k in range(1000):
+        t.insert(k, k)
+    t.validate()
+    # A balanced order-8 tree over 1000 keys is shallow.
+    assert t.height() <= 5
+
+
+def test_string_keys():
+    t = BTree(order=4)
+    words = ["pear", "apple", "fig", "date", "cherry", "banana"]
+    for w in words:
+        t.insert(w, w.upper())
+    assert [k for k, _ in t.items()] == sorted(words)
+    assert t.search("fig") == ["FIG"]
+
+
+class TestBulkLoad:
+    def test_contents_match_inserts(self):
+        import random
+        rng = random.Random(5)
+        pairs = [(rng.randrange(200), i) for i in range(500)]
+        bulk = BTree.bulk_load(pairs, order=8)
+        bulk.validate()
+        reference = BTree(order=8)
+        for k, v in pairs:
+            reference.insert(k, v)
+        assert sorted(bulk.items()) == sorted(reference.items())
+        assert len(bulk) == 500
+
+    def test_empty(self):
+        t = BTree.bulk_load([], order=8)
+        assert len(t) == 0
+        assert t.search(1) == []
+
+    def test_single_pair(self):
+        t = BTree.bulk_load([("k", 1)], order=8)
+        assert t.search("k") == [1]
+        t.validate()
+
+    def test_duplicates_merge(self):
+        t = BTree.bulk_load([(1, "a"), (1, "b"), (2, "c")], order=4)
+        assert sorted(t.search(1)) == ["a", "b"]
+        t.validate()
+
+    def test_bulk_is_shallower_than_inserted(self):
+        pairs = [(i, i) for i in range(2000)]
+        bulk = BTree.bulk_load(pairs, order=8)
+        dynamic = BTree(order=8)
+        for k, v in pairs:
+            dynamic.insert(k, v)
+        assert bulk.height() <= dynamic.height()
+        bulk.validate()
+
+    def test_fill_factor_leaves_insert_room(self):
+        pairs = [(i, i) for i in range(100)]
+        loose = BTree.bulk_load(pairs, order=8, fill=0.5)
+        loose.validate()
+        for i in range(100, 150):
+            loose.insert(i, i)
+        loose.validate()
+        assert len(loose) == 150
+
+    def test_range_scan_after_bulk_load(self):
+        pairs = [(i, i * 10) for i in range(300)]
+        t = BTree.bulk_load(pairs, order=16)
+        assert [v for _k, v in t.range(100, 105)] == [
+            1000, 1010, 1020, 1030, 1040]
+
+    def test_updates_after_bulk_load(self):
+        t = BTree.bulk_load([(i, i) for i in range(100)], order=4)
+        t.insert(1000, 1000)
+        assert t.delete(50, 50)
+        t.validate()
+        assert t.search(1000) == [1000]
+        assert t.search(50) == []
+
+    def test_invalid_fill(self):
+        with pytest.raises(ValueError):
+            BTree.bulk_load([(1, 1)], fill=0.0)
+        with pytest.raises(ValueError):
+            BTree.bulk_load([(1, 1)], fill=1.5)
+
+    def test_awkward_sizes_stay_valid(self):
+        """Sizes around fan-out boundaries must not create 1-child nodes."""
+        for n in (3, 4, 5, 7, 8, 9, 16, 17, 31, 32, 33, 63, 64, 65):
+            t = BTree.bulk_load([(i, i) for i in range(n)], order=4)
+            t.validate()
+            assert len(t) == n
+
+
+def test_mixed_duplicate_heavy_workload():
+    t = BTree(order=4)
+    rng = random.Random(3)
+    for i in range(500):
+        t.insert(rng.randrange(20), i)
+    t.validate()
+    total = sum(len(t.search(k)) for k in range(20))
+    assert total == 500

@@ -1,0 +1,60 @@
+"""Property-based tests for the B+-tree."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import BTree
+
+keys = st.integers(min_value=-10_000, max_value=10_000)
+pairs = st.lists(st.tuples(keys, st.integers()), max_size=300)
+
+
+@given(pairs)
+@settings(max_examples=80, deadline=None)
+def test_items_sorted_and_complete(kvs):
+    t = BTree(order=4)
+    for k, v in kvs:
+        t.insert(k, v)
+    t.validate()
+    got = list(t.items())
+    assert sorted(got) == sorted(kvs)
+    assert [k for k, _ in got] == sorted(k for k, _ in kvs)
+
+
+@given(pairs, keys)
+@settings(max_examples=80, deadline=None)
+def test_search_agrees_with_dict(kvs, probe):
+    t = BTree(order=5)
+    expected: dict[int, list[int]] = {}
+    for k, v in kvs:
+        t.insert(k, v)
+        expected.setdefault(k, []).append(v)
+    assert t.search(probe) == expected.get(probe, [])
+
+
+@given(pairs, keys, keys)
+@settings(max_examples=80, deadline=None)
+def test_range_matches_filter(kvs, a, b):
+    lo, hi = min(a, b), max(a, b)
+    t = BTree(order=4)
+    for k, v in kvs:
+        t.insert(k, v)
+    got = sorted(t.range(lo, hi))
+    expect = sorted((k, v) for k, v in kvs if lo <= k < hi)
+    assert got == expect
+
+
+@given(pairs, st.data())
+@settings(max_examples=60, deadline=None)
+def test_delete_then_search(kvs, data):
+    t = BTree(order=4)
+    for k, v in kvs:
+        t.insert(k, v)
+    if not kvs:
+        return
+    idx = data.draw(st.integers(min_value=0, max_value=len(kvs) - 1))
+    k, v = kvs[idx]
+    assert t.delete(k, v)
+    remaining = list(kvs)
+    remaining.remove((k, v))
+    assert sorted(t.items()) == sorted(remaining)

@@ -1,0 +1,116 @@
+"""Unit tests for the catalog (Database / Picture / spatial indexes)."""
+
+import pytest
+
+from repro.geometry import Point, Rect, Region, Segment
+from repro.relational import Column, Database, SchemaError
+from repro.relational.catalog import mbr_of_value
+
+
+@pytest.fixture()
+def db() -> Database:
+    db = Database()
+    cities = db.create_relation("cities", [
+        Column("city", "str"), Column("population", "int"),
+        Column("loc", "point")])
+    for i in range(20):
+        cities.insert({"city": f"C{i}", "population": 1000 * (i + 1),
+                       "loc": Point(float(i * 50), float(i * 40))})
+    pic = db.create_picture("us-map", Rect(0, 0, 1000, 1000))
+    pic.register(cities, "loc", max_entries=4)
+    return db
+
+
+class TestMbrOfValue:
+    def test_point(self):
+        assert mbr_of_value(Point(3, 4)) == Rect(3, 4, 3, 4)
+
+    def test_segment(self):
+        assert mbr_of_value(Segment(Point(0, 5), Point(2, 1))) == \
+            Rect(0, 1, 2, 5)
+
+    def test_region(self):
+        assert mbr_of_value(Region.from_rect(Rect(1, 1, 2, 2))) == \
+            Rect(1, 1, 2, 2)
+
+    def test_rect_passthrough(self):
+        assert mbr_of_value(Rect(0, 0, 1, 1)) == Rect(0, 0, 1, 1)
+
+    def test_non_pictorial_rejected(self):
+        with pytest.raises(TypeError):
+            mbr_of_value("not spatial")
+
+
+class TestCatalog:
+    def test_duplicate_relation_name(self, db):
+        with pytest.raises(SchemaError):
+            db.create_relation("cities", [Column("a", "int")])
+
+    def test_duplicate_picture_name(self, db):
+        with pytest.raises(SchemaError):
+            db.create_picture("us-map", Rect(0, 0, 1, 1))
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(KeyError):
+            db.relation("rivers")
+
+    def test_unknown_picture(self, db):
+        with pytest.raises(KeyError):
+            db.picture("mars-map")
+
+    def test_register_non_pictorial_column(self, db):
+        with pytest.raises(SchemaError):
+            db.picture("us-map").register(db.relation("cities"), "city")
+
+    def test_unregistered_index_lookup(self, db):
+        with pytest.raises(KeyError):
+            db.picture("us-map").index("cities", "nowhere")
+
+
+class TestSpatialSearch:
+    def test_basic_window(self, db):
+        window = Rect(0, 0, 220, 220)
+        rids = db.spatial_search("us-map", "cities", window)
+        rows = db.rows_for("cities", rids)
+        # cities 0..4 have loc (0,0),(50,40),(100,80),(150,120),(200,160)
+        assert sorted(r["city"] for r in rows) == ["C0", "C1", "C2", "C3",
+                                                   "C4"]
+
+    def test_within_variant(self, db):
+        window = Rect(0, 0, 220, 220)
+        rids = db.spatial_search("us-map", "cities", window, within=True)
+        assert len(rids) == 5
+
+    def test_insert_through_catalog_updates_index(self, db):
+        rid = db.insert("cities", {"city": "NEW", "population": 7,
+                                   "loc": Point(999, 999)})
+        hits = db.spatial_search("us-map", "cities",
+                                 Rect(998, 998, 1000, 1000))
+        assert hits == [rid]
+
+    def test_delete_through_catalog_purges_index(self, db):
+        rid = db.insert("cities", {"city": "DOOMED", "population": 7,
+                                   "loc": Point(999, 999)})
+        db.delete("cities", rid)
+        assert db.spatial_search("us-map", "cities",
+                                 Rect(998, 998, 1000, 1000)) == []
+        with pytest.raises(KeyError):
+            db.relation("cities").get(rid)
+
+    def test_multiple_pictures_one_relation(self, db):
+        """A relation may be associated with more than one picture."""
+        other = db.create_picture("zoomed-map", Rect(0, 0, 100, 100))
+        other.register(db.relation("cities"), "loc", max_entries=4)
+        hits_a = db.spatial_search("us-map", "cities", Rect(0, 0, 60, 60))
+        hits_b = db.spatial_search("zoomed-map", "cities",
+                                   Rect(0, 0, 60, 60))
+        assert sorted(hits_a) == sorted(hits_b)
+
+    def test_catalog_insert_updates_every_picture(self, db):
+        other = db.create_picture("second-map", Rect(0, 0, 1000, 1000))
+        other.register(db.relation("cities"), "loc", max_entries=4)
+        rid = db.insert("cities", {"city": "BOTH", "population": 1,
+                                   "loc": Point(500.5, 500.5)})
+        w = Rect(500, 500, 501, 501)
+        assert rid in db.spatial_search("us-map", "cities", w)
+        assert rid in db.spatial_search("second-map", "cities", w)

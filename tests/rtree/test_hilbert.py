@@ -1,0 +1,63 @@
+"""Unit tests for the Hilbert curve mapping."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.rtree.hilbert import hilbert_d, hilbert_key
+
+
+def test_order_one_curve():
+    # The four cells of a 2x2 grid in curve order.
+    cells = sorted(((x, y) for x in range(2) for y in range(2)),
+                   key=lambda c: hilbert_d(1, *c))
+    assert cells[0] != cells[-1]
+    assert {hilbert_d(1, x, y) for x in range(2) for y in range(2)} == set(
+        range(4))
+
+
+def test_bijection_order_three():
+    side = 8
+    values = {hilbert_d(3, x, y) for x in range(side) for y in range(side)}
+    assert values == set(range(side * side))
+
+
+def test_adjacent_curve_positions_are_adjacent_cells():
+    """The defining Hilbert property: consecutive d values neighbour."""
+    order = 4
+    side = 1 << order
+    by_d = {}
+    for x in range(side):
+        for y in range(side):
+            by_d[hilbert_d(order, x, y)] = (x, y)
+    for d in range(side * side - 1):
+        (x1, y1), (x2, y2) = by_d[d], by_d[d + 1]
+        assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+
+def test_out_of_range_cell_rejected():
+    with pytest.raises(ValueError):
+        hilbert_d(2, 4, 0)
+    with pytest.raises(ValueError):
+        hilbert_d(2, 0, -1)
+
+
+def test_hilbert_key_clamps_to_universe():
+    u = Rect(0, 0, 100, 100)
+    inside = hilbert_key(Point(50, 50), u)
+    outside = hilbert_key(Point(500, 500), u)
+    corner = hilbert_key(Point(100, 100), u)
+    assert outside == corner  # clamped
+    assert 0 <= inside < (1 << 16) ** 2
+
+
+def test_hilbert_key_degenerate_universe():
+    u = Rect(5, 5, 5, 5)
+    assert hilbert_key(Point(5, 5), u) == 0
+
+
+def test_nearby_points_nearby_keys():
+    u = Rect(0, 0, 1000, 1000)
+    a = hilbert_key(Point(100.0, 100.0), u, order=10)
+    b = hilbert_key(Point(100.5, 100.5), u, order=10)
+    far = hilbert_key(Point(900.0, 900.0), u, order=10)
+    assert abs(a - b) < abs(a - far)

@@ -1,0 +1,90 @@
+"""Unit tests for the R-tree spatial join (juxtaposition engine)."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.geometry.predicates import covered_by, overlapping
+from repro.rtree import RTree
+from repro.rtree.join import JoinStats, spatial_join
+from repro.rtree.packing import pack
+from repro.workloads import uniform_points, uniform_rects
+
+
+def brute_join(items_a, items_b, predicate):
+    return sorted((a, b) for ra, a in items_a for rb, b in items_b
+                  if predicate(ra, rb))
+
+
+@pytest.fixture(scope="module")
+def point_items():
+    pts = uniform_points(120, seed=21)
+    return [(Rect.from_point(p), i) for i, p in enumerate(pts)]
+
+
+@pytest.fixture(scope="module")
+def rect_items():
+    return [(r, 1000 + i)
+            for i, r in enumerate(uniform_rects(60, max_side=150, seed=22))]
+
+
+def test_intersect_join_matches_brute_force(point_items, rect_items):
+    ta = pack(point_items, max_entries=4)
+    tb = pack(rect_items, max_entries=4)
+    got = sorted(spatial_join(ta, tb, Rect.intersects))
+    assert got == brute_join(point_items, rect_items, Rect.intersects)
+
+
+def test_covered_by_join_matches_brute_force(point_items, rect_items):
+    ta = pack(point_items, max_entries=4)
+    tb = pack(rect_items, max_entries=4)
+    got = sorted(spatial_join(ta, tb, covered_by))
+    assert got == brute_join(point_items, rect_items, covered_by)
+
+
+def test_overlapping_join_matches_brute_force(rect_items):
+    other = [(r, 2000 + i)
+             for i, r in enumerate(uniform_rects(50, max_side=120, seed=23))]
+    ta = pack(rect_items, max_entries=4)
+    tb = pack(other, max_entries=4)
+    got = sorted(spatial_join(ta, tb, overlapping))
+    assert got == brute_join(rect_items, other, overlapping)
+
+
+def test_join_with_different_heights(point_items):
+    tall = pack(point_items, max_entries=4)       # deep tree
+    short = pack(point_items[:6], max_entries=4)  # depth 1
+    got = sorted(spatial_join(tall, short, Rect.intersects))
+    assert got == brute_join(point_items, point_items[:6], Rect.intersects)
+
+
+def test_join_with_dynamic_trees(point_items, rect_items):
+    ta = RTree(max_entries=4)
+    ta.insert_all(point_items)
+    tb = RTree(max_entries=4)
+    tb.insert_all(rect_items)
+    got = sorted(spatial_join(ta, tb, Rect.intersects))
+    assert got == brute_join(point_items, rect_items, Rect.intersects)
+
+
+def test_join_empty_trees(point_items):
+    assert spatial_join(RTree(), pack(point_items, max_entries=4)) == []
+    assert spatial_join(pack(point_items, max_entries=4), RTree()) == []
+
+
+def test_join_stats_pruning(point_items, rect_items):
+    ta = pack(point_items, max_entries=4)
+    tb = pack(rect_items, max_entries=4)
+    stats = JoinStats()
+    spatial_join(ta, tb, Rect.intersects, stats=stats)
+    assert stats.pairs_pruned > 0
+    assert stats.results == len(brute_join(point_items, rect_items,
+                                           Rect.intersects))
+    # Lockstep pruning must beat the full cross product of nodes.
+    assert stats.pairs_visited < ta.node_count * tb.node_count
+
+
+def test_self_join_reflexive_pairs(point_items):
+    t = pack(point_items, max_entries=4)
+    pairs = spatial_join(t, t, Rect.intersects)
+    ids = {oid for _r, oid in point_items}
+    assert {(i, i) for i in ids} <= set(pairs)

@@ -1,0 +1,88 @@
+"""Unit tests for R-tree node/entry records."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree import Entry, Node
+
+
+def leaf_with(*rects: Rect) -> Node:
+    node = Node(is_leaf=True)
+    for i, r in enumerate(rects):
+        node.add(Entry(rect=r, oid=i))
+    return node
+
+
+def test_mbr_of_entries():
+    node = leaf_with(Rect(0, 0, 1, 1), Rect(4, 2, 6, 8))
+    assert node.mbr() == Rect(0, 0, 6, 8)
+
+
+def test_mbr_of_empty_node_raises():
+    with pytest.raises(ValueError):
+        Node(is_leaf=True).mbr()
+
+
+def test_add_sets_parent_pointer():
+    child = leaf_with(Rect(0, 0, 1, 1))
+    parent = Node(is_leaf=False)
+    parent.add(Entry(rect=child.mbr(), child=child))
+    assert child.parent is parent
+
+
+def test_remove_by_identity():
+    node = leaf_with(Rect(0, 0, 1, 1), Rect(2, 2, 3, 3))
+    target = node.entries[0]
+    node.remove(target)
+    assert len(node) == 1
+    with pytest.raises(ValueError):
+        node.remove(target)
+
+
+def test_entry_for_child():
+    child = leaf_with(Rect(0, 0, 1, 1))
+    other = leaf_with(Rect(9, 9, 10, 10))
+    parent = Node(is_leaf=False)
+    parent.add(Entry(rect=child.mbr(), child=child))
+    assert parent.entry_for_child(child).child is child
+    with pytest.raises(ValueError):
+        parent.entry_for_child(other)
+
+
+def test_descend_preorder():
+    a = leaf_with(Rect(0, 0, 1, 1))
+    b = leaf_with(Rect(2, 2, 3, 3))
+    root = Node(is_leaf=False)
+    root.add(Entry(rect=a.mbr(), child=a))
+    root.add(Entry(rect=b.mbr(), child=b))
+    nodes = list(root.descend())
+    assert nodes[0] is root
+    assert set(map(id, nodes[1:])) == {id(a), id(b)}
+
+
+def test_leaf_entries_flattens_subtree():
+    a = leaf_with(Rect(0, 0, 1, 1), Rect(1, 1, 2, 2))
+    b = leaf_with(Rect(5, 5, 6, 6))
+    root = Node(is_leaf=False)
+    root.add(Entry(rect=a.mbr(), child=a))
+    root.add(Entry(rect=b.mbr(), child=b))
+    assert sorted(e.rect for e in root.leaf_entries()) == sorted(
+        [Rect(0, 0, 1, 1), Rect(1, 1, 2, 2), Rect(5, 5, 6, 6)])
+
+
+def test_height():
+    leaf = leaf_with(Rect(0, 0, 1, 1))
+    mid = Node(is_leaf=False)
+    mid.add(Entry(rect=leaf.mbr(), child=leaf))
+    root = Node(is_leaf=False)
+    root.add(Entry(rect=mid.mbr(), child=mid))
+    assert leaf.height() == 0
+    assert mid.height() == 1
+    assert root.height() == 2
+
+
+def test_is_leaf_entry():
+    data = Entry(rect=Rect(0, 0, 1, 1), oid=7)
+    internal = Entry(rect=Rect(0, 0, 1, 1), child=Node(is_leaf=True))
+    assert data.is_leaf_entry()
+    assert not internal.is_leaf_entry()

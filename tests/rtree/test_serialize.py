@@ -1,0 +1,115 @@
+"""Tests for JSON snapshots of in-memory R-trees."""
+
+import json
+
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree import RTree
+from repro.rtree.packing import pack
+from repro.rtree.serialize import (
+    dict_to_tree,
+    load_tree,
+    save_tree,
+    tree_to_dict,
+)
+
+
+@pytest.fixture()
+def packed(small_items):
+    return pack(small_items, max_entries=4)
+
+
+def leaf_layout(tree):
+    """The exact leaf grouping, for structure-preservation assertions."""
+    return sorted((frozenset(e.oid for e in leaf.entries)
+                   for leaf in tree.leaves()), key=min)
+
+
+def test_roundtrip_preserves_contents(packed, small_items):
+    restored = dict_to_tree(tree_to_dict(packed))
+    window = Rect(0, 0, 1000, 1000)
+    assert sorted(restored.search(window)) == sorted(packed.search(window))
+    assert len(restored) == len(small_items)
+
+
+def test_roundtrip_preserves_structure(packed):
+    restored = dict_to_tree(tree_to_dict(packed))
+    assert restored.depth == packed.depth
+    assert restored.node_count == packed.node_count
+    assert leaf_layout(restored) == leaf_layout(packed)
+
+
+def test_roundtrip_preserves_configuration(packed):
+    restored = dict_to_tree(tree_to_dict(packed))
+    assert restored.max_entries == packed.max_entries
+    assert restored.min_entries == packed.min_entries
+    assert restored.split_strategy.name == packed.split_strategy.name
+
+
+def test_restored_tree_stays_dynamic(packed):
+    restored = dict_to_tree(tree_to_dict(packed))
+    restored.insert(Rect(1, 1, 2, 2), "fresh")
+    assert "fresh" in restored.search(Rect(0, 0, 3, 3))
+    restored.validate(check_fill=False)
+
+
+def test_empty_tree_roundtrip():
+    restored = dict_to_tree(tree_to_dict(RTree(max_entries=6)))
+    assert len(restored) == 0
+    assert restored.max_entries == 6
+
+
+def test_snapshot_is_json_serialisable(packed):
+    text = json.dumps(tree_to_dict(packed))
+    assert json.loads(text)["format"] == 1
+
+
+def test_save_and_load(tmp_path, packed):
+    path = str(tmp_path / "tree.json")
+    save_tree(packed, path)
+    restored = load_tree(path)
+    assert leaf_layout(restored) == leaf_layout(packed)
+
+
+def test_unknown_format_rejected(packed):
+    data = tree_to_dict(packed)
+    data["format"] = 99
+    with pytest.raises(ValueError, match="unsupported snapshot format"):
+        dict_to_tree(data)
+
+
+def test_size_mismatch_detected(packed):
+    data = tree_to_dict(packed)
+    data["size"] = 12345
+    with pytest.raises(ValueError, match="disagrees"):
+        dict_to_tree(data)
+
+
+def test_invalid_rect_detected(packed):
+    data = tree_to_dict(packed)
+    data["root"]["entries"][0]["rect"] = [9, 9, 1, 1]
+    with pytest.raises(ValueError):
+        dict_to_tree(data)
+
+
+def test_malformed_structure_detected():
+    with pytest.raises(ValueError, match="malformed"):
+        dict_to_tree({"format": 1, "root": {"leaf": True},
+                      "max_entries": 4, "min_entries": 2,
+                      "split": "quadratic", "size": 0})
+
+
+def test_load_rejects_non_object(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(ValueError, match="JSON object"):
+        load_tree(str(path))
+
+
+def test_dynamic_tree_roundtrip(small_items):
+    tree = RTree(max_entries=4, split="linear")
+    tree.insert_all(small_items)
+    restored = dict_to_tree(tree_to_dict(tree))
+    restored.validate()
+    assert leaf_layout(restored) == leaf_layout(tree)

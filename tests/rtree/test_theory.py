@@ -1,0 +1,114 @@
+"""Unit tests for the Section 3.2 constructions (Lemma 3.1, Thms 3.2/3.3)."""
+
+import math
+from itertools import combinations
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.geometry.rotation import distinct_x_count, rotate_points
+from repro.rtree.theory import (
+    expected_pack_depth,
+    expected_pack_node_count,
+    theorem_33_counterexample,
+    verify_no_zero_overlap_grouping,
+    zero_overlap_partition,
+)
+from repro.workloads import uniform_points
+
+
+class TestTheorem32:
+    def test_partition_disjoint_uniform(self):
+        pts = uniform_points(48, seed=2)
+        part = zero_overlap_partition(pts, group_size=4)
+        assert part.is_disjoint()
+        assert len(part.groups) == 12
+
+    def test_partition_disjoint_with_shared_x(self):
+        """The interesting case: many points on shared vertical lines."""
+        pts = [Point(float(x), float(y)) for x in range(4) for y in range(8)]
+        part = zero_overlap_partition(pts, group_size=4)
+        assert part.is_disjoint()
+        assert part.angle != 0.0
+        rotated = rotate_points(pts, part.angle)
+        assert distinct_x_count(rotated) == len(pts)
+
+    def test_groups_cover_all_points(self):
+        pts = uniform_points(30, seed=4)
+        part = zero_overlap_partition(pts, group_size=4)
+        flat = [p for g in part.groups for p in g]
+        assert sorted(flat) == sorted(pts)
+
+    def test_group_size_ceiling(self):
+        pts = uniform_points(10, seed=6)
+        part = zero_overlap_partition(pts, group_size=4)
+        assert len(part.groups) == math.ceil(10 / 4)
+        assert all(len(g) <= 4 for g in part.groups)
+
+    def test_other_group_sizes(self):
+        pts = uniform_points(30, seed=8)
+        for m in (2, 3, 5, 7):
+            part = zero_overlap_partition(pts, group_size=m)
+            assert part.is_disjoint()
+            assert len(part.groups) == math.ceil(30 / m)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            zero_overlap_partition([], group_size=4)
+
+    def test_bad_group_size_rejected(self):
+        with pytest.raises(ValueError):
+            zero_overlap_partition([Point(0, 0)], group_size=0)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            zero_overlap_partition([Point(1, 1), Point(1, 1)], group_size=2)
+
+
+class TestTheorem33:
+    def test_counterexample_regions_pairwise_disjoint(self):
+        regions = theorem_33_counterexample()
+        for a, b in combinations(regions, 2):
+            # Parallel strips separated vertically: no vertex of one lies
+            # inside the other and no edges cross.
+            assert not any(b.contains_point(v) for v in a.vertices)
+            assert not any(a.contains_point(v) for v in b.vertices)
+
+    def test_counterexample_mbrs_all_overlap(self):
+        regions = theorem_33_counterexample()
+        mbrs = [r.mbr() for r in regions]
+        for a, b in combinations(mbrs, 2):
+            assert a.overlaps_interior(b)
+
+    def test_no_zero_overlap_grouping_exists(self):
+        mbrs = [r.mbr() for r in theorem_33_counterexample()]
+        assert verify_no_zero_overlap_grouping(mbrs, max_group=4)
+
+    def test_verifier_accepts_separable_configuration(self):
+        """Sanity: a clearly separable layout does admit a grouping."""
+        mbrs = [Rect(0, 0, 1, 1), Rect(2, 0, 3, 1),
+                Rect(100, 0, 101, 1), Rect(102, 0, 103, 1),
+                Rect(104, 0, 105, 1)]
+        assert not verify_no_zero_overlap_grouping(mbrs, max_group=4)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            theorem_33_counterexample(thickness=1.5)
+        with pytest.raises(ValueError):
+            theorem_33_counterexample(count=3)
+
+
+class TestExpectedShapes:
+    def test_node_count_geometric_series(self):
+        # 900 points at fanout 4: 225 + 57 + 15 + 4 + 1 = 302 (Table 1).
+        assert expected_pack_node_count(900, 4) == 302
+
+    def test_node_count_small(self):
+        assert expected_pack_node_count(4, 4) == 1
+        assert expected_pack_node_count(5, 4) == 3  # 2 leaves + root
+        assert expected_pack_node_count(0, 4) == 1
+
+    def test_depth(self):
+        assert expected_pack_depth(900, 4) == 4  # Table 1's D column
+        assert expected_pack_depth(4, 4) == 0
+        assert expected_pack_depth(5, 4) == 1

@@ -1,0 +1,139 @@
+"""Unit tests for Guttman DELETE / CondenseTree."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.rtree import RTree
+from repro.rtree.packing import pack
+
+
+class TestDelete:
+    def test_delete_only_element(self):
+        t = RTree(max_entries=4)
+        t.insert(Rect(1, 1, 2, 2), "a")
+        assert t.delete(Rect(1, 1, 2, 2), "a")
+        assert len(t) == 0
+        assert t.search(Rect(0, 0, 10, 10)) == []
+        t.validate()
+
+    def test_delete_missing_returns_false(self):
+        t = RTree(max_entries=4)
+        t.insert(Rect(1, 1, 2, 2), "a")
+        assert not t.delete(Rect(1, 1, 2, 2), "b")
+        assert not t.delete(Rect(9, 9, 10, 10), "a")
+        assert len(t) == 1
+
+    def test_delete_requires_matching_rect_and_oid(self):
+        t = RTree(max_entries=4)
+        t.insert(Rect(1, 1, 2, 2), "a")
+        t.insert(Rect(3, 3, 4, 4), "a")
+        assert t.delete(Rect(3, 3, 4, 4), "a")
+        assert t.search(Rect(0, 0, 10, 10)) == ["a"]
+
+    def test_root_collapses_after_mass_delete(self, small_items):
+        t = RTree(max_entries=4)
+        t.insert_all(small_items)
+        deep = t.depth
+        for rect, oid in small_items[:-3]:
+            assert t.delete(rect, oid)
+        assert t.depth < deep
+        assert len(t) == 3
+        t.validate()
+
+    def test_interleaved_inserts_and_deletes(self):
+        rng = random.Random(99)
+        t = RTree(max_entries=4)
+        live: dict[int, Rect] = {}
+        next_id = 0
+        for step in range(400):
+            if live and rng.random() < 0.4:
+                oid = rng.choice(list(live))
+                assert t.delete(live.pop(oid), oid)
+            else:
+                p = Point(rng.uniform(0, 100), rng.uniform(0, 100))
+                r = Rect.from_point(p)
+                t.insert(r, next_id)
+                live[next_id] = r
+                next_id += 1
+            if step % 100 == 99:
+                t.validate()
+        t.validate()
+        assert len(t) == len(live)
+        window = Rect(0, 0, 100, 100)
+        assert sorted(t.search(window)) == sorted(live)
+
+    def test_delete_all_then_reuse(self, small_items):
+        t = RTree(max_entries=4)
+        t.insert_all(small_items)
+        for rect, oid in small_items:
+            assert t.delete(rect, oid)
+        assert len(t) == 0
+        t.insert(Rect(5, 5, 6, 6), "again")
+        assert t.search(Rect(0, 0, 10, 10)) == ["again"]
+        t.validate()
+
+
+class TestDeleteWindow:
+    def test_delete_within(self, small_items, small_points):
+        t = RTree(max_entries=4)
+        t.insert_all(small_items)
+        window = Rect(200, 200, 700, 700)
+        removed = t.delete_window(window)
+        expect_removed = sum(1 for p in small_points
+                             if window.contains_point(p))
+        assert removed == expect_removed
+        assert len(t) == len(small_items) - removed
+        assert t.search_within(window) == []
+        t.validate()
+
+    def test_delete_intersecting_variant(self):
+        t = RTree(max_entries=4)
+        t.insert(Rect(0, 0, 10, 10), "straddler")
+        t.insert(Rect(20, 20, 21, 21), "outside")
+        assert t.delete_window(Rect(5, 5, 15, 15), within=False) == 1
+        assert len(t) == 1
+
+    def test_delete_window_empty_region(self, small_items):
+        t = RTree(max_entries=4)
+        t.insert_all(small_items)
+        assert t.delete_window(Rect(-100, -100, -50, -50)) == 0
+        assert len(t) == len(small_items)
+
+
+class TestUpdateProblemSection34:
+    """Section 3.4: INSERT/DELETE still work on a PACKed tree."""
+
+    def test_insert_into_packed_tree(self, small_items):
+        t = pack(small_items, max_entries=4)
+        t.insert(Rect(500, 500, 501, 501), "new")
+        assert "new" in t.search(Rect(499, 499, 502, 502))
+        assert len(t) == len(small_items) + 1
+        # Fill invariant may be violated by packing leftovers, but the
+        # structural ones must hold.
+        t.validate(check_fill=False)
+
+    def test_delete_from_packed_tree(self, small_items):
+        t = pack(small_items, max_entries=4)
+        rect, oid = small_items[0]
+        assert t.delete(rect, oid)
+        assert oid not in t.search(Rect(0, 0, 1000, 1000))
+        t.validate(check_fill=False)
+
+    def test_packed_tree_survives_update_burst(self, small_items):
+        t = pack(small_items, max_entries=4)
+        rng = random.Random(5)
+        live = dict((oid, rect) for rect, oid in small_items)
+        for i in range(200):
+            if live and rng.random() < 0.5:
+                oid = rng.choice(list(live))
+                assert t.delete(live.pop(oid), oid)
+            else:
+                r = Rect.from_point(Point(rng.uniform(0, 1000),
+                                          rng.uniform(0, 1000)))
+                oid = 10_000 + i
+                t.insert(r, oid)
+                live[oid] = r
+        t.validate(check_fill=False)
+        assert sorted(t.search(Rect(0, 0, 1000, 1000))) == sorted(live)

@@ -1,0 +1,125 @@
+"""Edge-case tests for the dynamic R-tree."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.rtree import RTree
+from repro.rtree.packing import pack
+
+
+class TestDegenerateGeometry:
+    def test_all_identical_points(self):
+        t = RTree(max_entries=4)
+        for i in range(30):
+            t.insert(Rect(5, 5, 5, 5), i)
+        t.validate()
+        assert sorted(t.point_query(Point(5, 5))) == list(range(30))
+        assert t.point_query(Point(5.0001, 5)) == []
+
+    def test_collinear_points(self):
+        t = RTree(max_entries=4)
+        for i in range(50):
+            t.insert(Rect(float(i), 0, float(i), 0), i)
+        t.validate()
+        assert sorted(t.search(Rect(10, -1, 20, 1))) == list(range(10, 21))
+
+    def test_zero_area_rects_mixed_with_fat_ones(self):
+        t = RTree(max_entries=4)
+        t.insert(Rect(0, 0, 100, 100), "fat")
+        t.insert(Rect(50, 50, 50, 50), "point")
+        t.insert(Rect(0, 50, 100, 50), "hline")
+        assert sorted(t.search(Rect(49, 49, 51, 51))) == [
+            "fat", "hline", "point"]
+
+    def test_negative_coordinates(self):
+        t = RTree(max_entries=4)
+        items = [(Rect(-i * 10.0, -i * 5.0, -i * 10.0 + 1, -i * 5.0 + 1), i)
+                 for i in range(20)]
+        t.insert_all(items)
+        t.validate()
+        assert sorted(t.search(Rect(-1000, -1000, 0, 0))) == list(range(20))
+
+    def test_huge_coordinates(self):
+        t = RTree(max_entries=4)
+        big = 1e15
+        t.insert(Rect(big, big, big + 1, big + 1), "far")
+        t.insert(Rect(-big, -big, -big + 1, -big + 1), "near")
+        assert t.search(Rect(big - 1, big - 1, big + 2, big + 2)) == ["far"]
+        t.validate()
+
+
+class TestBoundarySemantics:
+    def test_point_on_shared_leaf_boundary_found_in_both(self):
+        """A probe on the seam between two leaf MBRs finds objects from
+        either side (closed-rectangle semantics)."""
+        items = ([(Rect(float(i), 0, float(i), 0), i) for i in range(4)]
+                 + [(Rect(float(i), 0, float(i), 0), i)
+                    for i in range(4, 8)])
+        t = pack(items, max_entries=4, method="lowx")
+        # Insert an object exactly at the boundary x = 3.5 region.
+        t.insert(Rect(3.5, 0, 3.5, 0), "seam")
+        assert "seam" in t.point_query(Point(3.5, 0))
+
+    def test_search_window_touching_object_edge(self):
+        t = RTree(max_entries=4)
+        t.insert(Rect(10, 10, 20, 20), "box")
+        assert t.search(Rect(20, 20, 30, 30)) == ["box"]      # corner touch
+        assert t.search_within(Rect(20, 20, 30, 30)) == []     # not within
+        assert t.search_within(Rect(10, 10, 20, 20)) == ["box"]
+
+    def test_empty_window(self):
+        t = RTree(max_entries=4)
+        t.insert(Rect(0, 0, 10, 10), "a")
+        # A degenerate (point) window still intersects enclosing objects.
+        assert t.search(Rect(5, 5, 5, 5)) == ["a"]
+
+
+class TestOidSemantics:
+    def test_arbitrary_hashable_and_unhashable_oids(self):
+        t = RTree(max_entries=4)
+        oids = ["str", 42, 3.5, ("tu", "ple"), None, ["list", "works"]]
+        for i, oid in enumerate(oids):
+            t.insert(Rect(float(i), 0, float(i), 0), oid)
+        got = t.search(Rect(-1, -1, 10, 1))
+        assert len(got) == len(oids)
+        for oid in oids:
+            assert oid in got
+
+    def test_delete_matches_by_equality_not_identity(self):
+        t = RTree(max_entries=4)
+        t.insert(Rect(1, 1, 2, 2), ("a", 1))
+        assert t.delete(Rect(1, 1, 2, 2), ("a", 1))  # fresh equal tuple
+
+    def test_none_oid_round_trips(self):
+        t = RTree(max_entries=4)
+        t.insert(Rect(0, 0, 1, 1), None)
+        assert t.search(Rect(0, 0, 1, 1)) == [None]
+        assert t.delete(Rect(0, 0, 1, 1), None)
+
+
+class TestMinEntriesOne:
+    """m = 1 is legal per Guttman (m <= M/2); exercise the extreme."""
+
+    def test_insert_delete_cycle(self, small_items):
+        t = RTree(max_entries=4, min_entries=1)
+        t.insert_all(small_items)
+        t.validate()
+        for rect, oid in small_items[::2]:
+            assert t.delete(rect, oid)
+        t.validate()
+        expect = sorted(oid for _r, oid in small_items[1::2])
+        assert sorted(t.search(Rect(0, 0, 1000, 1000))) == expect
+
+
+class TestLargeFanout:
+    def test_fanout_128(self, small_items):
+        t = RTree(max_entries=128)
+        t.insert_all(small_items)
+        assert t.depth == 0  # 100 items fit the root at M=128
+        t.validate()
+
+    def test_packed_fanout_64(self, small_items):
+        t = pack(small_items, max_entries=64)
+        assert t.depth == 1
+        assert sorted(t.search(Rect(0, 0, 1000, 1000))) == sorted(
+            oid for _r, oid in small_items)

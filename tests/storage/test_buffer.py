@@ -1,0 +1,155 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.storage.buffer import BufferFullError, BufferPool
+from repro.storage.pager import Pager
+
+
+@pytest.fixture()
+def pager(tmp_path):
+    p = Pager(tmp_path / "pool.db", page_size=512)
+    yield p
+    p.close()
+
+
+def make_pages(pager, n):
+    pages = []
+    for i in range(n):
+        page = pager.allocate()
+        pager.write_page(page, f"page-{i}".encode())
+        pages.append(page)
+    return pages
+
+
+def test_get_faults_in_and_caches(pager):
+    [page] = make_pages(pager, 1)
+    pool = BufferPool(pager, capacity=4)
+    assert pool.get(page) == b"page-0"
+    assert pool.stats.misses == 1
+    assert pool.get(page) == b"page-0"
+    assert pool.stats.hits == 1
+
+
+def test_capacity_must_be_positive(pager):
+    with pytest.raises(ValueError):
+        BufferPool(pager, capacity=0)
+
+
+def test_lru_eviction_order(pager):
+    pages = make_pages(pager, 3)
+    pool = BufferPool(pager, capacity=2)
+    pool.get(pages[0])
+    pool.get(pages[1])
+    pool.get(pages[0])      # page 0 is now most recent
+    pool.get(pages[2])      # evicts page 1 (least recent)
+    assert pool.stats.evictions == 1
+    reads_before = pager.reads
+    pool.get(pages[0])      # still resident
+    assert pager.reads == reads_before
+    pool.get(pages[1])      # was evicted: physical read
+    assert pager.reads == reads_before + 1
+
+
+def test_dirty_page_written_back_on_eviction(pager):
+    pages = make_pages(pager, 2)
+    pool = BufferPool(pager, capacity=1)
+    pool.put(pages[0], b"modified")
+    pool.get(pages[1])  # evicts dirty page 0
+    assert pool.stats.writebacks == 1
+    assert pager.read_page(pages[0]).data == b"modified"
+
+
+def test_flush_writes_all_dirty(pager):
+    pages = make_pages(pager, 3)
+    pool = BufferPool(pager, capacity=8)
+    for i, page in enumerate(pages):
+        pool.put(page, f"dirty-{i}".encode())
+    pool.flush()
+    for i, page in enumerate(pages):
+        assert pager.read_page(page).data == f"dirty-{i}".encode()
+
+
+def test_flush_clears_dirty_flag(pager):
+    [page] = make_pages(pager, 1)
+    pool = BufferPool(pager, capacity=2)
+    pool.put(page, b"once")
+    pool.flush()
+    writebacks = pool.stats.writebacks
+    pool.flush()
+    assert pool.stats.writebacks == writebacks  # nothing left to write
+
+
+def test_put_updates_resident_frame(pager):
+    [page] = make_pages(pager, 1)
+    pool = BufferPool(pager, capacity=2)
+    pool.get(page)
+    pool.put(page, b"v2")
+    assert pool.get(page) == b"v2"
+
+
+def test_pinned_pages_survive_pressure(pager):
+    pages = make_pages(pager, 4)
+    pool = BufferPool(pager, capacity=2)
+    pool.pin(pages[0])
+    pool.get(pages[1])
+    pool.get(pages[2])  # evicts pages[1], never pages[0]
+    pool.get(pages[3])
+    assert pool.get(pages[0]) == b"page-0"
+    hits = pool.stats.hits
+    pool.get(pages[0])
+    assert pool.stats.hits == hits + 1  # still resident
+
+
+def test_all_pinned_raises(pager):
+    pages = make_pages(pager, 3)
+    pool = BufferPool(pager, capacity=2)
+    pool.pin(pages[0])
+    pool.pin(pages[1])
+    with pytest.raises(BufferFullError):
+        pool.get(pages[2])
+
+
+def test_unpin_releases(pager):
+    pages = make_pages(pager, 3)
+    pool = BufferPool(pager, capacity=2)
+    pool.pin(pages[0])
+    pool.pin(pages[1])
+    pool.unpin(pages[0])
+    pool.get(pages[2])  # now possible
+    assert pool.resident == 2
+
+
+def test_unpin_unpinned_raises(pager):
+    [page] = make_pages(pager, 1)
+    pool = BufferPool(pager, capacity=2)
+    pool.get(page)
+    with pytest.raises(ValueError):
+        pool.unpin(page)
+
+
+def test_invalidate_drops_without_writeback(pager):
+    [page] = make_pages(pager, 1)
+    pool = BufferPool(pager, capacity=2)
+    pool.put(page, b"doomed")
+    pool.invalidate(page)
+    assert pager.read_page(page).data == b"page-0"  # unchanged on disk
+
+
+def test_clear_flushes_then_drops(pager):
+    [page] = make_pages(pager, 1)
+    pool = BufferPool(pager, capacity=2)
+    pool.put(page, b"kept")
+    pool.clear()
+    assert pool.resident == 0
+    assert pager.read_page(page).data == b"kept"
+
+
+def test_hit_rate(pager):
+    [page] = make_pages(pager, 1)
+    pool = BufferPool(pager, capacity=2)
+    assert pool.stats.hit_rate == 0.0
+    pool.get(page)
+    pool.get(page)
+    pool.get(page)
+    assert pool.stats.hit_rate == pytest.approx(2 / 3)

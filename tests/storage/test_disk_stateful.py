@@ -1,0 +1,102 @@
+"""Stateful (model-based) testing of DiskRTree.
+
+Hypothesis drives random sequences of insert / delete / search / vacuum /
+reopen against a plain-dict model; any divergence between the disk tree
+and the model is a bug with a minimised reproduction.
+"""
+
+import os
+import tempfile
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.geometry import Point, Rect
+from repro.storage import DiskRTree
+
+coords = st.floats(min_value=0.0, max_value=100.0, allow_nan=False,
+                   allow_infinity=False)
+
+
+def make_rect(x, y, w, h):
+    return Rect(x, y, x + w, y + h)
+
+
+rect_strategy = st.builds(
+    make_rect, coords, coords,
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+
+
+class DiskRTreeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tmp = tempfile.TemporaryDirectory()
+        self.path = os.path.join(self.tmp.name, "state.db")
+        self.tree = DiskRTree(self.path, max_entries=4, page_size=512,
+                              buffer_capacity=8)
+        self.model: dict[int, Rect] = {}
+        self.next_id = 0
+
+    @initialize()
+    def start(self):
+        pass
+
+    @rule(rect=rect_strategy)
+    def insert(self, rect):
+        oid = self.next_id
+        self.next_id += 1
+        self.tree.insert(rect, oid)
+        self.model[oid] = rect
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete(self, data):
+        oid = data.draw(st.sampled_from(sorted(self.model)))
+        rect = self.model.pop(oid)
+        assert self.tree.delete(rect, oid)
+
+    @rule(window=rect_strategy)
+    def search_matches_model(self, window):
+        got = sorted(self.tree.search(window))
+        expect = sorted(oid for oid, r in self.model.items()
+                        if r.intersects(window))
+        assert got == expect
+
+    @rule(x=coords, y=coords)
+    def point_query_matches_model(self, x, y):
+        p = Point(x, y)
+        got = sorted(self.tree.point_query(p))
+        expect = sorted(oid for oid, r in self.model.items()
+                        if r.contains_point(p))
+        assert got == expect
+
+    @rule()
+    def vacuum(self):
+        self.tree.vacuum()
+
+    @rule()
+    def reopen(self):
+        self.tree.close()
+        self.tree = DiskRTree(self.path, page_size=512, buffer_capacity=8)
+
+    @invariant()
+    def size_matches_model(self):
+        assert len(self.tree) == len(self.model)
+
+    def teardown(self):
+        self.tree.close()
+        self.tmp.cleanup()
+
+
+DiskRTreeMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+
+TestDiskRTreeStateful = DiskRTreeMachine.TestCase

@@ -1,0 +1,169 @@
+"""Unit tests for the slotted-page heap file."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.heapfile import HeapFile, HeapFileError, RowAddress
+
+
+@pytest.fixture()
+def heap(tmp_path):
+    h = HeapFile(str(tmp_path / "rows.db"), page_size=512)
+    yield h
+    h.close()
+
+
+def test_insert_get_roundtrip(heap):
+    addr = heap.insert(b"hello heap")
+    assert heap.get(addr) == b"hello heap"
+    assert len(heap) == 1
+
+
+def test_multiple_records_distinct_addresses(heap):
+    addrs = [heap.insert(f"rec-{i}".encode()) for i in range(20)]
+    assert len(set(addrs)) == 20
+    for i, addr in enumerate(addrs):
+        assert heap.get(addr) == f"rec-{i}".encode()
+
+
+def test_records_spill_to_new_pages(heap):
+    big = b"x" * 100
+    addrs = [heap.insert(big) for _ in range(30)]
+    assert len({a.page for a in addrs}) > 1
+    assert len(heap) == 30
+
+
+def test_empty_record(heap):
+    addr = heap.insert(b"")
+    assert heap.get(addr) == b""
+
+
+def test_oversize_record_rejected(heap):
+    with pytest.raises(HeapFileError, match="exceeds page capacity"):
+        heap.insert(b"x" * 600)
+
+
+def test_max_size_record_fits(heap):
+    addr = heap.insert(b"y" * heap.max_record_size)
+    assert len(heap.get(addr)) == heap.max_record_size
+
+
+def test_delete_tombstones(heap):
+    addr = heap.insert(b"doomed")
+    heap.delete(addr)
+    with pytest.raises(HeapFileError, match="deleted"):
+        heap.get(addr)
+    with pytest.raises(HeapFileError, match="already deleted"):
+        heap.delete(addr)
+    assert len(heap) == 0
+
+
+def test_dead_slot_reused(heap):
+    a = heap.insert(b"first")
+    heap.insert(b"second")
+    heap.delete(a)
+    c = heap.insert(b"third")
+    assert c.slot == a.slot  # the tombstoned slot is recycled
+    assert heap.get(c) == b"third"
+
+
+def test_addresses_stable_across_other_deletes(heap):
+    addrs = [heap.insert(f"r{i}".encode()) for i in range(10)]
+    heap.delete(addrs[3])
+    heap.delete(addrs[7])
+    for i in (0, 1, 2, 4, 5, 6, 8, 9):
+        assert heap.get(addrs[i]) == f"r{i}".encode()
+
+
+def test_update_in_place_when_smaller(heap):
+    addr = heap.insert(b"a fairly long record")
+    new_addr = heap.update(addr, b"short")
+    assert new_addr == addr
+    assert heap.get(addr) == b"short"
+
+
+def test_update_moves_when_larger(heap):
+    addr = heap.insert(b"tiny")
+    filler = [heap.insert(b"z" * 50) for _ in range(5)]
+    new_addr = heap.update(addr, b"a much much much longer record")
+    assert heap.get(new_addr) == b"a much much much longer record"
+    for f in filler:
+        assert heap.get(f) == b"z" * 50
+
+
+def test_scan_returns_live_records(heap):
+    addrs = [heap.insert(f"s{i}".encode()) for i in range(6)]
+    heap.delete(addrs[2])
+    got = {data for _addr, data in heap.scan()}
+    assert got == {b"s0", b"s1", b"s3", b"s4", b"s5"}
+
+
+def test_persistence_across_reopen(tmp_path):
+    path = str(tmp_path / "persist.db")
+    with HeapFile(path, page_size=512) as h:
+        addr = h.insert(b"durable record")
+        other = h.insert(b"second")
+        h.delete(other)
+    with HeapFile(path, page_size=512) as h:
+        assert h.get(addr) == b"durable record"
+        assert len(h) == 1
+        # New inserts go to pages with remaining space.
+        fresh = h.insert(b"post-reopen")
+        assert h.get(fresh) == b"post-reopen"
+
+
+class TestCompact:
+    def test_preserves_records_with_mapping(self, heap):
+        addrs = [heap.insert(f"rec-{i}".encode()) for i in range(20)]
+        for a in addrs[::3]:
+            heap.delete(a)
+        survivors = [a for i, a in enumerate(addrs) if i % 3 != 0]
+        expected = {a: heap.get(a) for a in survivors}
+        mapping = heap.compact()
+        assert set(mapping) == set(survivors)
+        for old, new in mapping.items():
+            assert heap.get(new) == expected[old]
+        assert len(heap) == len(survivors)
+
+    def test_reclaims_space(self, tmp_path):
+        with HeapFile(str(tmp_path / "c.db"), page_size=512) as heap:
+            addrs = [heap.insert(b"z" * 100) for _ in range(40)]
+            for a in addrs[:-4]:
+                heap.delete(a)
+            # Many near-empty pages remain before compaction.
+            free_before = sum(heap._free_space.values())
+            heap.compact()
+            free_after = sum(heap._free_space.values())
+            assert free_after > free_before
+            assert len(heap) == 4
+
+    def test_inserts_continue_after_compact(self, heap):
+        heap.insert(b"one")
+        heap.compact()
+        addr = heap.insert(b"two")
+        assert heap.get(addr) == b"two"
+        assert len(heap) == 2
+
+    def test_compact_empty_heap(self, heap):
+        assert heap.compact() == {}
+
+
+def test_bad_addresses_rejected(heap):
+    heap.insert(b"x")
+    with pytest.raises(HeapFileError):
+        heap.get(RowAddress(page=99, slot=0))
+    with pytest.raises(HeapFileError):
+        heap.get(RowAddress(page=1, slot=57))
+
+
+@given(st.lists(st.binary(min_size=0, max_size=80), max_size=60))
+@settings(max_examples=40, deadline=None)
+def test_property_roundtrip(tmp_path_factory, records):
+    tmp = tmp_path_factory.mktemp("heap-prop")
+    with HeapFile(str(tmp / "h.db"), page_size=512) as heap:
+        addrs = [heap.insert(r) for r in records]
+        for addr, expected in zip(addrs, records):
+            assert heap.get(addr) == expected
+        assert sorted(d for _a, d in heap.scan()) == sorted(records)

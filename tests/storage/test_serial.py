@@ -1,0 +1,76 @@
+"""Unit tests for node serialisation."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.serial import (
+    NodeRecord,
+    deserialize_node,
+    max_entries_per_page,
+    serialize_node,
+)
+
+
+def test_roundtrip_leaf():
+    rec = NodeRecord(is_leaf=True, entries=(
+        (0.0, 0.0, 1.5, 2.5, 42), (10.0, -3.25, 11.0, -1.0, 7)))
+    assert deserialize_node(serialize_node(rec)) == rec
+
+
+def test_roundtrip_internal():
+    rec = NodeRecord(is_leaf=False, entries=((1.0, 2.0, 3.0, 4.0, 99),))
+    got = deserialize_node(serialize_node(rec))
+    assert got.is_leaf is False
+    assert got.entries == rec.entries
+
+
+def test_roundtrip_empty_node():
+    rec = NodeRecord(is_leaf=True, entries=())
+    assert deserialize_node(serialize_node(rec)) == rec
+
+
+def test_negative_pointer_rejected():
+    rec = NodeRecord(is_leaf=True, entries=((0, 0, 1, 1, -1),))
+    with pytest.raises(ValueError):
+        serialize_node(rec)
+
+
+def test_truncated_payload_rejected():
+    rec = NodeRecord(is_leaf=True, entries=((0.0, 0.0, 1.0, 1.0, 5),))
+    payload = serialize_node(rec)
+    with pytest.raises(ValueError):
+        deserialize_node(payload[:-4])
+
+
+def test_empty_payload_rejected():
+    with pytest.raises(ValueError):
+        deserialize_node(b"")
+
+
+def test_max_entries_per_page():
+    # header 3 bytes, entry 40 bytes
+    assert max_entries_per_page(4096 - 8) == (4096 - 8 - 3) // 40
+    assert max_entries_per_page(43) == 1
+
+
+def test_max_entries_too_small_page():
+    with pytest.raises(ValueError):
+        max_entries_per_page(10)
+
+
+entry_strategy = st.tuples(
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.integers(min_value=0, max_value=2**63 - 1),
+)
+
+
+@given(st.booleans(), st.lists(entry_strategy, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_roundtrip_property(is_leaf, entries):
+    rec = NodeRecord(is_leaf=is_leaf, entries=tuple(entries))
+    assert deserialize_node(serialize_node(rec)) == rec

@@ -1,0 +1,77 @@
+"""Tests for DiskRTree.vacuum()."""
+
+import os
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.storage import DiskRTree
+from repro.workloads import uniform_points
+
+WINDOW = Rect(200, 200, 700, 700)
+
+
+@pytest.fixture()
+def churned(tmp_path):
+    """A tree after bulk load + heavy deletes (lots of free pages)."""
+    path = str(tmp_path / "churn.db")
+    items = [(Rect.from_point(p), i)
+             for i, p in enumerate(uniform_points(400, seed=71))]
+    tree = DiskRTree(path, max_entries=8)
+    tree.bulk_load(items)
+    for r, i in items[::2]:
+        tree.delete(r, i)
+    remaining = items[1::2]
+    yield tree, remaining, path
+    tree.close()
+
+
+def test_vacuum_preserves_answers(churned):
+    tree, remaining, _path = churned
+    expect = sorted(i for r, i in remaining if r.intersects(WINDOW))
+    assert sorted(tree.search(WINDOW)) == expect
+    tree.vacuum()
+    assert sorted(tree.search(WINDOW)) == expect
+    assert len(tree) == len(remaining)
+
+
+def test_vacuum_shrinks_file(churned):
+    tree, _remaining, path = churned
+    tree.flush()
+    size_before = os.path.getsize(path)
+    before, after = tree.vacuum()
+    assert after < before
+    assert os.path.getsize(path) < size_before
+
+
+def test_vacuum_survives_reopen(churned):
+    tree, remaining, path = churned
+    tree.vacuum()
+    tree.close()
+    expect = sorted(i for r, i in remaining if r.intersects(WINDOW))
+    with DiskRTree(path) as reopened:
+        assert sorted(reopened.search(WINDOW)) == expect
+
+
+def test_vacuum_then_update(churned):
+    tree, remaining, _path = churned
+    tree.vacuum()
+    tree.insert(Rect(500, 500, 500, 500), 99_999)
+    assert 99_999 in tree.point_query(Point(500, 500))
+    r, i = remaining[0]
+    assert tree.delete(r, i)
+
+
+def test_vacuum_idempotent(churned):
+    tree, _remaining, _path = churned
+    tree.vacuum()
+    before, after = tree.vacuum()
+    assert after == before  # second vacuum finds nothing to reclaim
+
+
+def test_vacuum_empty_tree(tmp_path):
+    path = str(tmp_path / "empty.db")
+    with DiskRTree(path, max_entries=8) as tree:
+        before, after = tree.vacuum()
+        assert after <= before
+        assert tree.search(Rect(0, 0, 1, 1)) == []

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "map_database.py",
+    "spatial_join.py",
+    "packed_vs_dynamic.py",
+    "persistent_index.py",
+    "pictorial_archive.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, tmp_path):
+    path = os.path.join(EXAMPLES_DIR, script)
+    args = [sys.executable, path]
+    if script == "map_database.py":
+        args.append(str(tmp_path))  # SVG output directory
+    result = subprocess.run(args, capture_output=True, text=True,
+                            timeout=300, cwd=str(tmp_path))
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_map_database_writes_svgs(tmp_path):
+    path = os.path.join(EXAMPLES_DIR, "map_database.py")
+    subprocess.run([sys.executable, path, str(tmp_path)], check=True,
+                   capture_output=True, timeout=300)
+    produced = sorted(p.name for p in tmp_path.glob("*.svg"))
+    assert produced == ["q1_cities.svg", "q2_lakes.svg"]
+    for svg in tmp_path.glob("*.svg"):
+        assert svg.read_text().startswith("<svg")
+
+
+def test_psql_shell_subprocess():
+    script = ("select city, population from cities "
+              "where population > 2_000_000;\n\\quit\n")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.psql"], input=script,
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert "rows)" in result.stdout
+
+
+def test_experiments_module_quick():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "--quick"],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr
+    assert "Table 1" in result.stdout
+    assert "Theorem 3.3" in result.stdout

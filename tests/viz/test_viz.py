@@ -1,0 +1,121 @@
+"""Tests for the SVG / ASCII renderers."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.psql import Session
+from repro.rtree.packing import pack
+from repro.viz import (
+    SvgCanvas,
+    ascii_rects,
+    render_pack_stages,
+    render_query_result,
+    render_rtree,
+)
+
+
+class TestSvgCanvas:
+    def test_document_structure(self):
+        c = SvgCanvas(Rect(0, 0, 100, 100), width=200)
+        c.rect(Rect(10, 10, 50, 50))
+        svg = c.to_svg()
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "<rect" in svg
+
+    def test_y_axis_flipped(self):
+        c = SvgCanvas(Rect(0, 0, 100, 100), width=100, margin=0)
+        c.circle(Point(0, 100))  # world top-left
+        svg = c.to_svg()
+        assert 'cy="0.00"' in svg  # appears at SVG top
+
+    def test_all_shapes_render(self):
+        c = SvgCanvas(Rect(0, 0, 10, 10))
+        c.rect(Rect(1, 1, 2, 2), dash="2,2")
+        c.circle(Point(5, 5))
+        c.line(Point(0, 0), Point(10, 10))
+        c.polygon([Point(1, 1), Point(2, 1), Point(2, 2)])
+        c.text(Point(3, 3), "label & <escaped>")
+        svg = c.to_svg()
+        for tag in ("<rect", "<circle", "<line", "<polygon", "<text"):
+            assert tag in svg
+        assert "&amp;" in svg and "&lt;" in svg
+
+    def test_save(self, tmp_path):
+        c = SvgCanvas(Rect(0, 0, 10, 10))
+        c.rect(Rect(0, 0, 5, 5))
+        out = tmp_path / "pic.svg"
+        c.save(str(out))
+        assert out.read_text().startswith("<svg")
+
+    def test_degenerate_world_rejected(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(Rect(0, 0, 0, 10))
+
+
+class TestTreeRender:
+    def test_render_rtree(self, small_items):
+        tree = pack(small_items, max_entries=4)
+        svg = render_rtree(tree).to_svg()
+        # one <rect> per non-empty node at least (plus data points).
+        assert svg.count("<rect") >= tree.node_count
+
+    def test_render_empty_tree_rejected_without_world(self):
+        from repro.rtree import RTree
+        with pytest.raises(ValueError):
+            render_rtree(RTree())
+
+    def test_render_pack_stages(self):
+        levels = [[Rect(0, 0, 1, 1), Rect(2, 2, 3, 3)], [Rect(0, 0, 3, 3)]]
+        svg = render_pack_stages(levels, Rect(0, 0, 4, 4)).to_svg()
+        assert svg.count("<rect") == 4  # 3 MBRs + background
+
+    def test_render_without_data_points(self, small_items):
+        tree = pack(small_items, max_entries=4)
+        with_data = render_rtree(tree, show_data=True).to_svg()
+        without = render_rtree(tree, show_data=False).to_svg()
+        assert with_data.count("<circle") > without.count("<circle")
+
+    def test_render_with_explicit_world(self, small_items):
+        tree = pack(small_items, max_entries=4)
+        svg = render_rtree(tree, world=Rect(0, 0, 2000, 2000)).to_svg()
+        assert svg.startswith("<svg")
+
+    def test_render_region_data_uses_rects(self):
+        from repro.workloads import uniform_rects
+        items = [(r, i) for i, r in
+                 enumerate(uniform_rects(20, max_side=80, seed=9))
+                 if r.area() > 0]
+        tree = pack(items, max_entries=4)
+        svg = render_rtree(tree).to_svg()
+        # data objects with area render as rects, not circles
+        assert svg.count("<rect") > tree.node_count
+
+    def test_render_query_result(self, map_database):
+        r = Session(map_database).execute(
+            "select city, loc from cities on us-map "
+            "at loc covered-by {500 ± 500, 500 ± 500}")
+        svg = render_query_result(r, Rect(0, 0, 1000, 1000)).to_svg()
+        assert svg.count("<circle") == len(r)
+        assert "<text" in svg  # labels displayed, as in Figure 2.1b
+
+
+class TestAscii:
+    def test_basic_grid(self):
+        out = ascii_rects([Rect(0, 0, 50, 50)], Rect(0, 0, 100, 100),
+                          cols=20, rows=10)
+        lines = out.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 20 for line in lines)
+        assert "#" in out
+
+    def test_points_rendered(self):
+        out = ascii_rects([], Rect(0, 0, 10, 10),
+                          points=[Point(5, 5)], cols=11, rows=11)
+        assert "*" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_rects([], Rect(0, 0, 0, 10))
+        with pytest.raises(ValueError):
+            ascii_rects([], Rect(0, 0, 10, 10), cols=1)
