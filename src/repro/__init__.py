@@ -14,6 +14,9 @@ Pictorial Databases Using Packed R-trees* (SIGMOD 1985):
 - :mod:`repro.quadtree` — the quadtree comparator discussed in Section 1.
 - :mod:`repro.workloads` / :mod:`repro.experiments` — data generators and
   the harness regenerating every table and figure of the paper.
+- :mod:`repro.obs` — the unified observability layer (counters, timers,
+  trace events) every subsystem reports into; Table 1's C/O/A columns
+  and the REPL's ``EXPLAIN STATS`` read from it.
 
 Quickstart::
 
@@ -24,10 +27,11 @@ Quickstart::
     hits = tree.search(Rect(10, 10, 25, 25))    # direct spatial search
 """
 
+from repro import obs
 from repro.geometry import Point, Rect, Region, Segment
 from repro.rtree import RTree, pack, tree_stats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Point",
@@ -36,6 +40,7 @@ __all__ = [
     "Region",
     "Segment",
     "__version__",
+    "obs",
     "pack",
     "tree_stats",
 ]

@@ -1,0 +1,70 @@
+"""Rendering of observability registries as text reports.
+
+Produces the ``EXPLAIN STATS`` listing printed by the PSQL REPL and the
+summaries the benchmark harness writes: counters grouped by their dotted
+prefix, timer accumulations, and (optionally) the tail of the trace ring
+buffer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Registry
+
+
+def _fmt_value(value: int | float) -> str:
+    if isinstance(value, int):
+        return f"{value:,}"
+    return f"{value:,.3f}"
+
+
+def format_counters(counters: dict[str, int | float]) -> list[str]:
+    """Counter lines, sorted by name, grouped by top-level prefix."""
+    lines: list[str] = []
+    if not counters:
+        return lines
+    width = max(len(name) for name in counters)
+    previous_group = None
+    for name in sorted(counters):
+        group = name.split(".", 1)[0]
+        if previous_group is not None and group != previous_group:
+            lines.append("")
+        previous_group = group
+        lines.append(f"  {name:<{width}}  {_fmt_value(counters[name]):>12}")
+    return lines
+
+
+def format_report(registry: "Registry", prefix: Optional[str] = None,
+                  trace_tail: int = 0) -> str:
+    """The full textual report for one registry."""
+    sections: list[str] = []
+
+    counters = registry.snapshot(prefix)
+    sections.append("counters:")
+    if counters:
+        sections.extend(format_counters(counters))
+    else:
+        sections.append("  (none recorded)")
+
+    if registry.timers:
+        sections.append("timers:")
+        width = max(len(name) for name in registry.timers)
+        for name in sorted(registry.timers):
+            stat = registry.timers[name]
+            sections.append(
+                f"  {name:<{width}}  {stat.total * 1e3:>10.3f} ms"
+                f"  over {stat.count} call{'s' if stat.count != 1 else ''}"
+                f"  (mean {stat.mean * 1e3:.3f} ms)")
+
+    if trace_tail > 0:
+        events = registry.trace_buffer.events()[-trace_tail:]
+        if events:
+            sections.append(f"trace (last {len(events)}):")
+            for ev in events:
+                fields = " ".join(f"{k}={v!r}"
+                                  for k, v in ev.fields.items())
+                sections.append(f"  #{ev.seq} {ev.name} {fields}".rstrip())
+
+    return "\n".join(sections)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Optional, Sequence
 
+from repro import obs
 from repro.geometry.point import Point
 from repro.geometry.predicates import OPERATORS
 from repro.geometry.rect import Rect
@@ -66,6 +67,22 @@ class Session:
         """Run an already parsed query."""
         return _Execution(self, query).run()
 
+    def explain_stats(self, text: str,
+                      trace_tail: int = 12) -> tuple[QueryResult, str]:
+        """Run one query under an isolated observability scope.
+
+        Returns the :class:`QueryResult` plus a formatted report of every
+        counter, timer and trace event the query produced — the payload
+        behind the REPL's ``EXPLAIN STATS`` prefix.  Instrumentation is
+        force-enabled for the duration of the query only; records still
+        forward to any enclosing registry, so global totals (when the
+        application keeps them) stay consistent.
+        """
+        query = parse(text)
+        with obs.scope(enable=True) as registry:
+            result = self.run(query)
+        return result, registry.report(trace_tail=trace_tail)
+
 
 def execute(db: Database, text: str) -> QueryResult:
     """One-shot convenience: ``Session(db).execute(text)``."""
@@ -92,13 +109,24 @@ class _Execution:
     # -- top level ------------------------------------------------------------
 
     def run(self) -> QueryResult:
-        bindings = self._bindings_from_indexes()
-        if bindings is None:
-            bindings = self._bindings_from_at()
-        if self.query.where is not None:
-            bindings = [b for b in bindings
-                        if self._truth(self.query.where, b)]
-        return self._project(bindings)
+        with obs.timer("psql.execute"):
+            bindings = self._bindings_from_indexes()
+            if bindings is None:
+                bindings = self._bindings_from_at()
+            if self.query.where is not None:
+                candidates = len(bindings)
+                bindings = [b for b in bindings
+                            if self._truth(self.query.where, b)]
+                if obs.ENABLED:
+                    reg = obs.active()
+                    reg.bump("psql.where.rows_in", candidates)
+                    reg.bump("psql.where.rows_out", len(bindings))
+            result = self._project(bindings)
+        if obs.ENABLED:
+            reg = obs.active()
+            reg.bump("psql.queries")
+            reg.bump("psql.rows_returned", len(result.rows))
+        return result
 
     def _bindings_from_indexes(self) -> Optional[list[Binding]]:
         """Index-assisted scan for pure alphanumeric queries.
@@ -117,6 +145,11 @@ class _Execution:
         relation = self.relations[self.query.relations[0]]
         probe = self._find_sargable(self.query.where, relation)
         if probe is None:
+            if obs.ENABLED:
+                obs.active().bump("psql.plan.relation_scan")
+                obs.trace("psql.plan", path="scan",
+                          relation=relation.name,
+                          reason="no sargable indexed conjunct")
             return None
         column, op, value = probe
         index = relation.index_on(column)
@@ -140,6 +173,12 @@ class _Execution:
             if rid not in seen:
                 seen.add(rid)
                 bindings.append({relation.name: (rid, row)})
+        if obs.ENABLED:
+            reg = obs.active()
+            reg.bump("psql.plan.index_scan")
+            reg.bump("psql.index.rows_seeded", len(bindings))
+            reg.trace("psql.plan", path="index", relation=relation.name,
+                      column=column, op=op, rows=len(bindings))
         return bindings
 
     def _find_sargable(self, cond: ast.Condition, relation: Relation,
@@ -174,7 +213,14 @@ class _Execution:
     def _bindings_from_at(self) -> list[Binding]:
         at = self.query.at
         if at is None:
-            return self._cross_product(self.query.relations)
+            bindings = self._cross_product(self.query.relations)
+            if obs.ENABLED:
+                obs.active().bump("psql.plan.cross_product")
+                obs.active().bump("psql.at.rows_out", len(bindings))
+                obs.trace("psql.plan", path="cross-product",
+                          relations=list(self.query.relations),
+                          rows=len(bindings))
+            return bindings
 
         left, op, right = at.left, at.op, at.right
         left = self._resolve_named_location(left)
@@ -231,6 +277,12 @@ class _Execution:
         self.window = window
         tree = self._tree_for(relation.name, loc.column)
         rids = self._search_op(tree, op, window, relation, loc.column)
+        if obs.ENABLED:
+            reg = obs.active()
+            reg.bump("psql.plan.direct_spatial_search")
+            reg.bump("psql.at.rows_out", len(rids))
+            reg.trace("psql.plan", path="direct-spatial-search",
+                      relation=relation.name, op=op, rows=len(rids))
         base = [{relation.name: (rid, relation.get(rid))} for rid in rids]
         others = [r for r in self.query.relations if r != relation.name]
         return self._extend_cross(base, others)
@@ -283,6 +335,13 @@ class _Execution:
                      if self._refine(op,
                                      rel_l.get(ra)[left.column],
                                      rel_r.get(rb)[right.column])]
+        if obs.ENABLED:
+            reg = obs.active()
+            reg.bump("psql.plan.juxtaposition")
+            reg.bump("psql.at.rows_out", len(pairs))
+            reg.trace("psql.plan", path="juxtaposition",
+                      relations=[rel_l.name, rel_r.name], op=op,
+                      pairs=len(pairs))
         base = [{rel_l.name: (ra, rel_l.get(ra)),
                  rel_r.name: (rb, rel_r.get(rb))} for ra, rb in pairs]
         others = [r for r in self.query.relations
@@ -304,6 +363,13 @@ class _Execution:
                                        loc.column):
                 if self._refine(op, relation.get(rid)[loc.column], value):
                     rids.add(rid)
+        if obs.ENABLED:
+            reg = obs.active()
+            reg.bump("psql.plan.nested_mapping")
+            reg.bump("psql.at.rows_out", len(rids))
+            reg.trace("psql.plan", path="nested-mapping",
+                      relation=relation.name, op=op,
+                      inner_locations=len(inner_locs), rows=len(rids))
         base = [{relation.name: (rid, relation.get(rid))}
                 for rid in sorted(rids)]
         others = [r for r in self.query.relations if r != relation.name]

@@ -10,6 +10,12 @@ Meta-commands:
 - ``\\pictures``   list pictures and their indexes
 - ``\\map``        toggle ASCII rendering of each result's pictorial output
 - ``\\quit``       exit
+
+Prefixing a query with ``explain stats`` runs it under an isolated
+:mod:`repro.obs` scope and prints, after the result table, every counter
+the query touched (R-tree node visits, buffer traffic, access-path
+decisions) plus timers and the trace tail — the paper's Table 1
+accounting, live at the prompt.
 """
 
 from __future__ import annotations
@@ -98,7 +104,9 @@ class Repl:
         self._print("PSQL shell — pictorial database over the synthetic "
                     "US map.")
         self._print("End a query with ';'. \\relations \\pictures \\map "
-                    "\\quit\n")
+                    "\\quit")
+        self._print("Prefix a query with 'explain stats' for access-path "
+                    "counters.\n")
         buffer: list[str] = []
         while True:
             self._prompt(self.CONTINUATION if buffer else self.PROMPT)
@@ -119,14 +127,25 @@ class Repl:
 
     # -- pieces ------------------------------------------------------------
 
+    _EXPLAIN_PREFIX = "explain stats"
+
     def _execute(self, text: str) -> None:
+        stats_report = None
         try:
-            result = self.session.execute(text)
+            stripped = text.lstrip()
+            if stripped.lower().startswith(self._EXPLAIN_PREFIX):
+                body = stripped[len(self._EXPLAIN_PREFIX):]
+                result, stats_report = self.session.explain_stats(body)
+            else:
+                result = self.session.execute(text)
         except PsqlError as exc:
             self._print(f"error: {exc}")
             return
         self._print(result.format_table())
         self._print(f"({len(result)} rows)")
+        if stats_report is not None:
+            self._print("")
+            self._print(stats_report)
         if self.show_map and result.pictorial:
             self._print(self._render_map(result))
 

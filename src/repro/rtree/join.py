@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from repro import obs
 from repro.geometry.rect import Rect
 from repro.rtree.node import Node
 from repro.rtree.tree import RTree
@@ -40,7 +41,18 @@ def spatial_join(left: RTree, right: RTree,
     out: list[tuple[Any, Any]] = []
     if stats is None:
         stats = JoinStats()
-    _join(left.root, right.root, predicate, out, stats)
+    # A caller-supplied JoinStats may carry counts from earlier joins;
+    # only this call's deltas go to the observability counters.
+    visited0, pruned0, results0 = (stats.pairs_visited, stats.pairs_pruned,
+                                   stats.results)
+    with obs.timer("rtree.join"):
+        _join(left.root, right.root, predicate, out, stats)
+    if obs.ENABLED:
+        reg = obs.active()
+        reg.bump("rtree.join.joins")
+        reg.bump("rtree.join.pairs_visited", stats.pairs_visited - visited0)
+        reg.bump("rtree.join.pairs_pruned", stats.pairs_pruned - pruned0)
+        reg.bump("rtree.join.results", stats.results - results0)
     return out
 
 

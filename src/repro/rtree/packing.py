@@ -26,6 +26,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
+from repro import obs
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect, mbr_of_rects
 from repro.rtree.hilbert import hilbert_key
@@ -124,6 +125,8 @@ class _NeighborFinder:
 
     def pop_nearest(self, seed: Entry) -> Entry:
         """Remove and return the entry nearest to *seed* (the paper's NN)."""
+        if obs.ENABLED:
+            obs.active().bump("rtree.pack.nn_scans")
         if self._grid is not None:
             idx = self._grid.nearest(seed.rect.center(), self._alive)
         else:
@@ -304,8 +307,15 @@ def pack(items: Iterable[Item], max_entries: int = 4,
     if not entries:
         return RTree(max_entries=max_entries, min_entries=min_entries,
                      split=split)
-    root = _pack_level(entries, max_entries, group_fn, distance_fn,
-                       is_leaf=True)
+    with obs.timer("rtree.pack.build"):
+        root = _pack_level(entries, max_entries, group_fn, distance_fn,
+                           is_leaf=True)
+    if obs.ENABLED:
+        reg = obs.active()
+        reg.bump("rtree.pack.builds")
+        reg.bump("rtree.pack.items", len(entries))
+        reg.trace("rtree.pack", method=method, items=len(entries),
+                  max_entries=max_entries)
     return RTree.from_root(root, max_entries=max_entries,
                            min_entries=min_entries, split=split)
 
@@ -327,19 +337,29 @@ def _lookup_distance(distance: str) -> DistanceFn:
 
 
 def _pack_level(entries: list[Entry], max_entries: int, group_fn: GroupFn,
-                distance_fn: DistanceFn, is_leaf: bool) -> Node:
+                distance_fn: DistanceFn, is_leaf: bool,
+                level: int = 0) -> Node:
     """One recursion of PACK: group entries into nodes, recurse on the nodes.
 
     Mirrors the paper's pseudo-code: the base case wraps at most M entries
     into the root; otherwise the grouped nodes become the DLIST of the next
-    call.
+    call.  *level* counts upward from the leaves (0 = leaf level) and only
+    feeds the per-level observability counters.
     """
     if len(entries) <= max_entries:
         root = Node(is_leaf=is_leaf)
         for e in entries:
             root.add(e)
+        if obs.ENABLED:
+            obs.active().bump("rtree.pack.nodes_emitted", 1)
+            obs.active().bump(f"rtree.pack.nodes_emitted.level{level}", 1)
         return root
     groups = group_fn(entries, max_entries, distance_fn)
+    if obs.ENABLED:
+        reg = obs.active()
+        reg.bump("rtree.pack.levels")
+        reg.bump("rtree.pack.nodes_emitted", len(groups))
+        reg.bump(f"rtree.pack.nodes_emitted.level{level}", len(groups))
     next_level: list[Entry] = []
     for group in groups:
         node = Node(is_leaf=is_leaf)
@@ -347,7 +367,7 @@ def _pack_level(entries: list[Entry], max_entries: int, group_fn: GroupFn,
             node.add(e)
         next_level.append(Entry(rect=node.mbr(), child=node))
     return _pack_level(next_level, max_entries, group_fn, distance_fn,
-                       is_leaf=False)
+                       is_leaf=False, level=level + 1)
 
 
 # -- named conveniences -------------------------------------------------------

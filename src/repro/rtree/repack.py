@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import obs
 from repro.geometry.rect import Rect
 from repro.rtree.node import Entry, Node
 from repro.rtree.packing import (
@@ -69,10 +70,12 @@ def local_repack(tree: RTree, region: Optional[Rect] = None,
         return RepackResult(0, 1, 1, 0)
     nodes_before = sum(1 for _ in target.descend())
     old_height = target.height()
+    was_root = target is tree.root
 
     fresh = [Entry(rect=e.rect, oid=e.oid) for e in entries]
-    new_root = _pack_level(fresh, tree.max_entries, group_fn, distance_fn,
-                           is_leaf=True)
+    with obs.timer("rtree.repack"):
+        new_root = _pack_level(fresh, tree.max_entries, group_fn,
+                               distance_fn, is_leaf=True)
     if target is not tree.root:
         # Splicing into a parent: the subtree must keep its height so all
         # leaves of the tree stay at one depth.  A root swap is free to
@@ -93,6 +96,14 @@ def local_repack(tree: RTree, region: Optional[Rect] = None,
         new_root.parent = parent
         RTree._fix_parents(new_root)
         _refresh_ancestor_mbrs(parent)
+    if obs.ENABLED:
+        reg = obs.active()
+        reg.bump("rtree.repack.invocations")
+        reg.bump("rtree.repack.entries_repacked", len(entries))
+        reg.bump("rtree.repack.nodes_saved", nodes_before - nodes_after)
+        reg.trace("rtree.repack", entries=len(entries),
+                  nodes_before=nodes_before, nodes_after=nodes_after,
+                  whole_tree=was_root)
     return RepackResult(entries_repacked=len(entries),
                         nodes_before=nodes_before, nodes_after=nodes_after,
                         subtree_height=old_height)

@@ -13,6 +13,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro import obs
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.rtree.node import Node
@@ -112,6 +113,8 @@ def knn_search(tree: RTree, query: Point, k: int = 1,
     heap: list[_HeapItem] = [
         _HeapItem(key=0.0, tiebreak=counter, node=tree.root)]
     out: list[tuple[float, Any]] = []
+    track = obs.ENABLED
+    nodes_visited = 0
     while heap and len(out) < k:
         item = heapq.heappop(heap)
         if item.is_object:
@@ -120,6 +123,8 @@ def knn_search(tree: RTree, query: Point, k: int = 1,
         node = item.node
         assert node is not None
         stats.record_node(node)
+        if track:
+            nodes_visited += 1
         for e in node.entries:
             counter += 1
             dist = e.rect.min_distance_to(qrect)
@@ -130,4 +135,9 @@ def knn_search(tree: RTree, query: Point, k: int = 1,
                 heapq.heappush(heap, _HeapItem(
                     key=dist, tiebreak=counter, node=e.child))
     stats.results += len(out)
+    if track:
+        reg = obs.active()
+        reg.bump("rtree.knn.queries")
+        reg.bump("rtree.knn.nodes_visited", nodes_visited)
+        reg.bump("rtree.knn.results", len(out))
     return out

@@ -10,18 +10,74 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Optional
 
+from repro import obs
+from repro.obs import Counters
 from repro.storage.pager import Pager
 
+_STATS_PREFIX = "storage.buffer"
+_STATS_FIELDS = ("hits", "misses", "evictions", "writebacks")
 
-@dataclass
+
 class BufferStats:
-    """Access accounting for one buffer pool."""
+    """Access accounting for one buffer pool.
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    writebacks: int = 0
+    Historically a plain dataclass of four ints; the numbers now live in
+    a per-pool :class:`repro.obs.Counters` bag under ``storage.buffer.*``
+    so the same values feed the observability layer.  The original API is
+    preserved exactly: the four fields read and write like attributes
+    (``stats.hits += 1`` still works), and ``accesses`` / ``hit_rate``
+    behave as before.  The per-pool bag is always maintained — it does not
+    depend on the global :data:`repro.obs.ENABLED` flag.
+    """
+
+    __slots__ = ("counters",)
+
+    def __init__(self, hits: int = 0, misses: int = 0, evictions: int = 0,
+                 writebacks: int = 0,
+                 counters: Optional[Counters] = None):
+        self.counters = counters if counters is not None else Counters()
+        for name, value in zip(_STATS_FIELDS,
+                               (hits, misses, evictions, writebacks)):
+            if value:
+                self.counters.set(f"{_STATS_PREFIX}.{name}", value)
+
+    # -- the four seed fields, now counter-backed --------------------------
+
+    @property
+    def hits(self) -> int:
+        return int(self.counters.get(f"{_STATS_PREFIX}.hits"))
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self.counters.set(f"{_STATS_PREFIX}.hits", value)
+
+    @property
+    def misses(self) -> int:
+        return int(self.counters.get(f"{_STATS_PREFIX}.misses"))
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self.counters.set(f"{_STATS_PREFIX}.misses", value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self.counters.get(f"{_STATS_PREFIX}.evictions"))
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        self.counters.set(f"{_STATS_PREFIX}.evictions", value)
+
+    @property
+    def writebacks(self) -> int:
+        return int(self.counters.get(f"{_STATS_PREFIX}.writebacks"))
+
+    @writebacks.setter
+    def writebacks(self, value: int) -> None:
+        self.counters.set(f"{_STATS_PREFIX}.writebacks", value)
+
+    # -- derived, unchanged from the seed ----------------------------------
 
     @property
     def accesses(self) -> int:
@@ -32,6 +88,17 @@ class BufferStats:
         """Fraction of page requests served from memory (0.0 when idle)."""
         total = self.accesses
         return self.hits / total if total else 0.0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BufferStats):
+            return NotImplemented
+        return all(getattr(self, f) == getattr(other, f)
+                   for f in _STATS_FIELDS)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"BufferStats(hits={self.hits}, misses={self.misses}, "
+                f"evictions={self.evictions}, "
+                f"writebacks={self.writebacks})")
 
 
 @dataclass
@@ -79,9 +146,13 @@ class BufferPool:
         frame = self._frames.get(page_no)
         if frame is not None:
             self.stats.hits += 1
+            if obs.ENABLED:
+                obs.active().bump("storage.buffer.hits")
             self._touch(page_no, frame)
             return frame.payload
         self.stats.misses += 1
+        if obs.ENABLED:
+            obs.active().bump("storage.buffer.misses")
         payload = self.pager.read_page(page_no).data
         self._install(page_no, _Frame(payload=payload))
         return payload
@@ -127,6 +198,8 @@ class BufferPool:
                 self.pager.write_page(page_no, frame.payload)
                 frame.dirty = False
                 self.stats.writebacks += 1
+                if obs.ENABLED:
+                    obs.active().bump("storage.buffer.writebacks")
 
     def invalidate(self, page_no: int) -> None:
         """Drop *page_no* without writing it back (used after free())."""
@@ -165,8 +238,12 @@ class BufferPool:
         if victim.dirty:
             self.pager.write_page(victim_no, victim.payload)
             self.stats.writebacks += 1
+            if obs.ENABLED:
+                obs.active().bump("storage.buffer.writebacks")
         del self._frames[victim_no]
         self.stats.evictions += 1
+        if obs.ENABLED:
+            obs.active().bump("storage.buffer.evictions")
 
     def _pick_lru_victim(self) -> int | None:
         for page_no, frame in self._frames.items():

@@ -17,6 +17,7 @@ import os
 import struct
 from typing import Iterable, Optional, Sequence
 
+from repro import obs
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect, mbr_of_rects
 from repro.rtree.node import Entry
@@ -163,17 +164,30 @@ class DiskRTree:
         if not entries:
             self._write_meta()
             return
-        is_leaf = True
-        while len(entries) > self.max_entries:
-            groups = group_fn(entries, self.max_entries, distance_fn)
-            next_level: list[Entry] = []
-            for group in groups:
-                page_no = self._materialize(group, is_leaf)
-                mbr = mbr_of_rects(e.rect for e in group)
-                next_level.append(Entry(rect=mbr, oid=page_no))
-            entries = next_level
-            is_leaf = False
-        self._root_page = self._materialize(entries, is_leaf)
+        with obs.timer("storage.disk_rtree.bulk_load"):
+            is_leaf = True
+            level = 0
+            while len(entries) > self.max_entries:
+                groups = group_fn(entries, self.max_entries, distance_fn)
+                if obs.ENABLED:
+                    obs.active().bump("storage.disk_rtree.nodes_written",
+                                      len(groups))
+                    obs.active().bump(
+                        f"storage.disk_rtree.nodes_written.level{level}",
+                        len(groups))
+                next_level: list[Entry] = []
+                for group in groups:
+                    page_no = self._materialize(group, is_leaf)
+                    mbr = mbr_of_rects(e.rect for e in group)
+                    next_level.append(Entry(rect=mbr, oid=page_no))
+                entries = next_level
+                is_leaf = False
+                level += 1
+            self._root_page = self._materialize(entries, is_leaf)
+            if obs.ENABLED:
+                obs.active().bump("storage.disk_rtree.nodes_written")
+                obs.active().bump(
+                    f"storage.disk_rtree.nodes_written.level{level}")
         self._write_meta()
 
     def _materialize(self, group: Sequence[Entry], is_leaf: bool) -> int:
@@ -188,14 +202,23 @@ class DiskRTree:
         """Object ids whose rectangle intersects *window*."""
         out: list[int] = []
         stack = [self._root_page]
+        track = obs.ENABLED
+        nodes = 0
         while stack:
             node = self._read_node(stack.pop())
+            if track:
+                nodes += 1
             for e in node.entries:
                 if _entry_rect(e).intersects(window):
                     if node.is_leaf:
                         out.append(e[4])
                     else:
                         stack.append(e[4])
+        if track:
+            reg = obs.active()
+            reg.bump("storage.disk_rtree.queries")
+            reg.bump("storage.disk_rtree.nodes_read", nodes)
+            reg.bump("storage.disk_rtree.results", len(out))
         return out
 
     def search_within(self, window: Rect) -> list[int]:
@@ -206,28 +229,46 @@ class DiskRTree:
         """
         out: list[int] = []
         stack = [self._root_page]
+        track = obs.ENABLED
+        nodes = 0
         while stack:
             node = self._read_node(stack.pop())
+            if track:
+                nodes += 1
             for e in node.entries:
                 if node.is_leaf:
                     if window.contains(_entry_rect(e)):
                         out.append(e[4])
                 elif _entry_rect(e).intersects(window):
                     stack.append(e[4])
+        if track:
+            reg = obs.active()
+            reg.bump("storage.disk_rtree.queries")
+            reg.bump("storage.disk_rtree.nodes_read", nodes)
+            reg.bump("storage.disk_rtree.results", len(out))
         return out
 
     def point_query(self, point: Point) -> list[int]:
         """Object ids whose rectangle contains *point*."""
         out: list[int] = []
         stack = [self._root_page]
+        track = obs.ENABLED
+        nodes = 0
         while stack:
             node = self._read_node(stack.pop())
+            if track:
+                nodes += 1
             for e in node.entries:
                 if _entry_rect(e).contains_point(point):
                     if node.is_leaf:
                         out.append(e[4])
                     else:
                         stack.append(e[4])
+        if track:
+            reg = obs.active()
+            reg.bump("storage.disk_rtree.queries")
+            reg.bump("storage.disk_rtree.nodes_read", nodes)
+            reg.bump("storage.disk_rtree.results", len(out))
         return out
 
     def knn(self, point: Point, k: int = 1) -> list[tuple[float, int]]:

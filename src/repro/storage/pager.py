@@ -15,6 +15,8 @@ import zlib
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import obs
+
 #: Default page size in bytes.  Small by modern standards, faithful to the
 #: "logical disk block" framing of the paper; configurable per Pager.
 PAGE_SIZE = 4096
@@ -175,6 +177,8 @@ class Pager:
 
     def _raw_read(self, page_no: int) -> bytes:
         self.reads += 1
+        if obs.ENABLED:
+            obs.active().bump("storage.pager.reads")
         self._file.seek(page_no * self.page_size)
         raw = self._file.read(self.page_size)
         if len(raw) < self.page_size:
@@ -184,6 +188,8 @@ class Pager:
     def _raw_write(self, page_no: int, raw: bytes) -> None:
         assert len(raw) == self.page_size
         self.writes += 1
+        if obs.ENABLED:
+            obs.active().bump("storage.pager.writes")
         self._file.seek(page_no * self.page_size)
         self._file.write(raw)
 

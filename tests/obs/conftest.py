@@ -1,0 +1,22 @@
+"""Keep the process-global obs state pristine around every test here."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Disable instrumentation and reset the default registry afterwards.
+
+    The obs registry stack and ENABLED flag are process-global; tests in
+    this package flip them freely, so each one starts from (and restores)
+    the library default: disabled, empty default registry, stack depth 1.
+    """
+    obs.disable()
+    obs.default_registry().reset()
+    yield
+    obs.disable()
+    obs.default_registry().reset()
+    assert obs.active() is obs.default_registry(), (
+        "a test leaked an obs scope")

@@ -1,0 +1,232 @@
+"""Unit tests for :mod:`repro.obs` — counters, timers, traces, scopes."""
+
+import pytest
+
+from repro import obs
+from repro.obs import Counters, Registry, TimerStat, TraceBuffer
+
+
+# -- Counters ---------------------------------------------------------------
+
+
+class TestCounters:
+    def test_bump_and_get(self):
+        c = Counters()
+        assert c.get("a.b") == 0
+        c.bump("a.b")
+        c.bump("a.b", 4)
+        assert c.get("a.b") == 5
+        assert len(c) == 1
+
+    def test_get_default(self):
+        c = Counters()
+        assert c.get("missing", default=-1) == -1
+
+    def test_set_overwrites(self):
+        c = Counters()
+        c.bump("x", 10)
+        c.set("x", 3)
+        assert c.get("x") == 3
+
+    def test_as_dict_prefix_is_dotted_not_textual(self):
+        c = Counters()
+        c.bump("rtree.search.nodes", 2)
+        c.bump("rtree.searcher.nodes", 7)  # textual prefix, different subtree
+        c.bump("rtree.search", 1)          # the prefix itself
+        assert c.as_dict("rtree.search") == {
+            "rtree.search.nodes": 2, "rtree.search": 1}
+        assert set(c.as_dict()) == {
+            "rtree.search.nodes", "rtree.searcher.nodes", "rtree.search"}
+
+    def test_reset_prefix_only_drops_that_subtree(self):
+        c = Counters()
+        c.bump("a.x")
+        c.bump("a.y")
+        c.bump("b.z")
+        c.reset("a")
+        assert c.as_dict() == {"b.z": 1}
+        c.reset()
+        assert len(c) == 0
+
+    def test_float_counters_accumulate(self):
+        c = Counters()
+        c.bump("area", 1.5)
+        c.bump("area", 2.25)
+        assert c.get("area") == pytest.approx(3.75)
+
+
+# -- Trace ring buffer ------------------------------------------------------
+
+
+class TestTraceBuffer:
+    def test_capacity_caps_but_seq_keeps_counting(self):
+        buf = TraceBuffer(capacity=3)
+        for i in range(5):
+            buf.record("ev", i=i)
+        events = buf.events()
+        assert len(events) == 3
+        assert buf.recorded == 5
+        assert [e.seq for e in events] == [3, 4, 5]  # oldest dropped
+        assert [e.fields["i"] for e in events] == [2, 3, 4]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=0)
+
+    def test_clear_keeps_seq_monotonic(self):
+        buf = TraceBuffer(capacity=8)
+        buf.record("a")
+        buf.clear()
+        assert len(buf) == 0
+        buf.record("b")
+        assert buf.events()[0].seq == 2
+
+
+# -- Registry: forwarding, timers, reset ------------------------------------
+
+
+class TestRegistry:
+    def test_child_forwards_to_parent_chain(self):
+        root = Registry()
+        mid = Registry(parent=root)
+        leaf = Registry(parent=mid)
+        leaf.bump("n", 2)
+        leaf.trace("ev", k=1)
+        leaf.record_time("t", 0.5)
+        for reg in (leaf, mid, root):
+            assert reg.counters.get("n") == 2
+            assert reg.trace_buffer.recorded == 1
+            assert reg.timers["t"].count == 1
+
+    def test_reset_is_local_parents_keep_totals(self):
+        root = Registry()
+        child = Registry(parent=root)
+        child.bump("n", 3)
+        child.record_time("t", 0.1)
+        child.trace("ev")
+        child.reset()
+        assert child.counters.get("n") == 0
+        assert child.timers == {}
+        assert len(child.trace_buffer) == 0
+        assert root.counters.get("n") == 3
+        assert root.timers["t"].count == 1
+        assert root.trace_buffer.recorded == 1
+
+    def test_timer_context_manager_accumulates(self):
+        reg = Registry()
+        with reg.timer("work"):
+            pass
+        with reg.timer("work"):
+            pass
+        stat = reg.timers["work"]
+        assert stat.count == 2
+        assert stat.total >= 0.0
+        assert stat.mean == pytest.approx(stat.total / 2)
+
+    def test_timer_mean_zero_when_never_fired(self):
+        assert TimerStat().mean == 0.0
+
+    def test_report_lists_counters_timers_and_trace(self):
+        reg = Registry()
+        reg.bump("rtree.search.nodes_visited", 7)
+        reg.bump("psql.queries", 1)
+        with reg.timer("psql.execute"):
+            pass
+        reg.trace("psql.plan", path="direct")
+        text = reg.report(trace_tail=5)
+        assert "counters:" in text
+        assert "rtree.search.nodes_visited" in text
+        assert "7" in text
+        assert "timers:" in text
+        assert "psql.execute" in text
+        assert "trace" in text
+        assert "psql.plan" in text
+
+    def test_report_prefix_restricts_counters(self):
+        reg = Registry()
+        reg.bump("rtree.search.nodes_visited", 7)
+        reg.bump("psql.queries", 1)
+        text = reg.report(prefix="rtree")
+        assert "rtree.search.nodes_visited" in text
+        assert "psql.queries" not in text
+
+
+# -- Module-level API: enable flag, scopes ----------------------------------
+
+
+class TestModuleApi:
+    def test_disabled_records_nothing(self):
+        assert not obs.is_enabled()
+        obs.bump("x")
+        obs.trace("ev")
+        with obs.timer("t"):
+            pass
+        assert obs.get("x") == 0
+        assert obs.snapshot() == {}
+        assert obs.default_registry().timers == {}
+        # clear() keeps the seq monotonic, so check buffered events, not seq
+        assert len(obs.default_registry().trace_buffer) == 0
+
+    def test_enable_disable_roundtrip(self):
+        obs.enable()
+        assert obs.is_enabled()
+        obs.bump("x", 2)
+        assert obs.get("x") == 2
+        obs.disable()
+        obs.bump("x", 100)
+        assert obs.get("x") == 2
+
+    def test_timer_returns_null_object_when_disabled(self):
+        t = obs.timer("t")
+        assert t is obs.timer("t2")  # the shared null singleton
+
+    def test_scope_isolates_and_forwards(self):
+        obs.enable()
+        obs.bump("n")
+        with obs.scope() as reg:
+            obs.bump("n", 10)
+            assert reg.counters.get("n") == 10
+        assert obs.get("n") == 11  # forwarded to the default registry
+        assert obs.active() is obs.default_registry()
+
+    def test_scope_without_forwarding(self):
+        obs.enable()
+        with obs.scope(forward=False) as reg:
+            obs.bump("n", 5)
+        assert reg.counters.get("n") == 5
+        assert obs.get("n") == 0
+
+    def test_scope_enable_restores_previous_flag(self):
+        assert not obs.is_enabled()
+        with obs.scope(enable=True) as reg:
+            assert obs.is_enabled()
+            obs.bump("n")
+        assert not obs.is_enabled()
+        assert reg.counters.get("n") == 1
+        # forwarded: the scope was measuring, so totals accumulated too
+        assert obs.get("n") == 1
+
+    def test_scope_restores_flag_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.scope(enable=True):
+                raise RuntimeError("boom")
+        assert not obs.is_enabled()
+        assert obs.active() is obs.default_registry()
+
+    def test_nested_scopes_forward_through_the_chain(self):
+        with obs.scope(enable=True) as outer:
+            with obs.scope() as inner:
+                obs.bump("n", 3)
+            obs.bump("n", 1)
+            assert inner.counters.get("n") == 3
+            assert outer.counters.get("n") == 4
+        assert obs.get("n") == 4
+
+    def test_module_reset_clears_active_only(self):
+        obs.enable()
+        obs.bump("n", 9)
+        with obs.scope() as reg:
+            obs.bump("n", 1)
+            obs.reset()  # resets the *scoped* registry
+            assert reg.counters.get("n") == 0
+        assert obs.get("n") == 10  # global total untouched by scoped reset

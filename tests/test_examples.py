@@ -6,7 +6,25 @@ import sys
 
 import pytest
 
-EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+
+def subprocess_env():
+    """os.environ with the repo's src/ tree on PYTHONPATH.
+
+    The example scripts import ``repro`` and run from an arbitrary cwd
+    (``tmp_path``), so the path must be resolved from the repo root and
+    passed explicitly — the parent test process may itself be running off
+    an installed package with no PYTHONPATH at all.
+    """
+    env = os.environ.copy()
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (SRC_DIR if not existing
+                         else SRC_DIR + os.pathsep + existing)
+    return env
+
 
 EXAMPLES = [
     "quickstart.py",
@@ -25,7 +43,8 @@ def test_example_runs(script, tmp_path):
     if script == "map_database.py":
         args.append(str(tmp_path))  # SVG output directory
     result = subprocess.run(args, capture_output=True, text=True,
-                            timeout=300, cwd=str(tmp_path))
+                            timeout=300, cwd=str(tmp_path),
+                            env=subprocess_env())
     assert result.returncode == 0, result.stderr
     assert result.stdout.strip(), "example produced no output"
 
@@ -33,7 +52,7 @@ def test_example_runs(script, tmp_path):
 def test_map_database_writes_svgs(tmp_path):
     path = os.path.join(EXAMPLES_DIR, "map_database.py")
     subprocess.run([sys.executable, path, str(tmp_path)], check=True,
-                   capture_output=True, timeout=300)
+                   capture_output=True, timeout=300, env=subprocess_env())
     produced = sorted(p.name for p in tmp_path.glob("*.svg"))
     assert produced == ["q1_cities.svg", "q2_lakes.svg"]
     for svg in tmp_path.glob("*.svg"):
@@ -45,15 +64,30 @@ def test_psql_shell_subprocess():
               "where population > 2_000_000;\n\\quit\n")
     result = subprocess.run(
         [sys.executable, "-m", "repro.psql"], input=script,
-        capture_output=True, text=True, timeout=300)
+        capture_output=True, text=True, timeout=300,
+        env=subprocess_env())
     assert result.returncode == 0, result.stderr
     assert "rows)" in result.stdout
+
+
+def test_psql_shell_explain_stats():
+    script = ("explain stats select city from cities on us-map "
+              "at loc covered-by {500+-500, 500+-500};\n\\quit\n")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.psql"], input=script,
+        capture_output=True, text=True, timeout=300,
+        env=subprocess_env())
+    assert result.returncode == 0, result.stderr
+    assert "counters:" in result.stdout
+    assert "rtree.search.nodes_visited" in result.stdout
+    assert "psql.plan.direct_spatial_search" in result.stdout
 
 
 def test_experiments_module_quick():
     result = subprocess.run(
         [sys.executable, "-m", "repro.experiments", "--quick"],
-        capture_output=True, text=True, timeout=600)
+        capture_output=True, text=True, timeout=600,
+        env=subprocess_env())
     assert result.returncode == 0, result.stderr
     assert "Table 1" in result.stdout
     assert "Theorem 3.3" in result.stdout
