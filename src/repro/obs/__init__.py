@@ -37,13 +37,19 @@ Typical use::
         tree.search(window)
     print(reg.counters.get("rtree.search.nodes_visited"))
 
-The registry stack is process-global and not thread-aware; concurrent
-workloads should enable it only around single-threaded measurement
-sections (exactly how the experiment harness uses it).
+The scope stack is **thread-local**: every thread sees the process-global
+default registry at the bottom of its own stack, and a scope pushed in
+one thread is invisible to every other.  This is what lets a server
+worker thread run each query under ``scope(forward=False, enable=True)``
+without interleaving its counters with concurrently executing queries
+(see :mod:`repro.server`).  The :data:`ENABLED` flag itself stays
+process-global — long-running concurrent workloads should enable it once
+for their lifetime rather than toggling it per query from many threads.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -107,6 +113,16 @@ class Counters:
     def set(self, name: str, value: int | float) -> None:
         """Overwrite counter *name* (used by stats facades, not hot paths)."""
         self._values[name] = value
+
+    def merge(self, values: dict[str, int | float]) -> None:
+        """Add every counter in *values* onto this bag.
+
+        The export/import path for cross-thread (or cross-process) metric
+        aggregation: a worker snapshots its scoped registry with
+        :meth:`as_dict` and a single owner thread merges the snapshots.
+        """
+        for name, value in values.items():
+            self.bump(name, value)
 
     def as_dict(self, prefix: Optional[str] = None) -> dict[str, int | float]:
         """A copy of all counters, optionally restricted to a dotted prefix."""
@@ -313,17 +329,26 @@ class Registry:
 # ---------------------------------------------------------------------------
 
 _default = Registry()
-_stack: list[Registry] = [_default]
+
+
+class _ScopeStack(threading.local):
+    """Per-thread registry stack, bottoming out at the global default."""
+
+    def __init__(self) -> None:
+        self.regs: list[Registry] = [_default]
+
+
+_tls = _ScopeStack()
 
 
 def default_registry() -> Registry:
-    """The process-global registry (bottom of the scope stack)."""
+    """The process-global registry (bottom of every thread's stack)."""
     return _default
 
 
 def active() -> Registry:
-    """The registry currently receiving records (top of the scope stack)."""
-    return _stack[-1]
+    """The registry currently receiving records in **this thread**."""
+    return _tls.regs[-1]
 
 
 @contextmanager
@@ -341,11 +366,18 @@ def scope(forward: bool = True, enable: bool = False,
 
     Yields:
         The scoped :class:`Registry`; read its counters after the block.
+
+    The scope affects only the calling thread's stack.  ``enable`` still
+    toggles the process-global :data:`ENABLED` flag, so concurrent
+    threads should not race ``enable=True`` scopes against each other —
+    enable instrumentation once for the workload instead (the query
+    server does exactly this).
     """
     global ENABLED
-    reg = Registry(parent=_stack[-1] if forward else None,
+    stack = _tls.regs
+    reg = Registry(parent=stack[-1] if forward else None,
                    trace_capacity=trace_capacity)
-    _stack.append(reg)
+    stack.append(reg)
     previous = ENABLED
     if enable:
         ENABLED = True
@@ -353,7 +385,7 @@ def scope(forward: bool = True, enable: bool = False,
         yield reg
     finally:
         ENABLED = previous
-        _stack.pop()
+        stack.pop()
 
 
 # ---------------------------------------------------------------------------
@@ -380,37 +412,37 @@ def is_enabled() -> bool:
 def bump(name: str, n: int | float = 1) -> None:
     """Bump a counter on the active registry (no-op while disabled)."""
     if ENABLED:
-        _stack[-1].bump(name, n)
+        _tls.regs[-1].bump(name, n)
 
 
 def get(name: str, default: int | float = 0) -> int | float:
     """Read a counter from the active registry."""
-    return _stack[-1].counters.get(name, default)
+    return _tls.regs[-1].counters.get(name, default)
 
 
 def timer(name: str) -> _Timer | _NullTimer:
     """A wall-clock timer context manager (null object while disabled)."""
     if ENABLED:
-        return _stack[-1].timer(name)
+        return _tls.regs[-1].timer(name)
     return _NULL_TIMER
 
 
 def trace(name: str, **fields: Any) -> None:
     """Record a structured trace event (no-op while disabled)."""
     if ENABLED:
-        _stack[-1].trace(name, **fields)
+        _tls.regs[-1].trace(name, **fields)
 
 
 def snapshot(prefix: Optional[str] = None) -> dict[str, int | float]:
     """Counters of the active registry (optionally one dotted subtree)."""
-    return _stack[-1].snapshot(prefix)
+    return _tls.regs[-1].snapshot(prefix)
 
 
 def reset() -> None:
     """Clear the active registry (scoped resets leave global totals alone)."""
-    _stack[-1].reset()
+    _tls.regs[-1].reset()
 
 
 def report(prefix: Optional[str] = None, trace_tail: int = 0) -> str:
     """Formatted stats listing for the active registry."""
-    return _stack[-1].report(prefix=prefix, trace_tail=trace_tail)
+    return _tls.regs[-1].report(prefix=prefix, trace_tail=trace_tail)

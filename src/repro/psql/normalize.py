@@ -1,0 +1,58 @@
+"""Canonical query text — the cache key for repeated PSQL queries.
+
+Two PSQL strings that tokenize identically should hit the same cache
+entry no matter how they were typed: extra whitespace, line breaks,
+``--`` comments, keyword capitalisation, digit grouping underscores and
+the ASCII ``+-`` spelling of ``±`` are all presentation, not meaning.
+:func:`normalize_query` re-renders the token stream in one canonical
+spelling, so the query server can use it (together with the database
+generation) as a result-cache key.
+
+Normalisation is deliberately **lexical**, not semantic: identifiers
+keep their case (relation and column names are data), and numeric
+literals keep their literal spelling (``4`` and ``4.0`` stay distinct —
+a false cache miss is harmless, a false hit is not).
+"""
+
+from __future__ import annotations
+
+from repro.psql.lexer import EOF, STRING, tokenize
+
+__all__ = ["normalize_query"]
+
+
+def _quote(text: str) -> str:
+    """Re-quote a string literal body in canonical form.
+
+    The lexer has no escape sequences, so a string body can never
+    contain its own delimiter: prefer single quotes, fall back to double
+    quotes for bodies that contain a single quote.
+    """
+    if "'" not in text:
+        return f"'{text}'"
+    return f'"{text}"'
+
+
+def normalize_query(text: str) -> str:
+    """The canonical one-line spelling of *text*.
+
+    Queries that differ only in whitespace, comments, keyword case,
+    number underscores or the plus-minus spelling normalise to the same
+    string; queries with different literals or identifiers do not.
+
+    Raises:
+        PsqlSyntaxError: when *text* does not tokenize (normalisation
+            never outlives the lexer — callers should treat this exactly
+            like a parse error).
+    """
+    parts: list[str] = []
+    for token in tokenize(text):
+        if token.kind == EOF:
+            break
+        if token.kind == STRING:
+            parts.append(_quote(token.text))
+        else:
+            # Keywords arrive lowercased and ``+-`` arrives as ``±``
+            # straight from the lexer; everything else is kept verbatim.
+            parts.append(token.text)
+    return " ".join(parts)

@@ -10,7 +10,7 @@ identifiers from picture space into tuples (Section 2.1).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Optional
 
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
@@ -18,6 +18,7 @@ from repro.geometry.region import Region
 from repro.geometry.segment import Segment
 from repro.relational.relation import Column, Relation, RowId, SchemaError
 from repro.rtree.packing import pack
+from repro.rtree.repack import RepackResult, local_repack
 from repro.rtree.tree import RTree
 
 
@@ -125,6 +126,27 @@ class Database:
         self._relations: dict[str, Relation] = {}
         self._pictures: dict[str, Picture] = {}
         self._locations: dict[str, Rect] = {}
+        self._generation = 0
+
+    # -- data generation -------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped by every mutation of stored data.
+
+        Anything whose validity depends on the database contents (most
+        importantly the query server's result cache) keys itself on this
+        number: a cached value tagged with an older generation is stale
+        by definition.  :meth:`insert`, :meth:`delete` and :meth:`repack`
+        bump it automatically; out-of-band mutations (e.g. writing to a
+        :class:`Relation` directly) should call :meth:`bump_generation`.
+        """
+        return self._generation
+
+    def bump_generation(self) -> int:
+        """Advance the data generation; returns the new value."""
+        self._generation += 1
+        return self._generation
 
     # -- named locations -------------------------------------------------------
 
@@ -226,6 +248,7 @@ class Database:
             for col in relation.pictorial_columns():
                 if picture.has_index(relation_name, col.name):
                     picture.index_insert(relation, col.name, rid)
+        self._generation += 1
         return rid
 
     def delete(self, relation_name: str, rid: RowId) -> None:
@@ -238,6 +261,26 @@ class Database:
                     picture.index_delete(relation, col.name, rid,
                                          row[col.name])
         relation.delete(rid)
+        self._generation += 1
+
+    def repack(self, picture_name: str, relation_name: str,
+               column: str = "loc", region: Optional[Rect] = None,
+               method: str = "nn",
+               distance: str = "center") -> RepackResult:
+        """Locally re-PACK one picture index (Section 3.4's update path).
+
+        Rebuilds the smallest subtree of the (picture, relation, column)
+        R-tree covering *region* — the whole tree when ``region`` is
+        ``None`` — and bumps the data generation so result caches keyed
+        on it are invalidated (the tree's *contents* are unchanged, but
+        its structure, and therefore any cached cost/trace-derived
+        artefacts, are not).
+        """
+        tree = self.picture(picture_name).index(relation_name, column)
+        result = local_repack(tree, region=region, method=method,
+                              distance=distance)
+        self._generation += 1
+        return result
 
     def spatial_search(self, picture_name: str, relation_name: str,
                        window: Rect, column: str = "loc",

@@ -1,0 +1,129 @@
+"""LRU result cache for the query server.
+
+The paper's premise is a *static, packed* database: queries vastly
+outnumber updates, so identical queries recur and their encoded results
+can be replayed without touching the tree at all.  Entries are keyed on
+``(normalized query text, database generation)``; because every
+insert/delete/repack bumps the generation
+(:attr:`repro.relational.catalog.Database.generation`), a stale entry
+can never be *served* — it simply stops being addressable and ages out
+of the LRU.
+
+The cache stores the **encoded payload lines** (see
+:func:`repro.server.protocol.encode_result`), not live
+``QueryResult`` objects: replaying a hit is a straight write of
+immutable strings, safe to share between connections and threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+__all__ = ["CachedResult", "QueryCache"]
+
+
+class CachedResult:
+    """One cached, fully encoded query result."""
+
+    __slots__ = ("payload", "nrows", "generation")
+
+    def __init__(self, payload: tuple[str, ...], nrows: int,
+                 generation: int):
+        self.payload = payload
+        self.nrows = nrows
+        self.generation = generation
+
+
+class QueryCache:
+    """A bounded LRU of encoded query results, generation-checked.
+
+    Args:
+        capacity: maximum number of cached results.  ``0`` disables the
+            cache entirely (every lookup misses, every store is a no-op)
+            — the throughput benchmark uses this to measure raw query
+            execution.
+
+    Thread-safe: the server consults it from the event-loop thread, but
+    nothing stops tests or embedding applications from sharing one
+    across threads.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidated = 0
+        self._entries: OrderedDict[tuple[str, int], CachedResult] = \
+            OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, normalized: str, generation: int,
+            ) -> Optional[CachedResult]:
+        """The cached result for this query at this generation, if any."""
+        if self.capacity == 0:
+            return None
+        with self._lock:
+            entry = self._entries.get((normalized, generation))
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end((normalized, generation))
+            self.hits += 1
+            return entry
+
+    def put(self, normalized: str, generation: int,
+            payload: tuple[str, ...], nrows: int) -> None:
+        """Store an encoded result (evicting the LRU entry when full)."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            key = (normalized, generation)
+            self._entries[key] = CachedResult(payload, nrows, generation)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def drop_stale(self, current_generation: int) -> int:
+        """Proactively drop entries older than *current_generation*.
+
+        Purely a space optimisation — stale entries are unreachable
+        anyway.  Returns how many entries were dropped.
+        """
+        with self._lock:
+            stale = [k for k, v in self._entries.items()
+                     if v.generation < current_generation]
+            for k in stale:
+                del self._entries[k]
+            self.invalidated += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when idle)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Counter snapshot under ``server.cache.*`` names."""
+        return {
+            "server.cache.size": float(len(self._entries)),
+            "server.cache.capacity": float(self.capacity),
+            "server.cache.hits": float(self.hits),
+            "server.cache.misses": float(self.misses),
+            "server.cache.evictions": float(self.evictions),
+            "server.cache.invalidated": float(self.invalidated),
+            "server.cache.hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,121 @@
+"""Blocking TCP client for the PSQL query server.
+
+Synchronous by design — benchmarks drive many of these from plain
+threads, applications get the obvious call-and-response shape::
+
+    from repro.server.client import Client
+
+    with Client("127.0.0.1", 7751) as c:
+        r = c.query("select city from cities on us-map "
+                    "at loc covered-by {400+-150, 300+-150}")
+        for row in r.rows:
+            print(row)
+        print(c.stats()["server.qps"])
+
+``query()`` returns a :class:`~repro.server.protocol.Response`; callers
+that prefer exceptions over status checks can chain
+``.raise_for_status()``.
+"""
+
+from __future__ import annotations
+
+import socket
+from types import TracebackType
+from typing import Optional
+
+from repro.server import protocol
+from repro.server.protocol import ProtocolError, Response
+
+__all__ = ["Client"]
+
+
+class Client:
+    """One blocking connection to a :class:`~repro.server.server.PsqlServer`.
+
+    Args:
+        host, port: where the server listens.
+        timeout: socket timeout in seconds for connect and reads
+            (``None`` blocks indefinitely).  Note this is the *client's*
+            patience; the server applies its own per-query timeout and
+            answers with a ``TIMEOUT`` frame.
+    """
+
+    def __init__(self, host: str = "127.0.0.1",
+                 port: int = protocol.DEFAULT_PORT,
+                 timeout: Optional[float] = 30.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # -- commands -----------------------------------------------------------
+
+    def query(self, text: str) -> Response:
+        """Execute one PSQL query.
+
+        The wire protocol is line-based, so embedded newlines in *text*
+        are replaced with spaces — whitespace is insignificant to PSQL.
+        """
+        one_line = " ".join(text.splitlines())
+        return self._roundtrip(f"QUERY {one_line}")
+
+    def stats(self) -> dict[str, float]:
+        """The server's metrics snapshot (the ``STATS`` command)."""
+        return self._roundtrip("STATS").stats
+
+    def ping(self) -> bool:
+        """Liveness check; True when the server answers ``PONG``."""
+        return self._roundtrip("PING").status == "pong"
+
+    def close(self) -> None:
+        """Say QUIT (best effort) and close the socket (idempotent)."""
+        if self._sock is None:
+            return
+        try:
+            self._send_line("QUIT")
+            self._read_response()
+        except (OSError, ProtocolError):
+            pass
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock = None  # type: ignore[assignment]
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _roundtrip(self, command: str) -> Response:
+        self._send_line(command)
+        return self._read_response()
+
+    def _send_line(self, line: str) -> None:
+        if self._sock is None:
+            raise ProtocolError("client is closed")
+        self._file.write(line.encode("utf-8") + b"\n")
+        self._file.flush()
+
+    def _read_response(self) -> Response:
+        lines: list[str] = []
+        while True:
+            raw = self._file.readline()
+            if not raw:
+                raise ProtocolError(
+                    "connection closed mid-response" if lines
+                    else "connection closed by server")
+            line = raw.decode("utf-8").rstrip("\n")
+            lines.append(line)
+            if line == protocol.END:
+                break
+        return protocol.parse_response(lines)
+
+    # -- context manager ----------------------------------------------------
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, exc_type: Optional[type[BaseException]],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> None:
+        self.close()

@@ -1,0 +1,250 @@
+"""Wire protocol for the PSQL query server.
+
+A deliberately simple, debuggable **line protocol** (UTF-8, ``\\n``
+terminated) in the tradition of redis' inline commands and memcached's
+text protocol — you can drive the server with ``nc`` and read every
+frame.  Requests are single lines::
+
+    QUERY select city from cities on us-map at loc covered-by {4+-4, 11+-9}
+    STATS
+    PING
+    QUIT
+
+Responses are sequences of frames terminated by an ``END`` line.  For a
+successful query::
+
+    OK fresh 0 12        <- status, cache disposition, generation, rows
+    COLS city
+    ROW Boston
+    ...
+    END
+
+Failure frames (``ERR``, ``BUSY``, ``TIMEOUT``) are likewise
+``END``-terminated, so a client always reads until ``END`` and a bad
+query never desynchronises the connection.
+
+Row payloads embed tabs and newlines via backslash escapes
+(:func:`escape` / :func:`unescape`); fields within ``COLS``/``ROW``
+frames are tab-separated.  :func:`encode_result` is the **single**
+rendering of a :class:`~repro.psql.result.QueryResult` into payload
+lines — both the server and any test that wants to compare server
+output against a direct in-process execution must call it, which is
+what makes "byte-identical to ``executor.execute``" checkable at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.psql.result import QueryResult
+
+#: Default TCP port ("PSQL" on a phone keypad is 7775; we keep it short).
+DEFAULT_PORT = 7751
+
+# Frame tags.
+OK = "OK"
+COLS = "COLS"
+ROW = "ROW"
+STAT = "STAT"
+ERR = "ERR"
+BUSY = "BUSY"
+TIMEOUT = "TIMEOUT"
+PONG = "PONG"
+BYE = "BYE"
+END = "END"
+
+#: Terminal tags a client may see instead of a normal OK response.
+_TERMINAL = frozenset({ERR, BUSY, TIMEOUT})
+
+
+def escape(text: str) -> str:
+    """Make *text* safe for a single tab-separated protocol field."""
+    return (text.replace("\\", "\\\\").replace("\t", "\\t")
+            .replace("\n", "\\n").replace("\r", "\\r"))
+
+
+def unescape(text: str) -> str:
+    """Invert :func:`escape`."""
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\" and i + 1 < n:
+            nxt = text[i + 1]
+            out.append({"\\": "\\", "t": "\t", "n": "\n", "r": "\r"}
+                       .get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def format_value(value: Any) -> str:
+    """Deterministic text rendering of one result cell.
+
+    Strings travel as themselves; every other domain value (ints,
+    floats, geometry objects) travels as its ``repr``, which is stable
+    for all the types PSQL can return.  The client does not re-parse
+    values — rows come back as strings, which is exactly what the
+    byte-identity guarantee is stated over.
+    """
+    if isinstance(value, str):
+        return value
+    return repr(value)
+
+
+def encode_result(result: QueryResult) -> list[str]:
+    """Render a query result as payload lines (``COLS``/``ROW``*/``END``).
+
+    This is the canonical serialisation: the server streams these lines
+    verbatim (and caches them verbatim), so comparing a client's payload
+    against ``encode_result(session.execute(text))`` is a byte-level
+    equivalence check.
+    """
+    lines = [COLS + " " + "\t".join(escape(c) for c in result.columns)]
+    for row in result.rows:
+        lines.append(
+            ROW + " " + "\t".join(escape(format_value(v)) for v in row))
+    lines.append(END)
+    return lines
+
+
+def split_fields(payload: str) -> list[str]:
+    """Unescaped fields of one ``COLS``/``ROW`` frame body."""
+    if payload == "":
+        return []
+    return [unescape(f) for f in payload.split("\t")]
+
+
+@dataclass
+class Response:
+    """One parsed server response, as the blocking client returns it."""
+
+    status: str                      #: "ok", "error", "busy", "timeout",
+                                     #: "pong" or "bye"
+    cached: bool = False             #: served from the result cache?
+    generation: int = -1             #: database generation that produced it
+    columns: tuple[str, ...] = ()
+    rows: list[tuple[str, ...]] = field(default_factory=list)
+    #: raw COLS/ROW/END payload bytes, byte-identical to
+    #: ``"\n".join(encode_result(...)) + "\n"`` for OK responses
+    payload: bytes = b""
+    error_kind: str = ""
+    error_message: str = ""
+    stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def raise_for_status(self) -> "Response":
+        """Return self, raising :class:`ServerError` on failure frames."""
+        if self.status == "error":
+            raise ServerError(f"{self.error_kind}: {self.error_message}")
+        if self.status == "busy":
+            raise ServerBusyError(self.error_message or "server busy")
+        if self.status == "timeout":
+            raise ServerTimeoutError(self.error_message or "query timed out")
+        return self
+
+
+class ServerError(Exception):
+    """The server answered with an ``ERR`` frame."""
+
+
+class ServerBusyError(ServerError):
+    """The admission gate shed this query (``BUSY`` frame)."""
+
+
+class ServerTimeoutError(ServerError):
+    """The query exceeded the per-query timeout (``TIMEOUT`` frame)."""
+
+
+class ProtocolError(Exception):
+    """The byte stream violated the framing rules."""
+
+
+def parse_response(lines: list[str]) -> Response:
+    """Parse the frames of one response (without trailing newlines).
+
+    Raises:
+        ProtocolError: on malformed frames.
+    """
+    if not lines:
+        raise ProtocolError("empty response")
+    head = lines[0]
+    tag, _, rest = head.partition(" ")
+    if tag == OK and rest.startswith("stats"):
+        return _parse_stats(lines)
+    if tag == OK:
+        return _parse_ok(rest, lines)
+    if tag == ERR:
+        kind, _, message = rest.partition(" ")
+        return Response(status="error", error_kind=kind or "Error",
+                        error_message=unescape(message))
+    if tag == BUSY:
+        return Response(status="busy", error_message=unescape(rest))
+    if tag == TIMEOUT:
+        return Response(status="timeout", error_message=unescape(rest))
+    if tag == PONG:
+        return Response(status="pong")
+    if tag == BYE:
+        return Response(status="bye")
+    raise ProtocolError(f"unknown response frame {head!r}")
+
+
+def _parse_ok(rest: str, lines: list[str]) -> Response:
+    parts = rest.split()
+    if len(parts) != 3:
+        raise ProtocolError(f"malformed OK header {rest!r}")
+    disposition, gen_text, _nrows = parts
+    if disposition not in ("cached", "fresh"):
+        raise ProtocolError(f"unknown cache disposition {disposition!r}")
+    response = Response(status="ok", cached=(disposition == "cached"),
+                        generation=int(gen_text))
+    body = lines[1:]
+    if not body or body[-1] != END:
+        raise ProtocolError("OK response not END-terminated")
+    response.payload = ("\n".join(body) + "\n").encode("utf-8")
+    for line in body[:-1]:
+        tag, _, payload = line.partition(" ")
+        if tag == COLS:
+            response.columns = tuple(split_fields(payload))
+        elif tag == ROW:
+            response.rows.append(tuple(split_fields(payload)))
+        else:
+            raise ProtocolError(f"unexpected frame {line!r} in OK body")
+    return response
+
+
+def _parse_stats(lines: list[str]) -> Response:
+    response = Response(status="ok")
+    if lines[-1] != END:
+        raise ProtocolError("STATS response not END-terminated")
+    for line in lines[1:-1]:
+        tag, _, payload = line.partition(" ")
+        if tag != STAT:
+            raise ProtocolError(f"unexpected frame {line!r} in STATS body")
+        name, _, value = payload.partition(" ")
+        try:
+            response.stats[unescape(name)] = float(value)
+        except ValueError as exc:
+            raise ProtocolError(f"bad STAT value in {line!r}") from exc
+    return response
+
+
+def encode_stats(stats: dict[str, float],
+                 generation: Optional[int] = None) -> list[str]:
+    """Render a stats mapping as ``OK stats`` + ``STAT`` frames."""
+    lines = [OK + " stats"]
+    if generation is not None:
+        lines.append(f"{STAT} server.generation {generation}")
+    for name in sorted(stats):
+        value = stats[name]
+        rendered = repr(value) if isinstance(value, float) else str(value)
+        lines.append(f"{STAT} {escape(name)} {rendered}")
+    lines.append(END)
+    return lines

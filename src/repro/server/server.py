@@ -1,0 +1,416 @@
+"""The asyncio PSQL query server.
+
+One event loop owns all connection framing, the admission gate, the
+result cache and the metrics registry; CPU work happens on the
+:class:`~repro.server.service.QueryService` pool.  The control flow for
+one ``QUERY`` line:
+
+1. normalise the text (a lexer error becomes an ``ERR`` frame, nothing
+   is submitted);
+2. consult the LRU cache under ``(normalized, generation)`` — a hit is
+   streamed back without touching the pool;
+3. admission gate: if ``max_inflight`` queries already occupy the pool,
+   answer ``BUSY`` *now* instead of queueing unboundedly (shed load at
+   the edge; the client can back off and retry);
+4. submit, await with the per-query timeout; a timeout answers
+   ``TIMEOUT`` and abandons the task (cancelled outright if it has not
+   started; a running worker finishes and its slot frees then — the
+   gate tracks *actual* occupancy, so backpressure stays truthful);
+5. stream the framed result, cache it, and fold the worker's isolated
+   observability snapshot into the server-wide registry.
+
+Every response is ``END``-terminated, so one bad query never
+desynchronises or kills a connection.  Shutdown is graceful: the
+listener closes first, in-flight queries drain (bounded by
+``drain_timeout``), then connections are torn down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.psql.errors import PsqlError
+from repro.psql.executor import Session
+from repro.psql.normalize import normalize_query
+from repro.relational.catalog import Database
+from repro.server import protocol
+from repro.server.cache import QueryCache
+from repro.server.service import QueryService
+from repro import obs
+
+__all__ = ["PsqlServer", "ServerConfig"]
+
+
+@dataclass
+class ServerConfig:
+    """Everything a :class:`PsqlServer` needs to run."""
+
+    host: str = "127.0.0.1"
+    port: int = protocol.DEFAULT_PORT    #: 0 picks an ephemeral port
+    workers: int = 4
+    executor: str = "thread"             #: "thread" or "process"
+    max_inflight: int = 0                #: 0 = 2 * workers
+    query_timeout: float = 30.0          #: seconds; <= 0 disables
+    cache_size: int = 256                #: 0 disables the result cache
+    drain_timeout: float = 10.0          #: graceful-shutdown bound
+    factory_spec: str = "repro.server.demo:demo_database"
+
+    def effective_max_inflight(self) -> int:
+        return self.max_inflight if self.max_inflight > 0 \
+            else 2 * self.workers
+
+
+@dataclass
+class _Connection:
+    """Per-connection state the session manager tracks."""
+
+    session_id: int
+    peer: str
+    session: Session
+    writer: asyncio.StreamWriter
+    queries: int = 0
+    errors: int = 0
+    opened_at: float = field(default_factory=time.monotonic)
+
+
+class PsqlServer:
+    """A concurrent PSQL query server over one pictorial database.
+
+    Args:
+        config: server parameters.
+        db: the database to serve; omit to build one from
+            ``config.factory_spec`` (required anyway for process mode).
+        session_factory: per-connection session builder (thread mode),
+            e.g. to pre-register application pictorial functions.
+
+    Use :meth:`serve_forever` from ``asyncio.run`` (the CLI does), or
+    :meth:`start_background` to run the whole loop on a daemon thread —
+    which is how the tests and the throughput benchmark embed it.
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None,
+                 db: Optional[Database] = None,
+                 session_factory=None):
+        self.config = config or ServerConfig()
+        self.service = QueryService(
+            db=db, workers=self.config.workers,
+            executor=self.config.executor,
+            factory_spec=self.config.factory_spec,
+            session_factory=session_factory)
+        self.cache = QueryCache(capacity=self.config.cache_size)
+        self.registry = obs.Registry()
+        self.port: Optional[int] = None
+        self._asyncio_server: Optional[asyncio.base_events.Server] = None
+        self._connections: dict[int, _Connection] = {}
+        self._next_session_id = 1
+        self._inflight = 0
+        self._active_responses = 0
+        self._draining = False
+        self._started_at = time.monotonic()
+        # Background-thread plumbing (start_background/stop_background).
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._thread_ready = threading.Event()
+        self._thread_error: Optional[BaseException] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and warm the worker pool."""
+        self.service.start()
+        self._started_at = time.monotonic()
+        self._asyncio_server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host,
+            port=self.config.port)
+        self.port = self._asyncio_server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Start and serve until cancelled (then drain gracefully)."""
+        await self.start()
+        assert self._asyncio_server is not None
+        try:
+            await self._asyncio_server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain, tear down."""
+        self._draining = True
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+            await self._asyncio_server.wait_closed()
+            self._asyncio_server = None
+        # Drain: in-flight queries (and the responses being written for
+        # them) get up to drain_timeout to finish.
+        deadline = time.monotonic() + self.config.drain_timeout
+        while ((self._inflight or self._active_responses)
+               and time.monotonic() < deadline):
+            await asyncio.sleep(0.01)
+        for conn in list(self._connections.values()):
+            conn.writer.close()
+        self._connections.clear()
+        self.service.close(wait=False)
+
+    # -- background-thread embedding ---------------------------------------
+
+    def start_background(self, timeout: float = 30.0,
+                         ) -> tuple[str, int]:
+        """Run the server's event loop on a daemon thread.
+
+        Returns ``(host, port)`` once the listener is bound — with
+        ``config.port = 0`` this is how callers learn the ephemeral
+        port.  Pair with :meth:`stop_background`.
+        """
+        if self._thread is not None:
+            raise RuntimeError("server already running in background")
+        self._thread = threading.Thread(target=self._thread_main,
+                                        name="psql-server", daemon=True)
+        self._thread.start()
+        if not self._thread_ready.wait(timeout):
+            raise RuntimeError("server failed to start within timeout")
+        if self._thread_error is not None:
+            raise RuntimeError("server failed to start") \
+                from self._thread_error
+        assert self.port is not None
+        return self.config.host, self.port
+
+    def stop_background(self, timeout: float = 30.0) -> None:
+        """Signal the background loop to drain and stop; join the thread."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop_requested is not None:
+            loop, stop = self._loop, self._stop_requested
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout)
+        self._thread = None
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._serve_until_stopped())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to starter
+            self._thread_error = exc
+            self._thread_ready.set()
+
+    async def _serve_until_stopped(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_requested = asyncio.Event()
+        try:
+            await self.start()
+        except BaseException as exc:  # noqa: BLE001
+            self._thread_error = exc
+            self._thread_ready.set()
+            return
+        self._thread_ready.set()
+        await self._stop_requested.wait()
+        await self.stop()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        sid = self._next_session_id
+        self._next_session_id += 1
+        peername = writer.get_extra_info("peername")
+        conn = _Connection(
+            session_id=sid,
+            peer=str(peername) if peername else "?",
+            session=self.service.make_session(),
+            writer=writer)
+        self._connections[sid] = conn
+        self.registry.bump("server.sessions.opened")
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                verb, _, rest = text.partition(" ")
+                verb = verb.upper()
+                if verb == "QUERY":
+                    await self._handle_query(conn, rest)
+                elif verb in ("STATS", "METRICS"):
+                    await self._write_lines(
+                        conn, protocol.encode_stats(
+                            self.stats(), generation=self.generation))
+                elif verb == "PING":
+                    await self._write_lines(
+                        conn, [protocol.PONG, protocol.END])
+                elif verb == "QUIT":
+                    await self._write_lines(
+                        conn, [protocol.BYE, protocol.END])
+                    break
+                else:
+                    await self._write_error(
+                        conn, "ProtocolError",
+                        f"unknown command {verb!r} (try QUERY/STATS/"
+                        f"PING/QUIT)")
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.pop(sid, None)
+            self.registry.bump("server.sessions.closed")
+            writer.close()
+
+    # -- the QUERY path ------------------------------------------------------
+
+    async def _handle_query(self, conn: _Connection, text: str) -> None:
+        conn.queries += 1
+        self.registry.bump("server.queries")
+        try:
+            normalized = normalize_query(text)
+        except PsqlError as exc:
+            await self._write_error(conn, type(exc).__name__, str(exc))
+            return
+
+        generation = self.generation
+        cached = self.cache.get(normalized, generation)
+        if cached is not None:
+            self.registry.bump("server.queries.cached")
+            self.registry.bump("server.rows_returned", cached.nrows)
+            header = f"{protocol.OK} cached {generation} {cached.nrows}"
+            await self._write_lines(conn, [header, *cached.payload])
+            return
+
+        if self._draining:
+            await self._write_error(conn, "ServerError",
+                                    "server is shutting down")
+            return
+        if self._inflight >= self.config.effective_max_inflight():
+            self.registry.bump("server.busy_rejections")
+            await self._write_lines(
+                conn,
+                [f"{protocol.BUSY} "
+                 + protocol.escape(
+                     f"{self._inflight} queries in flight "
+                     f"(limit {self.config.effective_max_inflight()}); "
+                     f"retry later"),
+                 protocol.END])
+            return
+
+        loop = asyncio.get_running_loop()
+        self._inflight += 1
+        future = self.service.submit(conn.session, text)
+        future.add_done_callback(
+            lambda _f: loop.call_soon_threadsafe(self._release_slot))
+        timeout = self.config.query_timeout
+        try:
+            outcome = await asyncio.wait_for(
+                asyncio.wrap_future(future),
+                timeout if timeout > 0 else None)
+        except asyncio.TimeoutError:
+            # Abandon: a not-yet-started task is cancelled outright (the
+            # done callback releases the slot); a running one keeps its
+            # slot until it actually finishes — that is the truthful
+            # admission-control signal.
+            cancel_event = getattr(future, "cancel_event", None)
+            if cancel_event is not None:
+                cancel_event.set()
+            future.cancel()
+            self.registry.bump("server.timeouts")
+            await self._write_lines(
+                conn,
+                [f"{protocol.TIMEOUT} "
+                 + protocol.escape(f"query exceeded {timeout:g}s"),
+                 protocol.END])
+            return
+        except asyncio.CancelledError:
+            future.cancel()
+            raise
+
+        if outcome.cancelled:
+            # Raced a shutdown/cancel before starting; treat as shed load.
+            self.registry.bump("server.busy_rejections")
+            await self._write_lines(
+                conn,
+                [f"{protocol.BUSY} cancelled before execution",
+                 protocol.END])
+            return
+        if not outcome.ok:
+            conn.errors += 1
+            self.registry.bump("server.errors")
+            await self._write_error(conn, outcome.error_kind,
+                                    outcome.error_message)
+            return
+
+        self.registry.counters.merge(outcome.counters)
+        self.registry.bump("server.queries.executed")
+        self.registry.bump("server.rows_returned", outcome.nrows)
+        self.cache.put(normalized, generation, outcome.payload,
+                       outcome.nrows)
+        header = f"{protocol.OK} fresh {generation} {outcome.nrows}"
+        await self._write_lines(conn, [header, *outcome.payload])
+
+    def _release_slot(self) -> None:
+        self._inflight -= 1
+
+    # -- frame writing -------------------------------------------------------
+
+    async def _write_lines(self, conn: _Connection,
+                           lines: list[str] | tuple[str, ...]) -> None:
+        self._active_responses += 1
+        try:
+            conn.writer.write(("\n".join(lines) + "\n").encode("utf-8"))
+            await conn.writer.drain()
+        finally:
+            self._active_responses -= 1
+
+    async def _write_error(self, conn: _Connection, kind: str,
+                           message: str) -> None:
+        await self._write_lines(
+            conn,
+            [f"{protocol.ERR} {kind} {protocol.escape(message)}",
+             protocol.END])
+
+    # -- metrics -------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        return self.service.generation
+
+    def stats(self) -> dict[str, float]:
+        """The ``STATS`` payload: server counters + derived + obs totals.
+
+        Server-wide figures (queries, QPS, cache hit rate, sessions,
+        backpressure events) live under ``server.*``; the merged
+        per-query observability snapshots surface the engine-level
+        totals — ``rtree.search.nodes_visited``, ``storage.buffer.*``
+        page I/O and friends — plus ``avg.*`` per-executed-query rates
+        for the paper's favourite metric, nodes visited per query.
+        """
+        uptime = max(time.monotonic() - self._started_at, 1e-9)
+        out: dict[str, float] = {}
+        for name, value in self.registry.counters.as_dict().items():
+            out[name] = float(value)
+        out.update(self.cache.stats())
+        queries = out.get("server.queries", 0.0)
+        executed = out.get("server.queries.executed", 0.0)
+        out["server.uptime_seconds"] = uptime
+        out["server.qps"] = queries / uptime
+        out["server.inflight"] = float(self._inflight)
+        out["server.max_inflight"] = float(
+            self.config.effective_max_inflight())
+        out["server.sessions.active"] = float(len(self._connections))
+        out["server.workers"] = float(self.config.workers)
+        if executed:
+            for engine_counter, avg_name in (
+                    ("rtree.search.nodes_visited",
+                     "avg.nodes_visited_per_query"),
+                    ("storage.disk_rtree.nodes_read",
+                     "avg.disk_nodes_read_per_query"),
+                    ("storage.buffer.misses",
+                     "avg.page_faults_per_query")):
+                if engine_counter in out:
+                    out[avg_name] = out[engine_counter] / executed
+        return out

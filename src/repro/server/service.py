@@ -1,0 +1,227 @@
+"""Query execution service: a worker pool over one shared database.
+
+The server's event loop never executes PSQL itself — searches are
+CPU-bound pure Python, so they run on a pool and the loop only frames
+bytes.  Two pool flavours:
+
+- ``"thread"`` (default): workers share the parent's
+  :class:`~repro.relational.catalog.Database` object.  Correct under
+  concurrent *reads* (in-memory trees are read-only during search; disk
+  trees serialise page access through the now-locked
+  :class:`~repro.storage.buffer.BufferPool`), and mutations performed
+  between queries are immediately visible.  Throughput is bounded by
+  the GIL.
+- ``"process"``: workers are separate interpreters, each building an
+  identical database from a **factory spec** at startup.  True CPU
+  scaling for a read-only/static serving shape (the paper's packed
+  database); parent-side mutations are *not* propagated to workers.
+
+Either way a worker returns a plain :class:`QueryOutcome` — encoded
+payload lines plus an isolated observability snapshot — which is cheap
+to ship across a process boundary and trivial for the event loop to
+merge into server-wide metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, \
+    ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro import obs
+from repro.psql.errors import PsqlError
+from repro.psql.executor import Session
+from repro.relational.catalog import Database
+from repro.server import protocol
+from repro.server.demo import DEFAULT_FACTORY_SPEC, resolve_factory
+
+__all__ = ["QueryOutcome", "QueryService"]
+
+
+@dataclass
+class QueryOutcome:
+    """What one worker produced for one query (always picklable)."""
+
+    payload: tuple[str, ...] = ()      #: COLS/ROW*/END lines
+    nrows: int = 0
+    error_kind: str = ""               #: exception class name, "" on success
+    error_message: str = ""
+    counters: dict[str, float] = field(default_factory=dict)
+    cancelled: bool = False            #: abandoned before execution began
+
+    @property
+    def ok(self) -> bool:
+        return not self.error_kind and not self.cancelled
+
+
+def _execute_to_outcome(session: Session, text: str) -> QueryOutcome:
+    """Run one query under an isolated obs scope; never raises.
+
+    ``forward=False`` keeps the scoped registry off the global chain:
+    worker threads record into thread-local scopes and the single
+    event-loop thread merges the returned snapshots, so concurrent
+    queries cannot interleave counters.
+    """
+    try:
+        with obs.scope(forward=False) as registry:
+            result = session.execute(text)
+            payload = tuple(protocol.encode_result(result))
+        return QueryOutcome(payload=payload, nrows=len(result.rows),
+                            counters=dict(registry.snapshot()))
+    except PsqlError as exc:
+        return QueryOutcome(error_kind=type(exc).__name__,
+                            error_message=str(exc))
+    except Exception as exc:  # noqa: BLE001 - one bad query must never
+        # take down a worker or leak an unframed exception to the socket.
+        return QueryOutcome(error_kind=type(exc).__name__,
+                            error_message=str(exc))
+
+
+# -- process-pool worker side -------------------------------------------------
+
+_worker_session: Optional[Session] = None
+
+
+def _init_process_worker(factory_spec: str) -> None:
+    """Build this worker's private database from the factory spec."""
+    global _worker_session
+    db = resolve_factory(factory_spec)()
+    _worker_session = Session(db)
+    # Workers meter their queries through scoped registries; the flag
+    # must be on in the worker process for call sites to record.
+    obs.enable()
+
+
+def _run_in_process_worker(text: str) -> QueryOutcome:
+    assert _worker_session is not None, "worker initializer did not run"
+    return _execute_to_outcome(_worker_session, text)
+
+
+# -- the service --------------------------------------------------------------
+
+
+class QueryService:
+    """A worker pool executing PSQL text against one database.
+
+    Args:
+        db: the database to serve (thread mode).  When omitted, it is
+            built by calling the resolved *factory_spec*.
+        workers: pool size.
+        executor: ``"thread"`` or ``"process"``.
+        factory_spec: ``"module:callable"`` producing the database;
+            required for process mode (workers rebuild it), optional for
+            thread mode when *db* is given.
+        session_factory: builds the per-connection
+            :class:`~repro.psql.executor.Session` in thread mode —
+            inject one to pre-register application pictorial functions.
+    """
+
+    def __init__(self, db: Optional[Database] = None, workers: int = 4,
+                 executor: str = "thread",
+                 factory_spec: str = DEFAULT_FACTORY_SPEC,
+                 session_factory: Optional[
+                     Callable[[Database], Session]] = None):
+        if workers < 1:
+            raise ValueError("worker count must be positive")
+        if executor not in ("thread", "process"):
+            raise ValueError(f"unknown executor kind {executor!r}; "
+                             f"choose 'thread' or 'process'")
+        if executor == "process" and db is not None:
+            raise ValueError(
+                "process mode builds databases from factory_spec; "
+                "passing a live db object would silently diverge from "
+                "what the workers serve")
+        self.workers = workers
+        self.executor_kind = executor
+        self.factory_spec = factory_spec
+        self.session_factory = session_factory or Session
+        self.db = db if db is not None else resolve_factory(factory_spec)()
+        self._pool: Optional[Executor] = None
+        self._closed = False
+        # The obs flag is process-global: turn it on for the service's
+        # lifetime instead of racing per-query toggles across threads.
+        self._obs_was_enabled = obs.ENABLED
+        obs.enable()
+
+    # -- pool lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Create (and for process pools, warm up) the worker pool."""
+        if self._pool is not None:
+            return
+        if self.executor_kind == "thread":
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="psql-worker")
+        else:
+            import multiprocessing
+
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=_init_process_worker,
+                initargs=(self.factory_spec,))
+            # Force worker startup now (spawn + database build is slow);
+            # serving-time latency should not pay for it.
+            self._pool.submit(_noop).result()
+
+    @property
+    def generation(self) -> int:
+        return self.db.generation
+
+    def make_session(self) -> Session:
+        """A fresh per-connection session (thread mode)."""
+        return self.session_factory(self.db)
+
+    def submit(self, session: Session, text: str):
+        """Submit one query; returns the ``concurrent.futures.Future``.
+
+        The future resolves to a :class:`QueryOutcome`.  A
+        ``cancel_event`` set before the worker picks the task up makes
+        it return a cancelled outcome without executing — the timeout
+        path uses this so an abandoned-but-unstarted query does not
+        burn a worker slot.
+        """
+        if self._pool is None:
+            self.start()
+        assert self._pool is not None
+        if self.executor_kind == "process":
+            return self._pool.submit(_run_in_process_worker, text)
+        cancel_event = threading.Event()
+
+        def run() -> QueryOutcome:
+            if cancel_event.is_set():
+                return QueryOutcome(cancelled=True)
+            return _execute_to_outcome(session, text)
+
+        future = self._pool.submit(run)
+        future.cancel_event = cancel_event  # type: ignore[attr-defined]
+        return future
+
+    def execute_direct(self, text: str) -> QueryOutcome:
+        """Run one query synchronously on the calling thread."""
+        return _execute_to_outcome(self.make_session(), text)
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait, cancel_futures=True)
+            self._pool = None
+        if not self._obs_was_enabled:
+            obs.disable()
+
+    def __enter__(self) -> "QueryService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def _noop() -> None:
+    """Pool warm-up task."""

@@ -1,0 +1,122 @@
+"""Server integration smoke: boot, hammer with concurrent clients, verify.
+
+``python -m repro.server.smoke`` boots a server on an ephemeral port,
+runs three concurrent clients through a mixed PSQL workload, and
+asserts every framed result is **byte-identical** to what a direct
+in-process ``Session.execute`` produces for the same query.  Exit code
+0 on success — CI runs this as its server integration step.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import threading
+
+from repro.psql.executor import Session
+from repro.server import protocol
+from repro.server.client import Client
+from repro.server.demo import demo_database
+from repro.server.server import PsqlServer, ServerConfig
+
+#: A mixed workload: direct spatial search, alphanumeric filtering,
+#: juxtaposition, aggregates and plain scans.
+SMOKE_QUERIES = [
+    "select city from cities on us-map "
+    "at loc covered-by {400+-150, 300+-150}",
+    "select city, population from cities on us-map "
+    "at loc covered-by {500+-500, 300+-300} where population > 500_000",
+    "select state from states on us-map "
+    "at loc intersecting {250+-250, 150+-150}",
+    "select city, zone from cities, time-zones "
+    "on us-map, time-zone-map at cities.loc covered-by time-zones.loc",
+    "select hwy-name, sum(length(loc)) from highways",
+    "select lake, volume from lakes on lake-map "
+    "at loc overlapping {500+-500, 300+-300} where volume > 10",
+]
+
+N_CLIENTS = 3
+ROUNDS = 4
+
+
+def run_smoke(verbose: bool = True) -> int:
+    """Returns a process exit code (0 = all checks passed)."""
+    db = demo_database()
+    expected = {}
+    direct = Session(db)
+    for q in SMOKE_QUERIES:
+        payload = "\n".join(protocol.encode_result(direct.execute(q)))
+        expected[q] = (payload + "\n").encode("utf-8")
+
+    server = PsqlServer(ServerConfig(port=0, workers=N_CLIENTS), db=db)
+    host, port = server.start_background()
+    if verbose:
+        print(f"smoke server on {host}:{port}")
+
+    failures: list[str] = []
+    done = [0]
+    lock = threading.Lock()
+
+    def client_main(seed: int) -> None:
+        rng = random.Random(seed)
+        try:
+            with Client(host, port) as client:
+                for _ in range(ROUNDS):
+                    queries = SMOKE_QUERIES[:]
+                    rng.shuffle(queries)
+                    for q in queries:
+                        r = client.query(q)
+                        if not r.ok:
+                            with lock:
+                                failures.append(
+                                    f"client {seed}: {q!r} -> "
+                                    f"{r.status} {r.error_message}")
+                        elif r.payload != expected[q]:
+                            with lock:
+                                failures.append(
+                                    f"client {seed}: payload mismatch "
+                                    f"for {q!r}")
+                        else:
+                            with lock:
+                                done[0] += 1
+        except Exception as exc:  # noqa: BLE001 - report, don't hang CI
+            with lock:
+                failures.append(f"client {seed}: {type(exc).__name__}: "
+                                f"{exc}")
+
+    threads = [threading.Thread(target=client_main, args=(i,))
+               for i in range(N_CLIENTS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+
+    with Client(host, port) as client:
+        stats = client.stats()
+    server.stop_background()
+
+    total = N_CLIENTS * ROUNDS * len(SMOKE_QUERIES)
+    if verbose:
+        print(f"{done[0]}/{total} queries byte-identical to direct "
+              f"execution")
+        print(f"server.queries={stats.get('server.queries', 0):.0f} "
+              f"cache hit rate={stats.get('server.cache.hit_rate', 0):.2f} "
+              f"qps={stats.get('server.qps', 0):.0f}")
+    if stats.get("server.queries", 0) < total:
+        failures.append(
+            f"server counted {stats.get('server.queries', 0):.0f} "
+            f"queries, expected >= {total}")
+    if failures:
+        for f in failures:
+            print("FAIL:", f, file=sys.stderr)
+        return 1
+    if done[0] != total:
+        print(f"FAIL: only {done[0]}/{total} queries verified",
+              file=sys.stderr)
+        return 1
+    print("server smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_smoke())

@@ -8,6 +8,7 @@ eviction or flush, and every hit/miss/eviction is counted.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
@@ -123,6 +124,14 @@ class BufferPool:
     are never evicted.  Requesting more pinned pages than the capacity
     raises :class:`BufferFullError` — the failure-injection tests depend
     on this being an error rather than silent growth.
+
+    The pool is safe under concurrent readers (and the occasional
+    writer): one re-entrant lock guards the frame table, the replacement
+    state and the stats counters, so many threads may drive
+    :meth:`get`/:meth:`put` against a shared :class:`DiskRTree` — the
+    query server's worker pool does exactly this.  Individual page
+    operations are atomic; multi-page consistency (e.g. a structural
+    tree update racing a search) is the caller's concern.
     """
 
     def __init__(self, pager: Pager, capacity: int = 64,
@@ -138,44 +147,49 @@ class BufferPool:
         self.stats = BufferStats()
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
         self._clock_hand = 0
+        # Re-entrant: pin() faults pages in through get().
+        self._lock = threading.RLock()
 
     # -- reads -------------------------------------------------------------
 
     def get(self, page_no: int) -> bytes:
         """The payload of *page_no*, faulting it in on a miss."""
-        frame = self._frames.get(page_no)
-        if frame is not None:
-            self.stats.hits += 1
+        with self._lock:
+            frame = self._frames.get(page_no)
+            if frame is not None:
+                self.stats.hits += 1
+                if obs.ENABLED:
+                    obs.active().bump("storage.buffer.hits")
+                self._touch(page_no, frame)
+                return frame.payload
+            self.stats.misses += 1
             if obs.ENABLED:
-                obs.active().bump("storage.buffer.hits")
-            self._touch(page_no, frame)
-            return frame.payload
-        self.stats.misses += 1
-        if obs.ENABLED:
-            obs.active().bump("storage.buffer.misses")
-        payload = self.pager.read_page(page_no).data
-        self._install(page_no, _Frame(payload=payload))
-        return payload
+                obs.active().bump("storage.buffer.misses")
+            payload = self.pager.read_page(page_no).data
+            self._install(page_no, _Frame(payload=payload))
+            return payload
 
     # -- writes -------------------------------------------------------------
 
     def put(self, page_no: int, payload: bytes) -> None:
         """Stage *payload* for *page_no*; written back on eviction/flush."""
-        frame = self._frames.get(page_no)
-        if frame is not None:
-            frame.payload = payload
-            frame.dirty = True
-            self._touch(page_no, frame)
-            return
-        self._install(page_no, _Frame(payload=payload, dirty=True))
+        with self._lock:
+            frame = self._frames.get(page_no)
+            if frame is not None:
+                frame.payload = payload
+                frame.dirty = True
+                self._touch(page_no, frame)
+                return
+            self._install(page_no, _Frame(payload=payload, dirty=True))
 
     # -- pinning -------------------------------------------------------------
 
     def pin(self, page_no: int) -> None:
         """Protect a resident page from eviction (faulting it in if absent)."""
-        if page_no not in self._frames:
-            self.get(page_no)
-        self._frames[page_no].pins += 1
+        with self._lock:
+            if page_no not in self._frames:
+                self.get(page_no)
+            self._frames[page_no].pins += 1
 
     def unpin(self, page_no: int) -> None:
         """Release one pin on *page_no*.
@@ -184,31 +198,35 @@ class BufferPool:
             KeyError: when the page is not resident.
             ValueError: when the page is not pinned.
         """
-        frame = self._frames[page_no]
-        if frame.pins <= 0:
-            raise ValueError(f"page {page_no} is not pinned")
-        frame.pins -= 1
+        with self._lock:
+            frame = self._frames[page_no]
+            if frame.pins <= 0:
+                raise ValueError(f"page {page_no} is not pinned")
+            frame.pins -= 1
 
     # -- maintenance -------------------------------------------------------------
 
     def flush(self) -> None:
         """Write every dirty page back to the pager."""
-        for page_no, frame in self._frames.items():
-            if frame.dirty:
-                self.pager.write_page(page_no, frame.payload)
-                frame.dirty = False
-                self.stats.writebacks += 1
-                if obs.ENABLED:
-                    obs.active().bump("storage.buffer.writebacks")
+        with self._lock:
+            for page_no, frame in self._frames.items():
+                if frame.dirty:
+                    self.pager.write_page(page_no, frame.payload)
+                    frame.dirty = False
+                    self.stats.writebacks += 1
+                    if obs.ENABLED:
+                        obs.active().bump("storage.buffer.writebacks")
 
     def invalidate(self, page_no: int) -> None:
         """Drop *page_no* without writing it back (used after free())."""
-        self._frames.pop(page_no, None)
+        with self._lock:
+            self._frames.pop(page_no, None)
 
     def clear(self) -> None:
         """Flush and drop every frame (cold-cache the pool)."""
-        self.flush()
-        self._frames.clear()
+        with self._lock:
+            self.flush()
+            self._frames.clear()
 
     @property
     def resident(self) -> int:

@@ -1,0 +1,86 @@
+"""Scope stacks are thread-local: worker scopes never leak across threads.
+
+The query server runs every query inside ``obs.scope(forward=False)`` on
+a pool thread; these tests pin down the isolation contract that makes
+the merged per-query counter snapshots trustworthy.
+"""
+
+import threading
+
+from repro import obs
+
+
+class TestThreadLocalScopes:
+    def test_worker_scope_invisible_to_main_thread(self):
+        obs.enable()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            with obs.scope(forward=False) as reg:
+                reg.bump("worker.private")
+                entered.set()
+                release.wait(timeout=10)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        assert entered.wait(timeout=10)
+        # While the worker sits inside its scope, this thread still sees
+        # the default registry — not the worker's.
+        assert obs.active() is obs.default_registry()
+        assert obs.default_registry().counters.get("worker.private") == 0
+        obs.bump("main.counter")
+        release.set()
+        t.join(timeout=10)
+        assert obs.default_registry().counters.get("main.counter") == 1
+
+    def test_concurrent_isolated_scopes_do_not_mix(self):
+        obs.enable()
+        n_threads, bumps = 8, 200
+        barrier = threading.Barrier(n_threads)
+        snapshots = {}
+        lock = threading.Lock()
+
+        def worker(idx):
+            barrier.wait(timeout=10)
+            with obs.scope(forward=False) as reg:
+                for _ in range(bumps):
+                    reg.bump("queries")
+                    reg.bump(f"thread.{idx}")
+                snap = reg.counters.as_dict()
+            with lock:
+                snapshots[idx] = snap
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+
+        assert len(snapshots) == n_threads
+        for idx, snap in snapshots.items():
+            # Each scope saw exactly its own work, nobody else's.
+            assert snap["queries"] == bumps
+            assert snap[f"thread.{idx}"] == bumps
+            assert not any(k.startswith("thread.") and
+                           k != f"thread.{idx}" for k in snap)
+        # forward=False means nothing reached the default registry.
+        assert obs.default_registry().counters.get("queries") == 0
+
+    def test_merge_accumulates_worker_snapshots(self):
+        target = obs.Registry()
+        target.counters.merge({"a": 2, "b": 1.5})
+        target.counters.merge({"a": 3})
+        assert target.counters.get("a") == 5
+        assert target.counters.get("b") == 1.5
+
+    def test_nested_scope_on_one_thread_still_stacks(self):
+        obs.enable()
+        with obs.scope(forward=False) as outer:
+            with obs.scope(forward=False) as inner:
+                obs.bump("x")
+                assert obs.active() is inner
+            assert obs.active() is outer
+            assert inner.counters.get("x") == 1
+            assert outer.counters.get("x") == 0

@@ -1,0 +1,90 @@
+"""normalize_query: equivalent spellings collide, different queries don't."""
+
+import pytest
+
+from repro.psql import normalize_query
+from repro.psql.errors import PsqlSyntaxError
+
+CANONICAL = ("select city from cities on us-map "
+             "at loc covered-by {4±4, 11±9}")
+
+EQUIVALENT_SPELLINGS = [
+    # canonical itself
+    CANONICAL,
+    # extra / newline whitespace
+    "select  city\nfrom cities\n  on us-map\n"
+    "at loc covered-by {4±4, 11±9}",
+    # keyword case
+    "SELECT city FROM cities ON us-map AT loc covered-by {4±4, 11±9}",
+    # ASCII plus-minus
+    "select city from cities on us-map at loc covered-by {4+-4, 11+-9}",
+    # comments
+    "select city -- just the names\nfrom cities on us-map "
+    "at loc covered-by {4±4, 11±9} -- trailing",
+]
+
+
+class TestCollisions:
+    @pytest.mark.parametrize("spelling", EQUIVALENT_SPELLINGS)
+    def test_equivalent_queries_collide(self, spelling):
+        assert normalize_query(spelling) == normalize_query(CANONICAL)
+
+    def test_number_underscores_collide(self):
+        assert (normalize_query("select city from cities "
+                                "where population > 1_000_000")
+                == normalize_query("select city from cities "
+                                   "where population > 1000000"))
+
+    def test_string_quote_style_collides(self):
+        assert (normalize_query("select city from cities "
+                                "where state = 'Avalon'")
+                == normalize_query('select city from cities '
+                                   'where state = "Avalon"'))
+
+    def test_idempotent(self):
+        once = normalize_query(CANONICAL)
+        assert normalize_query(once) == once
+
+
+class TestDistinctions:
+    def test_different_window_literals_do_not_collide(self):
+        a = normalize_query("select city from cities on us-map "
+                            "at loc covered-by {4±4, 11±9}")
+        b = normalize_query("select city from cities on us-map "
+                            "at loc covered-by {4±4, 11±8}")
+        assert a != b
+
+    def test_different_string_literals_do_not_collide(self):
+        a = normalize_query("select city from cities where state = 'A'")
+        b = normalize_query("select city from cities where state = 'B'")
+        assert a != b
+
+    def test_identifier_case_is_preserved(self):
+        # Identifiers are data; normalisation must not fold their case.
+        a = normalize_query("select city from cities")
+        b = normalize_query("select City from cities")
+        assert a != b
+
+    def test_int_vs_float_literal_distinct(self):
+        # 4 and 4.0 compare equal but are distinct literal spellings; a
+        # false miss is harmless, so they stay separate keys.
+        a = normalize_query("select city from cities where population > 4")
+        b = normalize_query("select city from cities "
+                            "where population > 4.0")
+        assert a != b
+
+    def test_string_vs_identifier_distinct(self):
+        assert (normalize_query("select city from cities "
+                                "where state = Avalon")
+                != normalize_query("select city from cities "
+                                   "where state = 'Avalon'"))
+
+
+class TestErrors:
+    def test_lexical_garbage_raises(self):
+        with pytest.raises(PsqlSyntaxError):
+            normalize_query("select city from cities where x = 'unclosed")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(PsqlSyntaxError):
+            normalize_query("select city @ cities")

@@ -1,0 +1,102 @@
+"""spatial_join vs an exhaustive nested loop on random rectangle sets.
+
+Every PSQL juxtaposition operator except ``disjoined`` routes through
+``spatial_join``; the lockstep descent must report exactly the pairs a
+brute-force O(n·m) scan finds, for every predicate and tree shape.
+"""
+
+import random
+
+import pytest
+
+from repro.geometry import Rect
+from repro.geometry.predicates import OPERATORS
+from repro.rtree.join import spatial_join
+from repro.rtree.packing import pack
+
+# disjoined violates spatial_join's precondition (the predicate must
+# imply intersection); the executor handles it by complementation.
+JOIN_OPERATORS = sorted(set(OPERATORS) - {"disjoined"})
+
+
+def _random_rects(rng, n, max_extent):
+    """Mixed workload: areas, degenerate points, and a few duplicates."""
+    items = []
+    for oid in range(n):
+        x = rng.uniform(0, 1000 - max_extent)
+        y = rng.uniform(0, 1000 - max_extent)
+        if oid % 5 == 0:  # degenerate point rectangle
+            items.append((Rect(x, y, x, y), oid))
+        else:
+            items.append((Rect(x, y, x + rng.uniform(0, max_extent),
+                               y + rng.uniform(0, max_extent)), oid))
+    for oid in range(n, n + n // 10):  # exact duplicates of earlier rects
+        items.append((items[oid - n][0], oid))
+    return items
+
+
+def _brute_force(left_items, right_items, predicate):
+    return sorted((a_oid, b_oid)
+                  for a_rect, a_oid in left_items
+                  for b_rect, b_oid in right_items
+                  if predicate(a_rect, b_rect))
+
+
+class TestJoinEquivalence:
+    @pytest.mark.parametrize("op", JOIN_OPERATORS)
+    @pytest.mark.parametrize("seed", [3, 17, 99])
+    def test_matches_brute_force(self, op, seed):
+        rng = random.Random(seed)
+        # Large extents on the left, small on the right, so covering /
+        # covered-by actually produce pairs.
+        left_items = _random_rects(rng, 80, max_extent=160)
+        right_items = _random_rects(rng, 60, max_extent=40)
+        left = pack(left_items, max_entries=8)
+        right = pack(right_items, max_entries=4)
+
+        predicate = OPERATORS[op]
+        got = sorted(spatial_join(left, right, predicate))
+        want = _brute_force(left_items, right_items, predicate)
+        assert got == want
+        if op in ("intersecting", "covering"):
+            assert want, f"degenerate workload: no {op} pairs at all"
+
+    @pytest.mark.parametrize("op", JOIN_OPERATORS)
+    def test_asymmetric_sizes(self, op):
+        rng = random.Random(5)
+        left_items = _random_rects(rng, 150, max_extent=120)
+        right_items = _random_rects(rng, 6, max_extent=300)
+        left = pack(left_items, max_entries=16)
+        right = pack(right_items, max_entries=4)
+        predicate = OPERATORS[op]
+        assert (sorted(spatial_join(left, right, predicate))
+                == _brute_force(left_items, right_items, predicate))
+
+    def test_join_is_order_sensitive_but_consistent(self):
+        rng = random.Random(11)
+        a_items = _random_rects(rng, 40, max_extent=100)
+        b_items = _random_rects(rng, 40, max_extent=100)
+        a = pack(a_items, max_entries=8)
+        b = pack(b_items, max_entries=8)
+        ab = sorted(spatial_join(a, b, OPERATORS["intersecting"]))
+        ba = sorted(spatial_join(b, a, OPERATORS["intersecting"]))
+        assert ab == sorted((y, x) for x, y in ba)
+
+    def test_empty_trees(self):
+        rng = random.Random(1)
+        items = _random_rects(rng, 20, max_extent=50)
+        tree = pack(items, max_entries=8)
+        empty = pack([], max_entries=8)
+        assert spatial_join(empty, tree) == []
+        assert spatial_join(tree, empty) == []
+        assert spatial_join(empty, empty) == []
+
+    def test_single_entry_trees(self):
+        lone_a = pack([(Rect(10, 10, 30, 30), 0)], max_entries=4)
+        lone_b = pack([(Rect(20, 20, 25, 25), 7)], max_entries=4)
+        assert spatial_join(lone_a, lone_b,
+                            OPERATORS["covering"]) == [(0, 7)]
+        assert spatial_join(lone_b, lone_a,
+                            OPERATORS["covered-by"]) == [(7, 0)]
+        far = pack([(Rect(900, 900, 950, 950), 1)], max_entries=4)
+        assert spatial_join(lone_a, far) == []

@@ -1,0 +1,70 @@
+"""The generation-checked LRU result cache."""
+
+import pytest
+
+from repro.server.cache import QueryCache
+
+
+PAYLOAD = ("COLS a", "ROW 1", "END")
+
+
+class TestQueryCache:
+    def test_miss_then_hit(self):
+        cache = QueryCache(capacity=4)
+        assert cache.get("q", 0) is None
+        cache.put("q", 0, PAYLOAD, 1)
+        entry = cache.get("q", 0)
+        assert entry is not None
+        assert entry.payload == PAYLOAD
+        assert entry.nrows == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_generation_isolates_entries(self):
+        cache = QueryCache(capacity=4)
+        cache.put("q", 0, PAYLOAD, 1)
+        assert cache.get("q", 1) is None      # newer generation: stale
+        assert cache.get("q", 0) is not None  # old key still addressable
+
+    def test_lru_eviction_order(self):
+        cache = QueryCache(capacity=2)
+        cache.put("a", 0, PAYLOAD, 1)
+        cache.put("b", 0, PAYLOAD, 1)
+        assert cache.get("a", 0) is not None  # refresh a; b becomes LRU
+        cache.put("c", 0, PAYLOAD, 1)
+        assert cache.get("b", 0) is None
+        assert cache.get("a", 0) is not None
+        assert cache.get("c", 0) is not None
+        assert cache.evictions == 1
+
+    def test_capacity_zero_disables(self):
+        cache = QueryCache(capacity=0)
+        cache.put("q", 0, PAYLOAD, 1)
+        assert cache.get("q", 0) is None
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            QueryCache(capacity=-1)
+
+    def test_drop_stale(self):
+        cache = QueryCache(capacity=8)
+        cache.put("a", 0, PAYLOAD, 1)
+        cache.put("b", 1, PAYLOAD, 1)
+        cache.put("c", 2, PAYLOAD, 1)
+        dropped = cache.drop_stale(current_generation=2)
+        assert dropped == 2
+        assert len(cache) == 1
+        assert cache.get("c", 2) is not None
+
+    def test_hit_rate_and_stats(self):
+        cache = QueryCache(capacity=4)
+        cache.put("q", 0, PAYLOAD, 1)
+        cache.get("q", 0)
+        cache.get("other", 0)
+        assert cache.hit_rate == pytest.approx(0.5)
+        stats = cache.stats()
+        assert stats["server.cache.hits"] == 1.0
+        assert stats["server.cache.misses"] == 1.0
+        assert stats["server.cache.hit_rate"] == pytest.approx(0.5)
+        assert stats["server.cache.size"] == 1.0

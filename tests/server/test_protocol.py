@@ -1,0 +1,109 @@
+"""Framing, escaping and the canonical result encoding."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.psql.result import QueryResult
+from repro.server import protocol
+from repro.server.protocol import ProtocolError
+
+
+class TestEscaping:
+    @pytest.mark.parametrize("text", [
+        "", "plain", "tab\there", "line\nbreak", "cr\rlf\n",
+        "back\\slash", "\\t literal", "mixed\t\\\n\r end", "±{}'\"",
+    ])
+    def test_roundtrip(self, text):
+        assert protocol.unescape(protocol.escape(text)) == text
+
+    def test_escaped_text_is_single_line_single_field(self):
+        escaped = protocol.escape("a\tb\nc")
+        assert "\t" not in escaped and "\n" not in escaped
+
+    def test_split_fields(self):
+        fields = ["a", "with\ttab", "with\nnewline", ""]
+        joined = "\t".join(protocol.escape(f) for f in fields)
+        assert protocol.split_fields(joined) == fields
+
+
+class TestEncodeResult:
+    def test_shape_and_determinism(self):
+        result = QueryResult(columns=("city", "loc"))
+        result.rows.append(("Boston", Point(1.5, 2.0)))
+        result.rows.append(("Tab\tCity", 42))
+        lines = protocol.encode_result(result)
+        assert lines[0] == "COLS city\tloc"
+        assert lines[1] == "ROW Boston\tPoint(x=1.5, y=2.0)"
+        assert lines[-1] == "END"
+        assert lines == protocol.encode_result(result)
+
+    def test_empty_result(self):
+        lines = protocol.encode_result(QueryResult(columns=("a",)))
+        assert lines == ["COLS a", "END"]
+
+    def test_format_value(self):
+        assert protocol.format_value("s") == "s"
+        assert protocol.format_value(3) == "3"
+        assert protocol.format_value(2.5) == "2.5"
+        assert protocol.format_value(Rect(0, 0, 1, 1)) == \
+            repr(Rect(0, 0, 1, 1))
+
+
+class TestParseResponse:
+    def test_ok_roundtrip(self):
+        result = QueryResult(columns=("city",))
+        result.rows.append(("Boston",))
+        payload = protocol.encode_result(result)
+        r = protocol.parse_response(["OK fresh 3 1", *payload])
+        assert r.ok and not r.cached and r.generation == 3
+        assert r.columns == ("city",)
+        assert r.rows == [("Boston",)]
+        assert r.payload == ("\n".join(payload) + "\n").encode()
+
+    def test_cached_header(self):
+        r = protocol.parse_response(["OK cached 7 0", "COLS a", "END"])
+        assert r.cached and r.generation == 7
+
+    def test_error_frames(self):
+        r = protocol.parse_response(
+            ["ERR PsqlSyntaxError " + protocol.escape("bad\nquery"),
+             "END"])
+        assert r.status == "error"
+        assert r.error_kind == "PsqlSyntaxError"
+        assert r.error_message == "bad\nquery"
+        with pytest.raises(protocol.ServerError):
+            r.raise_for_status()
+
+    def test_busy_and_timeout(self):
+        busy = protocol.parse_response(["BUSY overloaded", "END"])
+        assert busy.status == "busy"
+        with pytest.raises(protocol.ServerBusyError):
+            busy.raise_for_status()
+        to = protocol.parse_response(["TIMEOUT too slow", "END"])
+        assert to.status == "timeout"
+        with pytest.raises(protocol.ServerTimeoutError):
+            to.raise_for_status()
+
+    def test_stats(self):
+        lines = protocol.encode_stats(
+            {"server.qps": 12.5, "server.queries": 40.0}, generation=2)
+        r = protocol.parse_response(lines)
+        assert r.ok
+        assert r.stats["server.qps"] == 12.5
+        assert r.stats["server.queries"] == 40.0
+        assert r.stats["server.generation"] == 2.0
+
+    @pytest.mark.parametrize("lines", [
+        [],
+        ["WHAT is this"],
+        ["OK fresh 1 0", "COLS a"],           # missing END
+        ["OK fresh 1"],                        # short header
+        ["OK fresh 1 0", "NOISE x", "END"],    # foreign frame
+    ])
+    def test_malformed_raises(self, lines):
+        with pytest.raises(ProtocolError):
+            protocol.parse_response(lines)
+
+    def test_ok_passes_raise_for_status(self):
+        r = protocol.parse_response(["OK fresh 0 0", "COLS a", "END"])
+        assert r.raise_for_status() is r

@@ -1,0 +1,308 @@
+"""End-to-end server behaviour over real sockets.
+
+Covers the ISSUE's acceptance criteria: concurrent clients get results
+byte-identical to direct ``Session.execute``; a query exceeding its
+timeout gets a ``TIMEOUT`` frame and the connection stays usable; the
+admission gate answers ``BUSY``; the cache serves repeats and misses
+after a generation bump; shutdown drains in-flight queries.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.geometry import Point
+from repro.psql.executor import Session
+from repro.server import protocol
+from repro.server.client import Client
+from repro.server.server import PsqlServer, ServerConfig
+
+MIXED_QUERIES = [
+    "select city from cities on us-map "
+    "at loc covered-by {400+-150, 300+-150}",
+    "select city, population from cities on us-map "
+    "at loc covered-by {500+-500, 300+-300} where population > 500_000",
+    "select state from states on us-map "
+    "at loc intersecting {250+-250, 150+-150}",
+    "select city, zone from cities, time-zones "
+    "on us-map, time-zone-map at cities.loc covered-by time-zones.loc",
+    "select hwy-name, sum(length(loc)) from highways",
+    "select city from cities where population > 1_000_000",
+]
+
+
+@pytest.fixture()
+def server(map_database):
+    srv = PsqlServer(ServerConfig(port=0, workers=4), db=map_database)
+    srv.start_background()
+    yield srv
+    srv.stop_background()
+
+
+def _addr(srv):
+    return srv.config.host, srv.port
+
+
+def nap_session_factory(db):
+    """Sessions with a sleep function installed, for timeout/busy tests."""
+    session = Session(db)
+
+    def nap(ms):
+        time.sleep(ms / 1000.0)
+        return ms
+
+    session.functions.register("nap", nap)
+    return session
+
+
+@pytest.fixture()
+def slow_server(map_database):
+    """One worker, one admission slot, 300ms query timeout."""
+    srv = PsqlServer(
+        ServerConfig(port=0, workers=1, max_inflight=1,
+                     query_timeout=0.3),
+        db=map_database, session_factory=nap_session_factory)
+    srv.start_background()
+    yield srv
+    srv.stop_background()
+
+
+# One row so ``select nap(...) from states where state = ...`` sleeps
+# exactly once; the fixture's states are deterministic.
+ONE_ROW_SLOW = ("select nap({ms}) from states "
+                "where population-density > 0 and state = '{state}'")
+
+
+def _one_state_name(db):
+    return db.relation("states").rows().__iter__().__next__()[1]["state"]
+
+
+class TestConcurrentClients:
+    N_CLIENTS = 8
+    ROUNDS = 3
+
+    def test_byte_identical_to_direct_execution(self, server,
+                                                map_database):
+        host, port = _addr(server)
+        direct = Session(map_database)
+        expected = {
+            q: ("\n".join(protocol.encode_result(direct.execute(q)))
+                + "\n").encode()
+            for q in MIXED_QUERIES}
+
+        failures = []
+        lock = threading.Lock()
+
+        def client_main(seed):
+            rng = random.Random(seed)
+            try:
+                with Client(host, port) as client:
+                    for _ in range(self.ROUNDS):
+                        queries = MIXED_QUERIES[:]
+                        rng.shuffle(queries)
+                        for q in queries:
+                            r = client.query(q)
+                            if not r.ok:
+                                with lock:
+                                    failures.append(
+                                        f"{q!r}: {r.status} "
+                                        f"{r.error_message}")
+                            elif r.payload != expected[q]:
+                                with lock:
+                                    failures.append(
+                                        f"{q!r}: payload mismatch")
+            except Exception as exc:  # noqa: BLE001
+                with lock:
+                    failures.append(f"client {seed}: {exc!r}")
+
+        threads = [threading.Thread(target=client_main, args=(i,))
+                   for i in range(self.N_CLIENTS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not failures, failures[:5]
+
+        stats = server.stats()
+        assert stats["server.queries"] >= (
+            self.N_CLIENTS * self.ROUNDS * len(MIXED_QUERIES))
+        # Repeats across clients must have hit the cache.
+        assert stats["server.cache.hits"] > 0
+
+
+class TestTimeout:
+    def test_timeout_frame_and_connection_survives(self, slow_server,
+                                                   map_database):
+        host, port = _addr(slow_server)
+        state = _one_state_name(map_database)
+        with Client(host, port) as client:
+            r = client.query(ONE_ROW_SLOW.format(ms=2000, state=state))
+            assert r.status == "timeout"
+            # The worker is still finishing the abandoned query; once it
+            # frees, the same connection keeps working.
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                r2 = client.query("select city from cities "
+                                  "where population > 1_000_000")
+                if r2.status != "busy":
+                    break
+                time.sleep(0.1)
+            assert r2.ok
+            assert len(r2.rows) > 0
+        assert slow_server.stats()["server.timeouts"] >= 1
+
+
+class TestBackpressure:
+    def test_busy_when_inflight_limit_reached(self, slow_server,
+                                              map_database):
+        host, port = _addr(slow_server)
+        state = _one_state_name(map_database)
+        slow_result = {}
+
+        def occupy():
+            with Client(host, port) as c:
+                slow_result["r"] = c.query(
+                    ONE_ROW_SLOW.format(ms=250, state=state))
+
+        t = threading.Thread(target=occupy)
+        t.start()
+        time.sleep(0.1)  # let the slow query take the only slot
+        with Client(host, port) as c2:
+            r = c2.query("select city from cities "
+                         "where population > 1_000_000")
+            assert r.status == "busy"
+            with pytest.raises(protocol.ServerBusyError):
+                r.raise_for_status()
+        t.join(timeout=10)
+        assert slow_result["r"].ok
+        assert slow_server.stats()["server.busy_rejections"] >= 1
+
+
+class TestErrorFraming:
+    def test_bad_queries_do_not_kill_the_connection(self, server):
+        host, port = _addr(server)
+        with Client(host, port) as client:
+            r = client.query("select city from nowhere")
+            assert r.status == "error"
+            assert r.error_kind == "PsqlSemanticError"
+            r = client.query("select city from cities where x = 'oops")
+            assert r.status == "error"
+            assert r.error_kind == "PsqlSyntaxError"
+            r = client.query("select city from cities "
+                             "where population > 1_000_000")
+            assert r.ok
+
+    def test_unknown_command_is_an_error_frame(self, server):
+        host, port = _addr(server)
+        with Client(host, port) as client:
+            resp = client._roundtrip("FROBNICATE now")
+            assert resp.status == "error"
+            assert client.ping()
+
+
+class TestCache:
+    def test_repeat_is_served_from_cache(self, server):
+        host, port = _addr(server)
+        q = MIXED_QUERIES[0]
+        with Client(host, port) as client:
+            before = client.stats().get("server.cache.hits", 0)
+            r1 = client.query(q)
+            r2 = client.query(q)
+            assert r1.ok and r2.ok
+            assert not r1.cached or r1.generation == r2.generation
+            assert r2.cached
+            assert r2.payload == r1.payload
+            after = client.stats()["server.cache.hits"]
+            assert after >= before + 1
+
+    def test_whitespace_variant_hits_same_entry(self, server):
+        host, port = _addr(server)
+        with Client(host, port) as client:
+            r1 = client.query("select city from cities "
+                              "where population > 1_000_000")
+            r2 = client.query("SELECT   city FROM cities "
+                              "WHERE population > 1000000")
+            assert r1.ok and r2.ok
+            assert r2.cached
+            assert r2.payload == r1.payload
+
+    def test_insert_bumps_generation_and_invalidates(self, server,
+                                                     map_database):
+        host, port = _addr(server)
+        q = ("select city from cities on us-map "
+             "at loc covered-by {111+-7, 222+-7}")
+        with Client(host, port) as client:
+            r1 = client.query(q)
+            r2 = client.query(q)
+            assert r2.cached and r2.generation == r1.generation
+            map_database.insert("cities", {
+                "city": "Gen-Bump-Ville", "state": "Avalon",
+                "population": 1, "loc": Point(111.0, 222.0)})
+            r3 = client.query(q)
+            assert not r3.cached
+            assert r3.generation > r2.generation
+            # The fresh result sees the new row; the cached one did not.
+            assert ("Gen-Bump-Ville",) in r3.rows
+            assert ("Gen-Bump-Ville",) not in r2.rows
+
+    def test_repack_bumps_generation(self, server, map_database):
+        host, port = _addr(server)
+        q = MIXED_QUERIES[2]
+        with Client(host, port) as client:
+            client.query(q)
+            r2 = client.query(q)
+            assert r2.cached
+            map_database.repack("us-map", "states")
+            r3 = client.query(q)
+            assert not r3.cached
+            assert r3.generation > r2.generation
+            assert r3.payload == r2.payload  # contents unchanged
+
+
+class TestStats:
+    def test_stats_surface_engine_metrics(self, server):
+        host, port = _addr(server)
+        with Client(host, port) as client:
+            for q in MIXED_QUERIES[:3]:
+                assert client.query(q).ok
+            stats = client.stats()
+        assert stats["server.queries"] >= 3
+        assert stats["server.qps"] > 0
+        assert stats["server.workers"] == 4
+        assert "server.cache.hit_rate" in stats
+        # Engine-level obs counters merged from worker snapshots.
+        assert stats.get("rtree.search.nodes_visited", 0) > 0
+        assert stats.get("psql.queries", 0) >= 3
+        assert stats.get("avg.nodes_visited_per_query", 0) > 0
+
+    def test_ping(self, server):
+        host, port = _addr(server)
+        with Client(host, port) as client:
+            assert client.ping()
+
+
+class TestGracefulShutdown:
+    def test_inflight_query_drains_before_close(self, map_database):
+        srv = PsqlServer(
+            ServerConfig(port=0, workers=1, query_timeout=10.0,
+                         drain_timeout=10.0),
+            db=map_database, session_factory=nap_session_factory)
+        host, port = srv.start_background()
+        state = _one_state_name(map_database)
+        result = {}
+
+        def run_slow():
+            with Client(host, port) as c:
+                result["r"] = c.query(
+                    ONE_ROW_SLOW.format(ms=400, state=state))
+
+        t = threading.Thread(target=run_slow)
+        t.start()
+        time.sleep(0.15)  # slow query is now in flight
+        srv.stop_background()
+        t.join(timeout=10)
+        assert "r" in result
+        assert result["r"].ok
+        assert result["r"].rows == [("400",)]

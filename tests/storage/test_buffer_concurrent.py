@@ -1,0 +1,125 @@
+"""BufferPool under concurrent readers.
+
+The query server's thread pool shares one ``Database`` — and with it any
+disk-backed index — across workers.  A tiny pool (capacity 8 for a tree
+of dozens of pages) maximises eviction churn, so frames are constantly
+recycled while other threads read through them; without the pool's lock
+this corrupts frame state and returns wrong pages.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.geometry import Rect
+from repro.storage.disk_rtree import DiskRTree
+
+N_OBJECTS = 400
+N_WINDOWS = 24
+N_THREADS = 8
+ROUNDS = 6
+
+
+def _random_items(rng):
+    items = []
+    for oid in range(N_OBJECTS):
+        x = rng.uniform(0, 980)
+        y = rng.uniform(0, 980)
+        items.append((Rect(x, y, x + rng.uniform(0, 20),
+                           y + rng.uniform(0, 20)), oid))
+    return items
+
+
+def _random_windows(rng):
+    windows = []
+    for _ in range(N_WINDOWS):
+        x = rng.uniform(0, 800)
+        y = rng.uniform(0, 800)
+        windows.append(Rect(x, y, x + rng.uniform(20, 200),
+                            y + rng.uniform(20, 200)))
+    return windows
+
+
+@pytest.fixture()
+def churning_tree(tmp_path):
+    """A disk tree far larger than its 8-frame buffer pool."""
+    tree = DiskRTree(str(tmp_path / "concurrent.rtree"),
+                     max_entries=8, buffer_capacity=8)
+    tree.bulk_load(_random_items(random.Random(42)))
+    yield tree
+    tree.close()
+
+
+class TestConcurrentSearch:
+    def test_threaded_searches_match_single_threaded(self, churning_tree):
+        windows = _random_windows(random.Random(7))
+        expected = [sorted(churning_tree.search(w)) for w in windows]
+
+        failures = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(N_THREADS)
+
+        def worker(seed):
+            rng = random.Random(seed)
+            order = list(range(len(windows)))
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(ROUNDS):
+                    rng.shuffle(order)
+                    for i in order:
+                        got = sorted(churning_tree.search(windows[i]))
+                        if got != expected[i]:
+                            with lock:
+                                failures.append(
+                                    f"window {i}: {len(got)} ids, "
+                                    f"expected {len(expected[i])}")
+            except Exception as exc:  # noqa: BLE001
+                with lock:
+                    failures.append(f"thread {seed}: {exc!r}")
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not failures, failures[:5]
+
+        # The pool really was churning: far more requests than frames,
+        # and evictions forced misses beyond the initial faults.
+        stats = churning_tree.pool.stats
+        assert stats.misses > churning_tree.pool.capacity
+
+    def test_mixed_search_within_and_search(self, churning_tree):
+        window = Rect(100, 100, 600, 600)
+        expected_any = sorted(churning_tree.search(window))
+        expected_within = sorted(churning_tree.search_within(window))
+
+        failures = []
+        lock = threading.Lock()
+
+        def worker(kind):
+            try:
+                for _ in range(ROUNDS):
+                    if kind == "any":
+                        got = sorted(churning_tree.search(window))
+                        want = expected_any
+                    else:
+                        got = sorted(churning_tree.search_within(window))
+                        want = expected_within
+                    if got != want:
+                        with lock:
+                            failures.append(kind)
+            except Exception as exc:  # noqa: BLE001
+                with lock:
+                    failures.append(f"{kind}: {exc!r}")
+
+        threads = [threading.Thread(target=worker,
+                                    args=("any" if i % 2 else "within",))
+                   for i in range(N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not failures, failures[:5]
