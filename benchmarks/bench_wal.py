@@ -1,0 +1,134 @@
+"""E23 — durability cost: write-ahead logging overhead and recovery speed.
+
+The WAL buys crash safety (acknowledged writes survive ``kill -9``) at
+the price of writing every dirtied page twice — once to the log, once
+in place.  This experiment measures that price on the insert path in
+each sync mode, confirms the *read* path is untouched, and times
+recovery as a function of the committed backlog.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.relational.persistent import PersistentRelation
+from repro.relational.relation import Column
+
+SCHEMA = [Column("name", "str"), Column("v", "int"), Column("loc", "point")]
+N = 1500
+
+
+def _row(i):
+    return {"name": f"row-{i}", "v": i,
+            "loc": Point(float(i % 971), float((i * 7) % 971))}
+
+
+def _open(tmp_dir, label, **kw):
+    return PersistentRelation("bench", SCHEMA,
+                              os.path.join(tmp_dir, f"{label}.db"),
+                              page_size=4096, **kw)
+
+
+@pytest.fixture(scope="module")
+def wal_table(report, tmp_path_factory):
+    tmp_dir = str(tmp_path_factory.mktemp("wal"))
+    lines = [f"Insert throughput vs durability mode (n={N}, 4 KiB pages)",
+             f"{'mode':>12} | {'inserts/s':>10} {'rel. cost':>9}"]
+    rows = {}
+    # "fsync" is what production durability costs; "none" isolates the
+    # logging overhead itself from the disk-flush overhead.
+    for label, kw in (("off", {"durable": False}),
+                      ("wal", {"wal_sync": "none"}),
+                      ("wal+fsync", {"wal_sync": "fsync"})):
+        rel = _open(tmp_dir, label, **kw)
+        t0 = time.perf_counter()
+        for i in range(N):
+            rel.insert(_row(i))
+        elapsed = time.perf_counter() - t0
+        rel.close()
+        rows[label] = N / elapsed
+        lines.append(f"{label:>12} | {rows[label]:>10.0f} "
+                     f"{rows['off'] / rows[label]:>8.1f}x")
+    report("wal_overhead", "\n".join(lines))
+    return rows
+
+
+def test_wal_overhead_is_bounded(wal_table):
+    """Page-double-write without fsync must stay within one order of
+    magnitude of raw speed — a regression here means the commit path
+    started rewriting more than it logs."""
+    assert wal_table["wal"] * 10 >= wal_table["off"]
+
+
+@pytest.fixture(scope="module")
+def recovery_table(report, tmp_path_factory):
+    """Recovery time ~ committed backlog: crash with the whole workload
+    still in the log (huge checkpoint threshold), then time the reopen."""
+    tmp_dir = str(tmp_path_factory.mktemp("walrec"))
+    lines = ["Crash recovery time vs backlog (uncheckpointed commits)",
+             f"{'commits':>8} | {'wal bytes':>10} {'recover ms':>10}"]
+    rows = {}
+    for n in (100, 400, 1600):
+        path = os.path.join(tmp_dir, f"r{n}.db")
+        rel = PersistentRelation("bench", SCHEMA, path, page_size=4096,
+                                 wal_sync="none",
+                                 checkpoint_bytes=1 << 40)
+        for i in range(n):
+            rel.insert(_row(i))
+        # Crash: force the data file stale by dropping every handle
+        # with the full history only in the WAL.
+        wal_bytes = rel._heap.pager.wal.size_bytes
+        del rel
+        t0 = time.perf_counter()
+        rel = PersistentRelation("bench", SCHEMA, path, page_size=4096,
+                                 wal_sync="none")
+        ms = (time.perf_counter() - t0) * 1000
+        assert len(rel) == n
+        rel.close()
+        rows[n] = (wal_bytes, ms)
+        lines.append(f"{n:>8} | {wal_bytes:>10} {ms:>10.1f}")
+    report("wal_recovery", "\n".join(lines))
+    return rows
+
+
+def test_recovery_restores_every_commit(recovery_table):
+    assert set(recovery_table) == {100, 400, 1600}
+
+
+def test_recovery_scales_roughly_linearly(recovery_table):
+    """16x the backlog should not cost more than ~64x the time — replay
+    is a single sequential scan plus one write per distinct page."""
+    _b100, t100 = recovery_table[100]
+    _b1600, t1600 = recovery_table[1600]
+    assert t1600 <= max(t100, 1.0) * 64
+
+
+def test_search_path_pays_nothing(benchmark, tmp_path_factory):
+    """The read path never touches the WAL: window queries over a
+    durable relation go through the same buffer pool and pager reads
+    as before the WAL existed (the <5 % acceptance bar lives in
+    bench_storage_io.py; this pins the relation-level path)."""
+    tmp_dir = str(tmp_path_factory.mktemp("walsearch"))
+    rel = _open(tmp_dir, "search", wal_sync="none")
+    for i in range(800):
+        rel.insert(_row(i))
+    tree = rel.build_spatial_index("loc", max_entries=32)
+    window = Rect(200, 200, 500, 500)
+    expected = len(tree.search(window))
+    result = benchmark(lambda: len(tree.search(window)))
+    assert result == expected
+    rel.close()
+
+
+def test_insert_throughput_wal_none(benchmark, tmp_path_factory):
+    tmp_dir = str(tmp_path_factory.mktemp("walins"))
+    rel = _open(tmp_dir, "ins", wal_sync="none")
+    counter = iter(range(10 ** 9))
+
+    def one_insert():
+        rel.insert(_row(next(counter)))
+
+    benchmark(one_insert)
+    rel.close()

@@ -194,6 +194,41 @@ class Database:
         self._relations[name] = relation
         return relation
 
+    def attach_relation(self, relation) -> None:
+        """Register an externally built relation (e.g. a disk-backed
+        :class:`~repro.relational.persistent.PersistentRelation`).
+
+        When the relation reports that its storage replayed a write-ahead
+        log on open (``relation.recovered``), the data generation is
+        bumped: whatever this process — or the query server's result
+        cache — believed about the old on-disk state is stale by
+        definition after a crash recovery.
+
+        Raises:
+            SchemaError: when the name is taken.
+        """
+        if relation.name in self._relations:
+            raise SchemaError(f"relation {relation.name!r} already exists")
+        self._relations[relation.name] = relation
+        if getattr(relation, "recovered", False):
+            self._generation += 1
+
+    def create_persistent_relation(self, name: str,
+                                   columns: Iterable[Column], path: str,
+                                   **storage_kwargs):
+        """Create (or reopen) a durable disk-backed relation and attach it.
+
+        Keyword arguments are forwarded to
+        :class:`~repro.relational.persistent.PersistentRelation` —
+        ``page_size``, ``buffer_capacity``, ``durable``, ``wal_sync``.
+        """
+        from repro.relational.persistent import PersistentRelation
+
+        relation = PersistentRelation(name, list(columns), path,
+                                      **storage_kwargs)
+        self.attach_relation(relation)
+        return relation
+
     def relation(self, name: str) -> Relation:
         try:
             return self._relations[name]

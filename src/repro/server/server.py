@@ -340,6 +340,8 @@ class PsqlServer:
         if not outcome.ok:
             conn.errors += 1
             self.registry.bump("server.errors")
+            if outcome.io_fault:
+                self.registry.bump("server.io_errors")
             await self._write_error(conn, outcome.error_kind,
                                     outcome.error_message)
             return
@@ -393,6 +395,11 @@ class PsqlServer:
         out: dict[str, float] = {}
         for name, value in self.registry.counters.as_dict().items():
             out[name] = float(value)
+        # Durability counters accumulate in the process-global registry
+        # (recovery happens at open time, commits on the mutation path —
+        # neither runs under a per-query scope), so surface them here.
+        for name, value in obs.snapshot(prefix="storage.wal").items():
+            out.setdefault(name, float(value))
         out.update(self.cache.stats())
         queries = out.get("server.queries", 0.0)
         executed = out.get("server.queries.executed", 0.0)

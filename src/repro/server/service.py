@@ -36,8 +36,16 @@ from repro.psql.executor import Session
 from repro.relational.catalog import Database
 from repro.server import protocol
 from repro.server.demo import DEFAULT_FACTORY_SPEC, resolve_factory
+from repro.storage import HeapFileError, InjectedFault, PagerError, WalError
 
 __all__ = ["QueryOutcome", "QueryService"]
+
+#: Storage-stack failures a query can surface.  They are reported as a
+#: framed ``ERR`` like any other failure — the connection survives and
+#: the server counts them separately (``server.io_errors``) because an
+#: I/O fault, unlike a bad query, is an operational signal.
+STORAGE_ERRORS = (PagerError, WalError, HeapFileError, InjectedFault,
+                  OSError)
 
 
 @dataclass
@@ -50,6 +58,7 @@ class QueryOutcome:
     error_message: str = ""
     counters: dict[str, float] = field(default_factory=dict)
     cancelled: bool = False            #: abandoned before execution began
+    io_fault: bool = False             #: failure came from the storage stack
 
     @property
     def ok(self) -> bool:
@@ -73,6 +82,11 @@ def _execute_to_outcome(session: Session, text: str) -> QueryOutcome:
     except PsqlError as exc:
         return QueryOutcome(error_kind=type(exc).__name__,
                             error_message=str(exc))
+    except STORAGE_ERRORS as exc:
+        # Disk trouble (corrupt page, injected fault, failed syscall) is
+        # a graceful ERR frame, never a dead connection or worker.
+        return QueryOutcome(error_kind=type(exc).__name__,
+                            error_message=str(exc), io_fault=True)
     except Exception as exc:  # noqa: BLE001 - one bad query must never
         # take down a worker or leak an unframed exception to the socket.
         return QueryOutcome(error_kind=type(exc).__name__,

@@ -13,9 +13,20 @@ the 1985-style storage stack needed to measure that claim:
   into pages via :mod:`struct`.
 - :class:`~repro.storage.disk_rtree.DiskRTree` — a persistent R-tree whose
   nodes live on pages and are faulted in through the buffer pool.
+- :class:`~repro.storage.wal.WriteAheadLog` — page-level redo logging
+  with checksummed records, commit/checkpoint, and replay on open.
+- :mod:`~repro.storage.failpoints` — named crash/IO-error/torn-write
+  injection points the durability tests drive.
 """
 
-from repro.storage.pager import PAGE_SIZE, CorruptPageError, Page, Pager
+from repro.storage.pager import (
+    PAGE_SIZE,
+    CorruptPageError,
+    InvalidPageError,
+    Page,
+    Pager,
+    PagerError,
+)
 from repro.storage.buffer import BufferPool, BufferStats
 from repro.storage.serial import (
     NodeRecord,
@@ -25,6 +36,8 @@ from repro.storage.serial import (
 )
 from repro.storage.disk_rtree import DiskRTree
 from repro.storage.heapfile import HeapFile, HeapFileError, RowAddress
+from repro.storage.wal import WalError, WriteAheadLog
+from repro.storage.failpoints import InjectedFault, SimulatedCrash
 
 __all__ = [
     "BufferPool",
@@ -33,11 +46,17 @@ __all__ = [
     "DiskRTree",
     "HeapFile",
     "HeapFileError",
+    "InjectedFault",
+    "InvalidPageError",
     "NodeRecord",
     "PAGE_SIZE",
     "Page",
     "Pager",
+    "PagerError",
     "RowAddress",
+    "SimulatedCrash",
+    "WalError",
+    "WriteAheadLog",
     "deserialize_node",
     "max_entries_per_page",
     "serialize_node",

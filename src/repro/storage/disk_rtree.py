@@ -51,6 +51,10 @@ class DiskRTree:
         page_size: pager page size.
         buffer_capacity: buffer pool frames.
         buffer_policy: page replacement policy ("lru" or "clock").
+        wal_path: attach a write-ahead log; node-page writes are then
+            staged and committed atomically by :meth:`flush` (which maps
+            to ``Pager.sync`` → WAL commit + data apply).
+        wal_sync: commit durability, ``"fsync"`` or ``"none"``.
 
     Use :meth:`bulk_load` for PACK-style construction, or :meth:`insert`
     for Guttman-style growth.  ``pool.stats`` exposes hit/miss counts and
@@ -59,8 +63,12 @@ class DiskRTree:
 
     def __init__(self, path: str, max_entries: Optional[int] = None,
                  page_size: int = PAGE_SIZE, buffer_capacity: int = 64,
-                 buffer_policy: str = "lru"):
-        self.pager = Pager(path, page_size=page_size)
+                 buffer_policy: str = "lru",
+                 wal_path: Optional[str] = None, wal_sync: str = "fsync"):
+        self._wal_path = wal_path
+        self._wal_sync = wal_sync
+        self.pager = Pager(path, page_size=page_size, wal_path=wal_path,
+                           wal_sync=wal_sync)
         self.pool = BufferPool(self.pager, capacity=buffer_capacity,
                                policy=buffer_policy)
         payload_capacity = page_size - 8  # pager page prefix
@@ -544,9 +552,10 @@ class DiskRTree:
         pages_after = fresh.pager.page_count
         fresh.pager.close()
 
-        self.pager.close()
+        self.pager.close()  # checkpoints + truncates any WAL first
         os.replace(tmp_path, self.pager.path)
-        self.pager = Pager(self.pager.path, page_size=self.pager.page_size)
+        self.pager = Pager(self.pager.path, page_size=self.pager.page_size,
+                           wal_path=self._wal_path, wal_sync=self._wal_sync)
         self.pool = BufferPool(self.pager, capacity=self.pool.capacity,
                                policy=self.pool.policy)
         self._read_meta()

@@ -1,0 +1,205 @@
+"""Named fault-injection points for the storage stack.
+
+Durability claims are only as good as the failure modes they were tested
+against.  This module gives the pager and the write-ahead log *named*
+places where a test (or an operator, via ``REPRO_FAILPOINTS``) can make
+the process fail on demand:
+
+- ``"error"`` — raise :class:`InjectedFault`, modelling a transient I/O
+  error (``EIO``).  Callers are expected to surface it as a typed error,
+  never to corrupt state.
+- ``"crash"`` — die at the point.  By default this raises
+  :class:`SimulatedCrash` (a ``BaseException``, so ordinary ``except
+  Exception`` recovery code cannot accidentally swallow it); armed with
+  ``hard=True`` it calls ``os._exit``, which is what the fork-based
+  crash-matrix test uses for true kill -9 semantics.
+- ``"torn"`` — the site performs a *partial* write and then crashes,
+  modelling a torn page/record caught mid-flight by power loss.
+
+Sites declare themselves at import time with :func:`declare`, so test
+harnesses can enumerate every point (:func:`names`) and prove that a
+crash at each one recovers.  The hot-path cost when nothing is armed is
+one module-global boolean test (:data:`ACTIVE`).
+
+Environment syntax (parsed once at import)::
+
+    REPRO_FAILPOINTS="wal.commit.before-sync=crash,wal.append=error"
+
+Append ``:hard`` to a crash action for ``os._exit`` semantics and
+``:after=N`` to trigger on the (N+1)-th hit.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import obs
+
+__all__ = [
+    "ACTIVE",
+    "FailpointError",
+    "InjectedFault",
+    "SimulatedCrash",
+    "arm",
+    "crash",
+    "declare",
+    "disarm",
+    "hit",
+    "is_armed",
+    "names",
+    "reset",
+]
+
+#: Process exit status used by hard crashes; the crash-matrix test keys
+#: on it to distinguish "died at the failpoint" from ordinary failures.
+CRASH_EXIT_CODE = 42
+
+#: Fast-path flag: True only while at least one point is armed.
+ACTIVE = False
+
+_ACTIONS = ("error", "crash", "torn")
+
+
+class FailpointError(Exception):
+    """Misuse of the failpoint API (unknown point or action)."""
+
+
+class InjectedFault(Exception):
+    """The injected I/O error raised by an ``"error"`` failpoint."""
+
+
+class SimulatedCrash(BaseException):
+    """A simulated process death (soft crash).
+
+    Deliberately a ``BaseException``: recovery and cleanup code that
+    catches ``Exception`` must not be able to "survive" a crash the test
+    asked for.  Tests catch it explicitly, discard every live handle
+    without closing them, and reopen from the on-disk state — exactly
+    what a killed process would leave behind (files are opened
+    unbuffered, so everything written before the crash has reached the
+    OS, and nothing else has).
+    """
+
+
+@dataclass
+class _Armed:
+    action: str
+    after: int = 0       #: skip this many hits before triggering
+    hard: bool = False   #: crash via os._exit instead of SimulatedCrash
+    hits: int = field(default=0)
+
+
+_declared: dict[str, str] = {}
+_armed: dict[str, _Armed] = {}
+
+
+def declare(name: str, doc: str = "") -> str:
+    """Register a failpoint name (idempotent); returns the name.
+
+    Sites call this at import time so harnesses can enumerate every
+    point without executing the code paths first.
+    """
+    _declared.setdefault(name, doc)
+    return name
+
+
+def names() -> tuple[str, ...]:
+    """Every declared failpoint name, in declaration order."""
+    return tuple(_declared)
+
+
+def arm(name: str, action: str = "crash", *, after: int = 0,
+        hard: bool = False) -> None:
+    """Arm *name* to fail with *action* on its next (``after``-th) hit.
+
+    Raises:
+        FailpointError: for undeclared names or unknown actions.
+    """
+    global ACTIVE
+    if name not in _declared:
+        raise FailpointError(f"unknown failpoint {name!r}; "
+                             f"declared: {', '.join(_declared) or 'none'}")
+    if action not in _ACTIONS:
+        raise FailpointError(f"unknown action {action!r}; "
+                             f"choose from {_ACTIONS}")
+    _armed[name] = _Armed(action=action, after=after, hard=hard)
+    ACTIVE = True
+
+
+def disarm(name: str) -> None:
+    """Disarm *name* (no-op when not armed)."""
+    global ACTIVE
+    _armed.pop(name, None)
+    ACTIVE = bool(_armed)
+
+
+def reset() -> None:
+    """Disarm every failpoint."""
+    global ACTIVE
+    _armed.clear()
+    ACTIVE = False
+
+
+def is_armed(name: str) -> bool:
+    return name in _armed
+
+
+def crash(name: str) -> None:
+    """Die now, honouring the *hard* flag *name* was armed with.
+
+    A crash is one-shot: the process it models is dead, so a soft
+    (in-process) crash disarms the point — the test that caught the
+    :class:`SimulatedCrash` can reopen and recover without the same
+    point firing again.
+    """
+    state = _armed.get(name)
+    if state is not None and state.hard:
+        os._exit(CRASH_EXIT_CODE)
+    disarm(name)
+    raise SimulatedCrash(name)
+
+
+def hit(name: str) -> Optional[str]:
+    """Evaluate failpoint *name* at its site.
+
+    Returns ``None`` when the point is not armed (the overwhelmingly
+    common case) or still within its ``after`` budget.  Raises
+    :class:`InjectedFault` for ``"error"``, crashes for ``"crash"``, and
+    returns ``"torn"`` for torn-write points — the site then performs
+    its partial write and calls :func:`crash`.
+    """
+    state = _armed.get(name)
+    if state is None:
+        return None
+    state.hits += 1
+    if state.hits <= state.after:
+        return None
+    if obs.ENABLED:
+        obs.active().bump("storage.failpoints.triggered")
+    if state.action == "error":
+        disarm(name)  # one-shot: the caller may retry and succeed
+        raise InjectedFault(f"injected I/O error at {name!r}")
+    if state.action == "crash":
+        crash(name)
+    return "torn"
+
+
+def _arm_from_env() -> None:
+    spec = os.environ.get("REPRO_FAILPOINTS", "")
+    for part in filter(None, (p.strip() for p in spec.split(","))):
+        name, _, rhs = part.partition("=")
+        action, *mods = rhs.split(":") if rhs else ("crash",)
+        after, hard = 0, False
+        for mod in mods:
+            if mod == "hard":
+                hard = True
+            elif mod.startswith("after="):
+                after = int(mod[len("after="):])
+        # Declare on the fly: env arming may precede site imports.
+        declare(name, "(armed from REPRO_FAILPOINTS)")
+        arm(name, action, after=after, hard=hard)
+
+
+_arm_from_env()

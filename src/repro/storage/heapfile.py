@@ -48,6 +48,11 @@ class HeapFile:
         path: backing file.
         page_size: pager page size; records must fit one page.
         buffer_capacity: buffer pool frames.
+        wal_path: attach a write-ahead log at this path; page writes are
+            then staged and made durable by :meth:`commit`.  Committed
+            work missing from the data file is replayed on open (see
+            :mod:`repro.storage.wal`), reported via :attr:`recovered`.
+        wal_sync: commit durability mode, ``"fsync"`` or ``"none"``.
 
     The free-space map is kept in memory and rebuilt on open by scanning
     the page directory — acceptable for the "relatively static" databases
@@ -55,13 +60,22 @@ class HeapFile:
     """
 
     def __init__(self, path: str, page_size: int = PAGE_SIZE,
-                 buffer_capacity: int = 64):
-        self.pager = Pager(path, page_size=page_size)
+                 buffer_capacity: int = 64,
+                 wal_path: Optional[str] = None, wal_sync: str = "fsync",
+                 checkpoint_bytes: int = 4 * 1024 * 1024):
+        self.pager = Pager(path, page_size=page_size, wal_path=wal_path,
+                           wal_sync=wal_sync,
+                           checkpoint_bytes=checkpoint_bytes)
         self.pool = BufferPool(self.pager, capacity=buffer_capacity)
         self._payload_size = page_size - 8  # pager page prefix
         self._pages: list[int] = []
         self._free_space: dict[int, int] = {}
         self._scan_existing()
+
+    @property
+    def recovered(self) -> bool:
+        """True when opening this file replayed committed WAL work."""
+        return self.pager.recovered_pages > 0
 
     # -- capacity ------------------------------------------------------------
 
@@ -237,6 +251,17 @@ class HeapFile:
         return mapping
 
     # -- lifecycle ------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Push dirty pool pages into the pager and commit them to the WAL.
+
+        This is the acknowledgement point for durable callers: once it
+        returns, the mutation survives ``kill -9``.  Without a WAL it
+        degrades to a buffer-pool writeback (no fsync) — the historical
+        behaviour.
+        """
+        self.pool.flush()
+        self.pager.commit()
 
     def flush(self) -> None:
         self.pool.flush()

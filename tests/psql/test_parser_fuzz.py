@@ -1,17 +1,21 @@
-"""Fuzz tests: the parser must fail cleanly, never crash.
+"""Fuzz tests: the parser and executor must fail cleanly, never crash.
 
 Whatever bytes arrive, the only acceptable outcomes are a parsed Query
 or a PsqlSyntaxError — no IndexError, RecursionError (at sane depths),
-or other internal exceptions leaking to callers.
+or other internal exceptions leaking to callers.  One level up, the
+executor gets the same contract against a live database: a result or a
+PsqlError subclass, nothing else.
 """
 
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.psql import PsqlSyntaxError, parse
 from repro.psql import ast
+from repro.psql.errors import PsqlError
+from repro.psql.executor import execute
 from repro.psql.format import format_query
-from repro.psql.lexer import tokenize
+from repro.psql.lexer import KEYWORDS, _SYMBOLS, tokenize
 
 printable = st.text(
     alphabet=st.characters(min_codepoint=32, max_codepoint=126),
@@ -21,6 +25,17 @@ query_shaped = st.text(
     alphabet=st.sampled_from(list("select from where on at loc covered-by "
                                   "{}()±.,<>='0123456789 \n")),
     max_size=120)
+
+# Token soup: sequences of *valid* lexemes in invalid orders.  This digs
+# past the lexer into the parser's state machine — every token is one it
+# genuinely produces, so the recovery paths under test are the grammar's,
+# not the tokenizer's.
+LEXEMES = (sorted(KEYWORDS) + list(_SYMBOLS) +
+           ["cities", "states", "lakes", "loc", "population", "hwy-name",
+            "covered-by", "nearest", "us-map", "pop", "0", "1", "3.5",
+            "42", "'x'", "'new york'", "*"])
+
+token_soup = st.lists(st.sampled_from(LEXEMES), max_size=40).map(" ".join)
 
 
 @given(printable)
@@ -62,3 +77,41 @@ def test_anything_parseable_roundtrips_through_formatter(text):
         return
     rendered = format_query(query)
     assert parse(rendered) == query
+
+
+@given(token_soup)
+@settings(max_examples=300, deadline=None)
+def test_token_soup_never_crashes_parser(text):
+    try:
+        query = parse(text)
+        assert isinstance(query, ast.Query)
+    except PsqlSyntaxError:
+        pass
+
+
+@given(token_soup)
+@settings(max_examples=120, deadline=None)
+def test_token_soup_roundtrips_through_formatter(text):
+    try:
+        query = parse(text)
+    except PsqlSyntaxError:
+        return
+    assert parse(format_query(query)) == query
+
+
+@given(token_soup)
+@settings(max_examples=150, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_executor_only_raises_psql_errors(map_database, text):
+    """End to end against a live database: result or PsqlError, period.
+
+    The soup is built from the fixture's real relation and column names,
+    so a meaningful fraction of examples survive parsing and exercise
+    binding, planning and evaluation — where non-PsqlError leaks
+    (KeyError on a missing column, TypeError on a mixed comparison)
+    would actually live.
+    """
+    try:
+        execute(map_database, text)
+    except PsqlError:
+        pass

@@ -132,3 +132,74 @@ class TestPersistentRelation:
         addr = lakes.insert({"lake": "Tri", "loc": region})
         assert lakes.get(addr)["loc"].area() == pytest.approx(region.area())
         lakes.close()
+
+
+class TestDurability:
+    """Crash-safety at the relation level: acknowledged means durable."""
+
+    def _open(self, tmp_path, **kw):
+        kw.setdefault("wal_sync", "none")
+        return PersistentRelation("cities", CITY_SCHEMA,
+                                  str(tmp_path / "cities.db"), **kw)
+
+    def test_acknowledged_insert_survives_crash(self, tmp_path):
+        rel = self._open(tmp_path)
+        addr = rel.insert({"city": "Keeper", "population": 1,
+                           "loc": Point(1, 1)})
+        del rel  # crash: handles abandoned, never closed
+        reopened = self._open(tmp_path)
+        assert reopened.get(addr)["city"] == "Keeper"
+        reopened.close()
+
+    def test_acknowledged_delete_survives_crash(self, tmp_path):
+        rel = self._open(tmp_path)
+        addr = rel.insert({"city": "Goner", "population": 2,
+                           "loc": Point(2, 2)})
+        rel.delete(addr)
+        del rel
+        reopened = self._open(tmp_path)
+        assert len(reopened) == 0
+        reopened.close()
+
+    def test_crash_mid_commit_recovers_and_flags(self, tmp_path):
+        from repro.storage import failpoints
+        from repro.storage.failpoints import SimulatedCrash
+        failpoints.reset()
+        rel = self._open(tmp_path)
+        failpoints.arm("wal.commit.after-sync", "crash")
+        with pytest.raises(SimulatedCrash):
+            rel.insert({"city": "InFlight", "population": 3,
+                        "loc": Point(3, 3)})
+        failpoints.reset()
+        del rel
+        reopened = self._open(tmp_path)
+        assert reopened.recovered  # replayed the committed WAL tail
+        assert [r["city"] for _a, r in reopened.rows()] == ["InFlight"]
+        reopened.close()
+
+    def test_recovered_relation_bumps_database_generation(self, tmp_path):
+        from repro.relational.catalog import Database
+        from repro.storage import failpoints
+        from repro.storage.failpoints import SimulatedCrash
+        failpoints.reset()
+        rel = self._open(tmp_path)
+        failpoints.arm("wal.commit.after-sync", "crash")
+        with pytest.raises(SimulatedCrash):
+            rel.insert({"city": "X", "population": 4, "loc": Point(4, 4)})
+        failpoints.reset()
+        del rel
+        db = Database()
+        before = db.generation
+        db.attach_relation(self._open(tmp_path))
+        assert db.generation == before + 1  # cached results are now stale
+        db.relation("cities").close()
+
+    def test_non_durable_mode_has_no_wal(self, tmp_path):
+        import os
+        rel = self._open(tmp_path, durable=False)
+        rel.insert({"city": "Fast", "population": 5, "loc": Point(5, 5)})
+        assert not os.path.exists(str(tmp_path / "cities.db.wal"))
+        rel.close()
+        reopened = self._open(tmp_path, durable=False)
+        assert len(reopened) == 1  # clean close still persists
+        reopened.close()

@@ -306,3 +306,40 @@ class TestGracefulShutdown:
         assert "r" in result
         assert result["r"].ok
         assert result["r"].rows == [("400",)]
+
+
+def faulty_session_factory(db):
+    """Sessions with a function that raises a storage-layer fault."""
+    from repro.storage.failpoints import InjectedFault
+    session = Session(db)
+
+    def bad_disk(x):
+        raise InjectedFault("injected I/O error at test.server")
+
+    session.functions.register("bad-disk", bad_disk)
+    return session
+
+
+class TestIOFaultHandling:
+    """Storage faults become graceful ERR frames, never dead workers."""
+
+    @pytest.fixture()
+    def faulty_server(self, map_database):
+        srv = PsqlServer(ServerConfig(port=0, workers=2), db=map_database,
+                         session_factory=faulty_session_factory)
+        srv.start_background()
+        yield srv
+        srv.stop_background()
+
+    def test_storage_fault_is_framed_and_counted(self, faulty_server):
+        host, port = _addr(faulty_server)
+        with Client(host, port) as client:
+            r = client.query("select bad-disk(population) from cities")
+            assert r.status == "error"
+            assert r.error_kind == "InjectedFault"
+            # The connection and the worker both survive.
+            assert client.ping()
+            assert client.query("select city from cities").ok
+            stats = client.stats()
+        assert stats["server.io_errors"] >= 1
+        assert stats["server.queries"] >= 2

@@ -1,0 +1,136 @@
+"""Crash matrix: kill a real process at every storage failpoint.
+
+For each registered WAL/pager failpoint the test forks a child that
+arms the point *hard* (``os._exit`` at the site — no Python cleanup, no
+atexit, no buffered flushes) and runs the shared workload, recording
+each acknowledged op as one byte in a side file written with
+``os.write``.  The parent reaps the child, reopens the database, and
+asserts the recovered state equals the oracle at exactly the
+acknowledged prefix — or one past it, for the single op that was in
+flight.  All files on the commit path are unbuffered, so this is as
+close to ``kill -9`` as a same-machine test can get (only power loss is
+out of reach).
+"""
+
+import os
+
+import pytest
+
+from repro.storage import failpoints
+from repro.storage.failpoints import CRASH_EXIT_CODE
+
+from tests.storage.walharness import (
+    assert_consistent,
+    expected_ids,
+    make_ops,
+    open_relation,
+    recovered_ids,
+)
+
+OPS = make_ops(60, seed=1234)
+
+# Every storage failpoint, each with the action that exercises it and a
+# hit budget so a few operations succeed before the crash.  wal.recover
+# needs a crashed database to recover *from* and gets its own test.
+MATRIX = [
+    ("wal.append", "crash", 7),
+    ("wal.append.torn", "torn", 7),
+    ("wal.commit.before-sync", "crash", 5),
+    ("wal.commit.after-sync", "crash", 5),
+    ("wal.apply", "crash", 7),
+    ("wal.apply.torn", "torn", 7),
+    ("wal.checkpoint", "crash", 2),
+]
+
+
+def test_matrix_covers_all_storage_failpoints():
+    """A new failpoint must be added to the matrix (or justified here)."""
+    storage_points = {n for n in failpoints.names() if n.startswith("wal.")}
+    covered = {name for name, _a, _b in MATRIX} | {"wal.recover"}
+    assert storage_points == covered
+
+
+def _spawn_workload(db, ack_path, arm_specs, ops=OPS, **open_kwargs):
+    """Fork a child that runs *ops* with *arm_specs* armed hard.
+
+    Returns (exit_code, acked_count).  The child exits 0 on a clean
+    complete run, CRASH_EXIT_CODE when a failpoint killed it, 1 on any
+    unexpected error.
+    """
+    pid = os.fork()
+    if pid == 0:  # child — must never return into pytest
+        try:
+            fd = os.open(ack_path, os.O_CREAT | os.O_WRONLY | os.O_TRUNC)
+            for name, action, after in arm_specs:
+                failpoints.arm(name, action, after=after, hard=True)
+            from tests.storage.walharness import open_relation, run_ops
+            rel = open_relation(db, wal_sync="none", **open_kwargs)
+            run_ops(rel, ops, on_ack=lambda i: os.write(fd, b"\x01"))
+            rel.close()
+            os._exit(0)
+        except BaseException:
+            os._exit(1)
+    _, status = os.waitpid(pid, 0)
+    code = os.waitstatus_to_exitcode(status)
+    acked = os.path.getsize(ack_path) if os.path.exists(ack_path) else 0
+    return code, acked
+
+
+@pytest.mark.parametrize("point,action,after",
+                         MATRIX, ids=[m[0] for m in MATRIX])
+def test_crash_at_failpoint_recovers_acknowledged_prefix(
+        tmp_path, point, action, after):
+    db = str(tmp_path / "rel.db")
+    ack = str(tmp_path / "acks")
+    kwargs = {}
+    if point == "wal.checkpoint":
+        kwargs["checkpoint_bytes"] = 2048  # force checkpoints to happen
+
+    code, k = _spawn_workload(db, ack, [(point, action, after)], **kwargs)
+    assert code == CRASH_EXIT_CODE, \
+        f"child exited {code}; failpoint {point} never fired"
+    assert k < len(OPS)
+
+    rel = open_relation(db, wal_sync="none")
+    got = recovered_ids(rel)
+    assert got in (expected_ids(OPS, k), expected_ids(OPS, k + 1)), (
+        f"recovered state matches neither {k} nor {k + 1} acked ops "
+        f"after hard crash at {point}")
+    assert_consistent(rel)
+    rel.close()
+
+
+def test_crash_during_recovery_then_recover_again(tmp_path):
+    """wal.recover: die mid-recovery, then recover successfully."""
+    db = str(tmp_path / "rel.db")
+    ack = str(tmp_path / "acks")
+
+    # Child A dies after the WAL fsync but before applying to the data
+    # file — guaranteeing the next open has real replay work to do.
+    code, k = _spawn_workload(
+        db, ack, [("wal.commit.after-sync", "crash", 8)])
+    assert code == CRASH_EXIT_CODE
+
+    # Child B dies *inside* that replay.
+    code_b, _ = _spawn_workload(
+        db, str(tmp_path / "acks-b"), [("wal.recover", "crash", 0)])
+    assert code_b == CRASH_EXIT_CODE, \
+        "recovery found no work despite a post-sync crash"
+
+    # Third open must replay idempotently and land on the contract.
+    rel = open_relation(db, wal_sync="none")
+    assert rel.recovered
+    got = recovered_ids(rel)
+    assert got in (expected_ids(OPS, k), expected_ids(OPS, k + 1))
+    assert_consistent(rel)
+    rel.close()
+
+
+def test_clean_child_run_is_exit_zero(tmp_path):
+    """Sanity: with nothing armed the child completes and exits 0."""
+    db = str(tmp_path / "rel.db")
+    code, k = _spawn_workload(db, str(tmp_path / "acks"), [])
+    assert code == 0 and k == len(OPS)
+    rel = open_relation(db, wal_sync="none")
+    assert recovered_ids(rel) == expected_ids(OPS, len(OPS))
+    rel.close()

@@ -1,0 +1,111 @@
+"""Unit tests for the named fault-injection layer."""
+
+import pytest
+
+from repro.storage import failpoints
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    failpoints.reset()
+    yield
+    failpoints.reset()
+
+
+def test_declare_is_idempotent_and_enumerable():
+    name = failpoints.declare("test.point", "doc")
+    failpoints.declare("test.point", "other doc")
+    assert name == "test.point"
+    assert "test.point" in failpoints.names()
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(failpoints.FailpointError):
+        failpoints.arm("no.such.point")
+
+
+def test_unknown_action_rejected():
+    failpoints.declare("test.action")
+    with pytest.raises(failpoints.FailpointError):
+        failpoints.arm("test.action", "explode")
+
+
+def test_unarmed_hit_is_noop():
+    failpoints.declare("test.noop")
+    assert failpoints.hit("test.noop") is None
+    assert not failpoints.ACTIVE
+
+
+def test_error_action_raises_once_then_disarms():
+    failpoints.declare("test.err")
+    failpoints.arm("test.err", "error")
+    with pytest.raises(failpoints.InjectedFault):
+        failpoints.hit("test.err")
+    # One-shot: the retry path succeeds.
+    assert failpoints.hit("test.err") is None
+
+
+def test_crash_action_raises_simulated_crash():
+    failpoints.declare("test.crash")
+    failpoints.arm("test.crash", "crash")
+    with pytest.raises(failpoints.SimulatedCrash):
+        failpoints.hit("test.crash")
+
+
+def test_simulated_crash_not_catchable_as_exception():
+    failpoints.declare("test.base")
+    failpoints.arm("test.base", "crash")
+    with pytest.raises(failpoints.SimulatedCrash):
+        try:
+            failpoints.hit("test.base")
+        except Exception:  # noqa: BLE001 - the point of the test
+            pytest.fail("SimulatedCrash must not be swallowed "
+                        "by 'except Exception'")
+
+
+def test_after_budget_skips_hits():
+    failpoints.declare("test.after")
+    failpoints.arm("test.after", "crash", after=2)
+    assert failpoints.hit("test.after") is None
+    assert failpoints.hit("test.after") is None
+    with pytest.raises(failpoints.SimulatedCrash):
+        failpoints.hit("test.after")
+
+
+def test_torn_action_returns_marker():
+    failpoints.declare("test.torn")
+    failpoints.arm("test.torn", "torn")
+    assert failpoints.hit("test.torn") == "torn"
+    with pytest.raises(failpoints.SimulatedCrash):
+        failpoints.crash("test.torn")
+
+
+def test_disarm_and_reset_clear_active_flag():
+    failpoints.declare("test.a")
+    failpoints.declare("test.b")
+    failpoints.arm("test.a")
+    failpoints.arm("test.b")
+    failpoints.disarm("test.a")
+    assert failpoints.ACTIVE          # test.b still armed
+    failpoints.reset()
+    assert not failpoints.ACTIVE
+    assert not failpoints.is_armed("test.b")
+
+
+def test_env_spec_parsing(monkeypatch):
+    monkeypatch.setenv("REPRO_FAILPOINTS",
+                       "test.env.a=error, test.env.b=crash:hard:after=3")
+    failpoints._arm_from_env()
+    assert failpoints.is_armed("test.env.a")
+    assert failpoints.is_armed("test.env.b")
+    state = failpoints._armed["test.env.b"]
+    assert state.hard and state.after == 3
+
+
+def test_storage_failpoints_are_declared():
+    """The pager/WAL sites the crash matrix iterates must all exist."""
+    declared = set(failpoints.names())
+    expected = {"wal.append", "wal.append.torn", "wal.recover",
+                "wal.commit.before-sync", "wal.commit.after-sync",
+                "wal.apply", "wal.apply.torn", "wal.checkpoint"}
+    assert expected <= declared

@@ -158,6 +158,22 @@ def test_bad_addresses_rejected(heap):
         heap.get(RowAddress(page=1, slot=57))
 
 
+def test_bad_addresses_rejected_on_delete_and_update(heap):
+    """Mutation paths get the same typed validation as reads — a bad
+    page number must never reach the pager's free list or write path."""
+    addr = heap.insert(b"x")
+    with pytest.raises(HeapFileError):
+        heap.delete(RowAddress(page=99, slot=0))
+    with pytest.raises(HeapFileError):
+        heap.delete(RowAddress(page=0, slot=0))  # pager header page
+    with pytest.raises(HeapFileError):
+        heap.update(RowAddress(page=99, slot=0), b"y")
+    heap.delete(addr)
+    with pytest.raises(HeapFileError):
+        heap.delete(addr)  # double delete is typed, not corrupting
+    assert heap.get(heap.insert(b"still fine")) == b"still fine"
+
+
 @given(st.lists(st.binary(min_size=0, max_size=80), max_size=60))
 @settings(max_examples=40, deadline=None)
 def test_property_roundtrip(tmp_path_factory, records):

@@ -4,7 +4,8 @@ import os
 
 import pytest
 
-from repro.storage.pager import CorruptPageError, Pager, PagerError
+from repro.storage.pager import (CorruptPageError, InvalidPageError,
+                                 Pager, PagerError)
 
 
 @pytest.fixture()
@@ -135,3 +136,27 @@ def test_close_is_idempotent(tmp_path):
     p = Pager(tmp_path / "close.db", page_size=512)
     p.close()
     p.close()
+
+
+def test_invalid_page_error_is_a_pager_error():
+    """Callers catching PagerError must keep working unchanged."""
+    assert issubclass(InvalidPageError, PagerError)
+
+
+def test_free_rejects_header_and_out_of_range(pager):
+    with pytest.raises(InvalidPageError):
+        pager.free(0)
+    with pytest.raises(InvalidPageError):
+        pager.free(pager.page_count)
+    with pytest.raises(InvalidPageError):
+        pager.free(-3)
+
+
+def test_double_free_rejected(pager):
+    page = pager.allocate()
+    pager.free(page)
+    with pytest.raises(InvalidPageError):
+        pager.free(page)
+    # The free list is intact: the page comes back exactly once.
+    assert pager.allocate() == page
+    assert pager.allocate() == page + 1
