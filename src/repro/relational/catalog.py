@@ -22,6 +22,17 @@ from repro.rtree.repack import RepackResult, local_repack
 from repro.rtree.tree import RTree
 
 
+def index_items(relation: Relation, column: str,
+                ) -> Iterator[tuple[Rect, RowId]]:
+    """Stream ``(MBR, row id)`` index entries for *relation.column*.
+
+    A generator on purpose: the out-of-core bulk loader consumes it
+    lazily, so building a disk index never materialises the entry list.
+    """
+    for rid, row in relation.rows():
+        yield mbr_of_value(row[column]), rid
+
+
 def mbr_of_value(value: Any) -> Rect:
     """The MBR of a pictorial domain value (point / segment / region).
 
@@ -50,8 +61,9 @@ class Picture:
     def __init__(self, name: str, universe: Rect):
         self.name = name
         self.universe = universe
-        # (relation name, column name) -> R-tree of (mbr, row id)
-        self._indexes: dict[tuple[str, str], RTree] = {}
+        # (relation name, column name) -> index of (mbr, row id): an
+        # in-memory RTree or a disk-backed DiskSpatialIndex.
+        self._indexes: dict[tuple[str, str], Any] = {}
 
     def register(self, relation: Relation, column: str,
                  max_entries: int = 16, method: str = "nn") -> RTree:
@@ -73,6 +85,35 @@ class Picture:
         tree = pack(items, max_entries=max_entries, method=method)
         self._indexes[(relation.name, column)] = tree
         return tree
+
+    def register_disk(self, relation: Relation, column: str, path: str,
+                      max_entries: Optional[int] = None,
+                      method: str = "hilbert", run_size: int = 100_000,
+                      workers: int = 0, **tree_kwargs):
+        """Build a disk-backed index over *relation.column* at *path*.
+
+        The out-of-core counterpart of :meth:`register`: entries stream
+        through :mod:`repro.rtree.bulkload` into a
+        :class:`~repro.relational.diskindex.DiskSpatialIndex`, so the
+        index can exceed memory.  It is also the only index kind the
+        server's ``REPACK`` offline rebuild applies to non-trivially
+        (see :meth:`Database.rebuild_index`).
+
+        Raises:
+            SchemaError: when the column is not pictorial.
+        """
+        from repro.relational.diskindex import DiskSpatialIndex
+
+        col = relation.column(column)
+        if not col.is_pictorial:
+            raise SchemaError(
+                f"column {column!r} of {relation.name!r} is not pictorial")
+        index = DiskSpatialIndex(path, max_entries=max_entries,
+                                 **tree_kwargs)
+        index.load(index_items(relation, column), method=method,
+                   run_size=run_size, workers=workers)
+        self._indexes[(relation.name, column)] = index
+        return index
 
     def index(self, relation_name: str, column: str = "loc") -> RTree:
         """The R-tree for (relation, column).
@@ -316,6 +357,40 @@ class Database:
                               distance=distance)
         self._generation += 1
         return result
+
+    def rebuild_index(self, picture_name: str, relation_name: str,
+                      column: str = "loc", method: Optional[str] = None,
+                      run_size: int = 100_000, workers: int = 0) -> int:
+        """Offline rebuild of one picture index from its relation.
+
+        This is the ``REPACK`` verb's engine.  For a disk-backed
+        :class:`~repro.relational.diskindex.DiskSpatialIndex` the
+        relation streams through the out-of-core bulk loader into a
+        fresh file which is atomically swapped under the live tree — a
+        crash mid-rebuild leaves the old index readable.  For an
+        in-memory index the tree is simply re-PACKed.  Either way the
+        data generation is bumped so the server's result cache drops
+        everything derived from the old structure.
+
+        Returns the number of entries in the rebuilt index.
+        """
+        from repro.relational.diskindex import DiskSpatialIndex
+
+        picture = self.picture(picture_name)
+        index = picture.index(relation_name, column)
+        relation = self.relation(relation_name)
+        items = index_items(relation, column)
+        if isinstance(index, DiskSpatialIndex):
+            index.rebuild(items, method=method or "hilbert",
+                          run_size=run_size, workers=workers)
+            count = len(index)
+        else:
+            tree = pack(list(items), max_entries=index.max_entries,
+                        method=method or "nn")
+            picture._indexes[(relation_name, column)] = tree
+            count = len(tree)
+        self._generation += 1
+        return count
 
     def spatial_search(self, picture_name: str, relation_name: str,
                        window: Rect, column: str = "loc",

@@ -1,0 +1,517 @@
+"""Out-of-core bulk loading: external sort + streaming pack for DiskRTree.
+
+:meth:`DiskRTree.bulk_load` materialises every entry in memory before
+packing — fine for Table 1's 900 points, fatal for the millions of
+objects the roadmap targets.  This module is the external-memory
+counterpart of :mod:`repro.rtree.packing`: a three-phase pipeline whose
+resident set is bounded by ``run_size`` items no matter how large the
+input is.
+
+1. **Spill** — stream the ``(rect, oid)`` items, writing fixed-size
+   *raw runs* to disk while tracking the global MBR and count.
+2. **Sort** — turn each raw run into a sorted run under a configurable
+   spatial sort key (``hilbert`` — Kamel & Faloutsos packing order,
+   ``lowx`` — the paper's ascending-x remark, ``str`` — Sort-Tile
+   slabs).  Runs are independent, so this phase optionally fans out to
+   worker processes.
+3. **Merge + pack** — k-way merge the sorted runs and stream fully
+   packed leaf pages straight into the tree through the pager
+   (sequential page writes, the construction-cost advantage PACK has in
+   practice).  Each level's ``(MBR, child page)`` entries are spilled
+   to a level file and packed the same way until a single root remains.
+
+The module also provides the offline-rebuild primitive behind the
+server's ``REPACK`` verb: :func:`build_tree_file` constructs a fresh
+tree *beside* the live one and :func:`swap_tree_file` atomically
+replaces it with ``os.replace``.  Two failpoints bracket the swap so the
+crash-safety contract — a crash at any instant leaves a readable tree —
+is testable with :mod:`repro.storage.failpoints`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import os
+import struct
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro import obs
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.rtree.hilbert import hilbert_key
+from repro.storage import failpoints
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import PAGE_SIZE, Pager
+from repro.storage.serial import NodeRecord, serialize_node
+
+__all__ = [
+    "SORT_KEYS",
+    "BulkLoadStats",
+    "build_tree_file",
+    "bulk_load_stream",
+    "rebuild_tree_file",
+    "swap_tree_file",
+]
+
+#: One item on disk: x1, y1, x2, y2, oid (raw runs and level files —
+#: for level files the "oid" slot holds the child page number).
+_RAW_FMT = "<ddddQ"
+#: A sorted-run record: the (k1, k2) sort key prefix, then the raw item.
+_KEYED_FMT = "<ddddddQ"
+#: Records per buffered read/write when streaming run files.
+_IO_BATCH = 2048
+
+#: Supported external sort keys.
+SORT_KEYS = ("hilbert", "lowx", "str")
+
+FP_SWAP_BEFORE = failpoints.declare(
+    "bulkload.swap.before-replace",
+    "fresh tree fully built and closed, live file not yet replaced "
+    "(a crash must leave the old tree intact)")
+FP_SWAP_AFTER = failpoints.declare(
+    "bulkload.swap.after-replace",
+    "live file already replaced by the fresh tree "
+    "(a crash must leave the new tree readable)")
+
+
+@dataclass(frozen=True)
+class BulkLoadStats:
+    """What one out-of-core bulk load did."""
+
+    items: int           #: data objects loaded
+    runs: int            #: sorted runs spilled to disk
+    levels: int          #: tree levels built (1 = root-only)
+    nodes_written: int   #: node pages emitted, root included
+
+    @property
+    def height(self) -> int:
+        """Edges from the root to the leaves."""
+        return max(0, self.levels - 1)
+
+
+@dataclass(frozen=True)
+class _SortSpec:
+    """Everything a (possibly remote) sort worker needs — plain data."""
+
+    method: str
+    universe: tuple[float, float, float, float]
+    slab_count: int      #: STR vertical strips; 0 for other methods
+    hilbert_order: int
+
+
+# ---------------------------------------------------------------------------
+# Run-file I/O
+# ---------------------------------------------------------------------------
+
+
+def _write_records(path: str, fmt: str, records: Iterable[tuple]) -> int:
+    """Append-write *records* to *path*; returns how many were written."""
+    pack = struct.Struct(fmt).pack
+    count = 0
+    with open(path, "wb") as f:
+        buf: list[bytes] = []
+        for rec in records:
+            buf.append(pack(*rec))
+            count += 1
+            if len(buf) >= _IO_BATCH:
+                f.write(b"".join(buf))
+                buf.clear()
+        if buf:
+            f.write(b"".join(buf))
+    return count
+
+
+def _read_records(path: str, fmt: str) -> Iterator[tuple]:
+    """Stream the records of one run file in bounded-size batches."""
+    s = struct.Struct(fmt)
+    batch = s.size * _IO_BATCH
+    with open(path, "rb") as f:
+        while True:
+            chunk = f.read(batch)
+            if not chunk:
+                return
+            if len(chunk) % s.size:
+                raise ValueError(f"run file {path!r} is truncated")
+            yield from s.iter_unpack(chunk)
+
+
+# ---------------------------------------------------------------------------
+# Phase 1: spill raw runs
+# ---------------------------------------------------------------------------
+
+
+def _spill_runs(items: Iterable[tuple[Rect, int]], run_dir: str,
+                run_size: int,
+                ) -> tuple[list[str], int, tuple[float, float, float, float]]:
+    """Write raw runs of at most *run_size* items; track count + universe."""
+    paths: list[str] = []
+    count = 0
+    ux1 = uy1 = math.inf
+    ux2 = uy2 = -math.inf
+    buf: list[tuple[float, float, float, float, int]] = []
+
+    def flush() -> None:
+        if not buf:
+            return
+        path = os.path.join(run_dir, f"run{len(paths):06d}.raw")
+        _write_records(path, _RAW_FMT, buf)
+        paths.append(path)
+        buf.clear()
+
+    for rect, oid in items:
+        oid = int(oid)
+        if oid < 0:
+            raise ValueError("object ids must be non-negative integers")
+        if not rect.is_valid():
+            raise ValueError(f"invalid rectangle {rect!r}")
+        buf.append((rect.x1, rect.y1, rect.x2, rect.y2, oid))
+        count += 1
+        if rect.x1 < ux1:
+            ux1 = rect.x1
+        if rect.y1 < uy1:
+            uy1 = rect.y1
+        if rect.x2 > ux2:
+            ux2 = rect.x2
+        if rect.y2 > uy2:
+            uy2 = rect.y2
+        if len(buf) >= run_size:
+            flush()
+    flush()
+    return paths, count, (ux1, uy1, ux2, uy2)
+
+
+# ---------------------------------------------------------------------------
+# Phase 2: sort runs (optionally in worker processes)
+# ---------------------------------------------------------------------------
+
+
+def _key_fn(spec: _SortSpec) -> Callable[[tuple], tuple[float, float]]:
+    """The (k1, k2) sort key for one raw record under *spec*."""
+    ux1, uy1, ux2, uy2 = spec.universe
+    if spec.method == "hilbert":
+        universe = Rect(ux1, uy1, ux2, uy2)
+        order = spec.hilbert_order
+
+        def key(rec: tuple) -> tuple[float, float]:
+            center = Point((rec[0] + rec[2]) / 2.0, (rec[1] + rec[3]) / 2.0)
+            return (float(hilbert_key(center, universe, order)), 0.0)
+
+        return key
+    if spec.method == "lowx":
+
+        def key(rec: tuple) -> tuple[float, float]:
+            return ((rec[0] + rec[2]) / 2.0, (rec[1] + rec[3]) / 2.0)
+
+        return key
+    if spec.method == "str":
+        # Coordinate-based vertical strips (tile variant of STR: the
+        # slab boundary is a fraction of the universe, not a rank, so
+        # the key is computable without a first global sort).
+        slabs = max(1, spec.slab_count)
+        width = max(ux2 - ux1, 1e-300)
+
+        def key(rec: tuple) -> tuple[float, float]:
+            cx = (rec[0] + rec[2]) / 2.0
+            cy = (rec[1] + rec[3]) / 2.0
+            slab = min(slabs - 1, max(0, int((cx - ux1) / width * slabs)))
+            return (float(slab), cy)
+
+        return key
+    raise KeyError(f"unknown bulk-load sort key {spec.method!r}; "
+                   f"choose from {sorted(SORT_KEYS)}")
+
+
+def _sort_run_task(raw_path: str, sorted_path: str, spec: _SortSpec) -> int:
+    """Sort one raw run into a keyed run file (runs in worker processes).
+
+    The full record participates in the sort after the key, so ties are
+    broken identically no matter how items were distributed over runs.
+    """
+    key = _key_fn(spec)
+    records = [key(rec) + rec for rec in _read_records(raw_path, _RAW_FMT)]
+    records.sort()
+    n = _write_records(sorted_path, _KEYED_FMT, records)
+    os.remove(raw_path)
+    return n
+
+
+def _sort_runs(raw_paths: list[str], spec: _SortSpec,
+               workers: int) -> list[str]:
+    sorted_paths = [p + ".sorted" for p in raw_paths]
+    if workers > 1 and len(raw_paths) > 1:
+        import multiprocessing
+
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(raw_paths)),
+                mp_context=multiprocessing.get_context("spawn")) as pool:
+            list(pool.map(_sort_run_task, raw_paths, sorted_paths,
+                          [spec] * len(raw_paths)))
+    else:
+        for raw, dest in zip(raw_paths, sorted_paths):
+            _sort_run_task(raw, dest, spec)
+    return sorted_paths
+
+
+def _merge_sorted_runs(paths: list[str]) -> Iterator[tuple]:
+    """K-way merge of keyed runs; yields records in global key order."""
+    iters = [_read_records(p, _KEYED_FMT) for p in paths]
+    if len(iters) == 1:
+        return iters[0]
+    return heapq.merge(*iters)
+
+
+# ---------------------------------------------------------------------------
+# Phase 3: streaming pack into the tree
+# ---------------------------------------------------------------------------
+
+
+def _level_sizes(n: int, max_entries: int) -> list[int]:
+    """Node counts per level, leaves first, for run-packing *n* entries."""
+    sizes: list[int] = []
+    c = n
+    while c > max_entries:
+        nodes = math.ceil(c / max_entries)
+        sizes.append(nodes)
+        c = nodes
+    sizes.append(1)
+    return sizes
+
+
+class _NodeWriter:
+    """Writes node pages straight through the pager, bypassing the pool.
+
+    Pages come from one up-front :meth:`Pager.allocate_batch`, so node
+    writes land sequentially and the header is updated once.  With a WAL
+    attached, staged pages are committed every *commit_every* nodes to
+    keep the staging buffer (and therefore RSS) bounded.
+    """
+
+    def __init__(self, tree, page_iter: Iterator[int], commit_every: int):
+        self._tree = tree
+        self._pages = page_iter
+        self._commit_every = commit_every
+        self.nodes_written = 0
+
+    def write(self, group: list[tuple[float, float, float, float, int]],
+              is_leaf: bool) -> tuple[float, float, float, float, int]:
+        """Emit one packed node; returns its (MBR, page) parent entry."""
+        page_no = next(self._pages)
+        payload = serialize_node(NodeRecord(is_leaf=is_leaf,
+                                            entries=tuple(group)))
+        self._tree.pager.write_page(page_no, payload)
+        self.nodes_written += 1
+        if (self._tree.pager.wal is not None
+                and self.nodes_written % self._commit_every == 0):
+            self._tree.pager.commit()
+        x1 = min(g[0] for g in group)
+        y1 = min(g[1] for g in group)
+        x2 = max(g[2] for g in group)
+        y2 = max(g[3] for g in group)
+        return (x1, y1, x2, y2, page_no)
+
+
+def _pack_level(writer: _NodeWriter, records: Iterator[tuple],
+                max_entries: int, is_leaf: bool) -> Iterator[tuple]:
+    """Run-pack a level: chunk the ordered stream into full nodes."""
+    group: list[tuple] = []
+    for rec in records:
+        group.append(rec)
+        if len(group) == max_entries:
+            yield writer.write(group, is_leaf)
+            group = []
+    if group:
+        yield writer.write(group, is_leaf)
+
+
+def _build_from_stream(tree, leaf_records: Iterator[tuple], count: int,
+                       run_dir: str, commit_every: int) -> tuple[int, int]:
+    """Pack the ordered leaf-item stream into *tree*; returns
+    ``(levels, nodes_written)``."""
+    max_entries = tree.max_entries
+    sizes = _level_sizes(count, max_entries)
+    pages = tree.pager.allocate_batch(sum(sizes))
+    page_iter = iter(pages)
+    writer = _NodeWriter(tree, page_iter, commit_every)
+
+    current: Iterator[tuple] = leaf_records
+    current_count = count
+    is_leaf = True
+    level = 0
+    while current_count > max_entries:
+        parents = _pack_level(writer, current, max_entries, is_leaf)
+        level_path = os.path.join(run_dir, f"level{level + 1:03d}.ent")
+        current_count = _write_records(level_path, _RAW_FMT, parents)
+        current = _read_records(level_path, _RAW_FMT)
+        if obs.ENABLED:
+            obs.active().bump(f"rtree.bulkload.nodes_written.level{level}",
+                              current_count)
+        is_leaf = False
+        level += 1
+    root_entry = writer.write(list(current), is_leaf)
+    if obs.ENABLED:
+        obs.active().bump(f"rtree.bulkload.nodes_written.level{level}")
+    assert next(page_iter, None) is None, "level size precomputation drifted"
+
+    tree._root_page = root_entry[4]
+    tree._size = count
+    tree._write_meta()
+    return level + 1, writer.nodes_written
+
+
+# ---------------------------------------------------------------------------
+# The pipeline driver
+# ---------------------------------------------------------------------------
+
+
+def bulk_load_stream(tree, items: Iterable[tuple[Rect, int]], *,
+                     method: str = "hilbert", run_size: int = 100_000,
+                     workers: int = 0, tmp_dir: Optional[str] = None,
+                     hilbert_order: int = 16,
+                     commit_every: int = 1024) -> BulkLoadStats:
+    """Bulk-load *items* into the (empty) DiskRTree *tree*, out of core.
+
+    Unlike :meth:`~repro.storage.disk_rtree.DiskRTree.bulk_load`, the
+    item set is never held in memory: at most ``run_size`` items are
+    resident at any instant, regardless of input size.
+
+    Args:
+        tree: an empty :class:`~repro.storage.disk_rtree.DiskRTree`.
+        items: ``(Rect, oid)`` pairs; consumed once, lazily.
+        method: external sort key — ``"hilbert"``, ``"lowx"`` or
+            ``"str"``.
+        run_size: items per sorted run (the memory bound).
+        workers: worker processes for the sort phase; ``0``/``1`` sorts
+            in-process.
+        tmp_dir: directory for spill files (default: the system tmpdir).
+        hilbert_order: curve order for the hilbert key.
+        commit_every: WAL-attached trees commit staged pages every this
+            many node writes, bounding the staging buffer.
+
+    Returns:
+        A :class:`BulkLoadStats`.
+
+    Raises:
+        ValueError: when the tree is not empty or *run_size* < 2.
+        KeyError: for an unknown *method*.
+    """
+    if len(tree):
+        raise ValueError("bulk load requires an empty tree")
+    if run_size < 2:
+        raise ValueError("run_size must be at least 2")
+    if method not in SORT_KEYS:
+        raise KeyError(f"unknown bulk-load sort key {method!r}; "
+                       f"choose from {sorted(SORT_KEYS)}")
+    with obs.timer("rtree.bulkload.build"), \
+            tempfile.TemporaryDirectory(dir=tmp_dir,
+                                        prefix="rtree-bulkload-") as run_dir:
+        with obs.timer("rtree.bulkload.spill"):
+            raw_paths, count, universe = _spill_runs(items, run_dir, run_size)
+        if count == 0:
+            tree._write_meta()
+            return BulkLoadStats(items=0, runs=0, levels=1, nodes_written=0)
+        leaf_count = math.ceil(count / tree.max_entries)
+        spec = _SortSpec(method=method, universe=universe,
+                         slab_count=math.ceil(math.sqrt(leaf_count)),
+                         hilbert_order=hilbert_order)
+        with obs.timer("rtree.bulkload.sort"):
+            sorted_paths = _sort_runs(raw_paths, spec, workers)
+        with obs.timer("rtree.bulkload.pack"):
+            merged = _merge_sorted_runs(sorted_paths)
+            leaf_records = (rec[2:] for rec in merged)
+            levels, nodes = _build_from_stream(tree, leaf_records, count,
+                                               run_dir, commit_every)
+    tree.flush()
+    if obs.ENABLED:
+        reg = obs.active()
+        reg.bump("rtree.bulkload.builds")
+        reg.bump("rtree.bulkload.items", count)
+        reg.bump("rtree.bulkload.runs", len(raw_paths))
+        reg.bump("rtree.bulkload.nodes_written", nodes)
+        reg.trace("rtree.bulkload", method=method, items=count,
+                  runs=len(raw_paths), levels=levels, workers=workers)
+    return BulkLoadStats(items=count, runs=len(raw_paths), levels=levels,
+                         nodes_written=nodes)
+
+
+# ---------------------------------------------------------------------------
+# Offline rebuild: build beside, swap atomically
+# ---------------------------------------------------------------------------
+
+
+def build_tree_file(path: str, items: Iterable[tuple[Rect, int]], *,
+                    max_entries: Optional[int] = None,
+                    page_size: int = PAGE_SIZE,
+                    method: str = "hilbert", run_size: int = 100_000,
+                    workers: int = 0,
+                    tmp_dir: Optional[str] = None) -> BulkLoadStats:
+    """Build a fresh, closed tree file at *path* (overwriting leftovers).
+
+    The file is written without a WAL — its durability story is the
+    atomic :func:`swap_tree_file` rename, not page-level logging — and
+    is fsynced before this returns.
+    """
+    from repro.storage.disk_rtree import DiskRTree
+
+    if os.path.exists(path):
+        os.remove(path)  # a stale .rebuild from an earlier crash
+    tree = DiskRTree(path, max_entries=max_entries, page_size=page_size)
+    try:
+        stats = bulk_load_stream(tree, items, method=method,
+                                 run_size=run_size, workers=workers,
+                                 tmp_dir=tmp_dir)
+    finally:
+        tree.close()
+    return stats
+
+
+def swap_tree_file(tree, fresh_path: str) -> None:
+    """Atomically replace *tree*'s backing file with *fresh_path*.
+
+    The live pager is closed (checkpointing any WAL), the fresh file is
+    moved into place with ``os.replace``, and the tree reopens on it.
+    Crash contract: before the replace the old tree file is intact and
+    untouched; after it the new file is complete and fsynced — either
+    way the next open finds a readable tree.  The bracketing failpoints
+    :data:`FP_SWAP_BEFORE` / :data:`FP_SWAP_AFTER` let tests prove both
+    halves.
+    """
+    path = tree.pager.path
+    page_size = tree.pager.page_size
+    capacity = tree.pool.capacity
+    policy = tree.pool.policy
+    tree.pager.close()
+    if failpoints.ACTIVE:
+        failpoints.hit(FP_SWAP_BEFORE)
+    os.replace(fresh_path, path)
+    if failpoints.ACTIVE:
+        failpoints.hit(FP_SWAP_AFTER)
+    tree.pager = Pager(path, page_size=page_size,
+                       wal_path=tree._wal_path, wal_sync=tree._wal_sync)
+    tree.pool = BufferPool(tree.pager, capacity=capacity, policy=policy)
+    tree._read_meta()
+    if obs.ENABLED:
+        obs.active().bump("rtree.bulkload.swaps")
+
+
+def rebuild_tree_file(tree, items: Iterable[tuple[Rect, int]], *,
+                      method: str = "hilbert", run_size: int = 100_000,
+                      workers: int = 0,
+                      tmp_dir: Optional[str] = None) -> BulkLoadStats:
+    """Offline rebuild of *tree* from *items* with an atomic swap.
+
+    The fresh tree is built beside the live file (``<path>.rebuild``),
+    then swapped in via :func:`swap_tree_file`.  The live tree stays
+    fully readable until the swap instant.
+    """
+    fresh_path = tree.pager.path + ".rebuild"
+    stats = build_tree_file(fresh_path, items,
+                            max_entries=tree.max_entries,
+                            page_size=tree.pager.page_size,
+                            method=method, run_size=run_size,
+                            workers=workers, tmp_dir=tmp_dir)
+    swap_tree_file(tree, fresh_path)
+    return stats

@@ -153,10 +153,13 @@ class _CenterGrid:
         self._y0 = min(ys)
         width = max(max(xs) - self._x0, 1e-9)
         height = max(max(ys) - self._y0, 1e-9)
-        # Aim for ~2 entries per cell.
+        # Aim for ~2 entries per cell.  Each axis is capped by the cell
+        # budget: a degenerate point set (all centres collinear) makes
+        # the aspect ratio explode, and an uncapped sqrt(n * aspect)
+        # would build millions of columns whose ring scan never ends.
         n_cells = max(1, len(entries) // 2)
         aspect = width / height
-        self._nx = max(1, int(math.sqrt(n_cells * aspect)))
+        self._nx = min(n_cells, max(1, int(math.sqrt(n_cells * aspect))))
         self._ny = max(1, n_cells // self._nx)
         self._cw = width / self._nx
         self._ch = height / self._ny
@@ -191,14 +194,20 @@ class _CenterGrid:
                 for idx in self._cells.get((cx, cy), ()):
                     c = self._centers[idx]
                     d2 = (c.x - query.x) ** 2 + (c.y - query.y) ** 2
-                    if d2 < best_d2:
+                    # Ties break toward the lowest index — the same
+                    # winner a brute-force min() over the alive dict
+                    # (insertion-ordered by index) would pick, so the
+                    # grid is a pure accelerator, never a reordering.
+                    if d2 < best_d2 or (d2 == best_d2 and idx < best_idx):
                         best_d2 = d2
                         best_idx = idx
             # Any cell in ring r+1 or beyond lies at least r * min_side from
             # the query point (the query sits somewhere inside its own cell),
-            # so once the best candidate beats that bound no farther ring can
-            # improve on it.
-            if best_idx >= 0 and best_d2 <= (ring * min_side) ** 2:
+            # so once the best candidate *strictly* beats that bound no
+            # farther ring can improve on it — at exactly the bound a
+            # farther ring could still hold an equal-distance entry with a
+            # lower index, so keep scanning.
+            if best_idx >= 0 and best_d2 < (ring * min_side) ** 2:
                 break
             ring += 1
         assert best_idx >= 0, "grid lost track of alive entries"

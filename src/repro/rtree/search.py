@@ -114,7 +114,9 @@ def knn_search(tree: RTree, query: Point, k: int = 1,
         _HeapItem(key=0.0, tiebreak=counter, node=tree.root)]
     out: list[tuple[float, Any]] = []
     track = obs.ENABLED
-    nodes_visited = 0
+    # SearchStats is the single source of truth for visit counts; the
+    # obs counter below is fed from its delta, so the two can't drift.
+    visited_before = stats.nodes_visited
     while heap and len(out) < k:
         item = heapq.heappop(heap)
         if item.is_object:
@@ -123,8 +125,6 @@ def knn_search(tree: RTree, query: Point, k: int = 1,
         node = item.node
         assert node is not None
         stats.record_node(node)
-        if track:
-            nodes_visited += 1
         for e in node.entries:
             counter += 1
             dist = e.rect.min_distance_to(qrect)
@@ -138,6 +138,7 @@ def knn_search(tree: RTree, query: Point, k: int = 1,
     if track:
         reg = obs.active()
         reg.bump("rtree.knn.queries")
-        reg.bump("rtree.knn.nodes_visited", nodes_visited)
+        reg.bump("rtree.knn.nodes_visited",
+                 stats.nodes_visited - visited_before)
         reg.bump("rtree.knn.results", len(out))
     return out

@@ -108,22 +108,35 @@ class QueryCache:
             self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+    def _hit_rate_locked(self) -> float:
+        # Callers hold self._lock (a plain Lock — re-acquiring would
+        # deadlock, hence this unlocked core shared by hit_rate/stats).
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0.0 when idle)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            return self._hit_rate_locked()
 
     def stats(self) -> dict[str, float]:
-        """Counter snapshot under ``server.cache.*`` names."""
-        return {
-            "server.cache.size": float(len(self._entries)),
-            "server.cache.capacity": float(self.capacity),
-            "server.cache.hits": float(self.hits),
-            "server.cache.misses": float(self.misses),
-            "server.cache.evictions": float(self.evictions),
-            "server.cache.invalidated": float(self.invalidated),
-            "server.cache.hit_rate": self.hit_rate,
-        }
+        """Counter snapshot under ``server.cache.*`` names.
+
+        Taken under the lock as one atomic read: concurrent get/put
+        traffic can never yield a torn snapshot (e.g. hits + misses
+        disagreeing with the hit rate computed from them).
+        """
+        with self._lock:
+            return {
+                "server.cache.size": float(len(self._entries)),
+                "server.cache.capacity": float(self.capacity),
+                "server.cache.hits": float(self.hits),
+                "server.cache.misses": float(self.misses),
+                "server.cache.evictions": float(self.evictions),
+                "server.cache.invalidated": float(self.invalidated),
+                "server.cache.hit_rate": self._hit_rate_locked(),
+            }

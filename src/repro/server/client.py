@@ -60,6 +60,16 @@ class Client:
         one_line = " ".join(text.splitlines())
         return self._roundtrip(f"QUERY {one_line}")
 
+    def repack(self, picture: str, relation: str,
+               column: str = "loc") -> Response:
+        """Ask the server for an offline index rebuild (``REPACK``).
+
+        On success ``response.generation`` is the post-rebuild data
+        generation and ``response.nrows`` the rebuilt index's entry
+        count.  Blocks until the rebuild (and its atomic swap) is done.
+        """
+        return self._roundtrip(f"REPACK {picture} {relation} {column}")
+
     def stats(self) -> dict[str, float]:
         """The server's metrics snapshot (the ``STATS`` command)."""
         return self._roundtrip("STATS").stats

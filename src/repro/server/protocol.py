@@ -6,6 +6,7 @@ text protocol — you can drive the server with ``nc`` and read every
 frame.  Requests are single lines::
 
     QUERY select city from cities on us-map at loc covered-by {4+-4, 11+-9}
+    REPACK us-map cities loc
     STATS
     PING
     QUIT
@@ -127,6 +128,9 @@ class Response:
                                      #: "pong" or "bye"
     cached: bool = False             #: served from the result cache?
     generation: int = -1             #: database generation that produced it
+    #: header row/entry count: result rows for a query, index entries
+    #: for a ``REPACK`` acknowledgement (whose body is just ``END``)
+    nrows: int = 0
     columns: tuple[str, ...] = ()
     rows: list[tuple[str, ...]] = field(default_factory=list)
     #: raw COLS/ROW/END payload bytes, byte-identical to
@@ -200,11 +204,15 @@ def _parse_ok(rest: str, lines: list[str]) -> Response:
     parts = rest.split()
     if len(parts) != 3:
         raise ProtocolError(f"malformed OK header {rest!r}")
-    disposition, gen_text, _nrows = parts
-    if disposition not in ("cached", "fresh"):
+    disposition, gen_text, nrows_text = parts
+    if disposition not in ("cached", "fresh", "repack"):
         raise ProtocolError(f"unknown cache disposition {disposition!r}")
+    try:
+        nrows = int(nrows_text)
+    except ValueError as exc:
+        raise ProtocolError(f"malformed OK header {rest!r}") from exc
     response = Response(status="ok", cached=(disposition == "cached"),
-                        generation=int(gen_text))
+                        generation=int(gen_text), nrows=nrows)
     body = lines[1:]
     if not body or body[-1] != END:
         raise ProtocolError("OK response not END-terminated")

@@ -39,7 +39,7 @@ from repro.psql.normalize import normalize_query
 from repro.relational.catalog import Database
 from repro.server import protocol
 from repro.server.cache import QueryCache
-from repro.server.service import QueryService
+from repro.server.service import STORAGE_ERRORS, QueryService
 from repro import obs
 
 __all__ = ["PsqlServer", "ServerConfig"]
@@ -240,6 +240,8 @@ class PsqlServer:
                 verb = verb.upper()
                 if verb == "QUERY":
                     await self._handle_query(conn, rest)
+                elif verb == "REPACK":
+                    await self._handle_repack(conn, rest)
                 elif verb in ("STATS", "METRICS"):
                     await self._write_lines(
                         conn, protocol.encode_stats(
@@ -254,8 +256,8 @@ class PsqlServer:
                 else:
                     await self._write_error(
                         conn, "ProtocolError",
-                        f"unknown command {verb!r} (try QUERY/STATS/"
-                        f"PING/QUIT)")
+                        f"unknown command {verb!r} (try QUERY/REPACK/"
+                        f"STATS/PING/QUIT)")
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -356,6 +358,53 @@ class PsqlServer:
 
     def _release_slot(self) -> None:
         self._inflight -= 1
+
+    # -- the REPACK path -----------------------------------------------------
+
+    async def _handle_repack(self, conn: _Connection, rest: str) -> None:
+        """``REPACK <picture> <relation> [column]`` — offline rebuild.
+
+        The rebuild runs on a plain thread (it is long, I/O-heavy and
+        must not occupy a query-pool slot or the event loop); queries
+        keep flowing meanwhile and only block briefly at the atomic
+        swap.  On success the response is ``OK repack <generation>
+        <entries>``, where *generation* is the post-bump value every
+        later cache entry will be keyed on.
+        """
+        parts = rest.split()
+        if len(parts) not in (2, 3):
+            await self._write_error(
+                conn, "ProtocolError",
+                "usage: REPACK <picture> <relation> [column]")
+            return
+        picture, relation = parts[0], parts[1]
+        column = parts[2] if len(parts) == 3 else "loc"
+        if self._draining:
+            await self._write_error(conn, "ServerError",
+                                    "server is shutting down")
+            return
+        self.registry.bump("server.repacks")
+        try:
+            entries = await asyncio.to_thread(
+                self.service.rebuild_index, picture, relation, column)
+        except (KeyError, ValueError) as exc:
+            self.registry.bump("server.errors")
+            await self._write_error(conn, type(exc).__name__,
+                                    str(exc).strip("'\""))
+            return
+        except STORAGE_ERRORS as exc:
+            conn.errors += 1
+            self.registry.bump("server.errors")
+            self.registry.bump("server.io_errors")
+            await self._write_error(conn, type(exc).__name__, str(exc))
+            return
+        generation = self.generation
+        dropped = self.cache.drop_stale(generation)
+        self.registry.bump("server.repacks.completed")
+        self.registry.bump("server.cache.repack_dropped", dropped)
+        await self._write_lines(
+            conn,
+            [f"{protocol.OK} repack {generation} {entries}", protocol.END])
 
     # -- frame writing -------------------------------------------------------
 

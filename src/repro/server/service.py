@@ -214,6 +214,27 @@ class QueryService:
         future.cancel_event = cancel_event  # type: ignore[attr-defined]
         return future
 
+    def rebuild_index(self, picture: str, relation: str,
+                      column: str = "loc", method: Optional[str] = None,
+                      workers: int = 0) -> int:
+        """Offline index rebuild (the ``REPACK`` verb); thread mode only.
+
+        Runs :meth:`~repro.relational.catalog.Database.rebuild_index`
+        against the shared database.  Process-pool workers each hold a
+        *private* database built from the factory spec, so a parent-side
+        rebuild would silently diverge from what they serve — refuse it.
+
+        Raises:
+            ValueError: in process-executor mode.
+        """
+        if self.executor_kind == "process":
+            raise ValueError(
+                "REPACK is not available with the process executor: "
+                "workers serve private database copies that an offline "
+                "rebuild in the parent would not update")
+        return self.db.rebuild_index(picture, relation, column=column,
+                                     method=method, workers=workers)
+
     def execute_direct(self, text: str) -> QueryOutcome:
         """Run one query synchronously on the calling thread."""
         return _execute_to_outcome(self.make_session(), text)

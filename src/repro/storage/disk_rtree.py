@@ -198,6 +198,27 @@ class DiskRTree:
                     f"storage.disk_rtree.nodes_written.level{level}")
         self._write_meta()
 
+    def bulk_load_stream(self, items: Iterable[tuple[Rect, int]],
+                         method: str = "hilbert", run_size: int = 100_000,
+                         workers: int = 0,
+                         tmp_dir: Optional[str] = None) -> "BulkLoadStats":
+        """Out-of-core bulk load: external sort, then streaming pack.
+
+        The disk-friendly counterpart of :meth:`bulk_load` — items are
+        spilled to sorted runs, k-way merged, and packed into node
+        pages without ever materialising the item set in memory (the
+        resident bound is ``run_size`` items).  See
+        :func:`repro.rtree.bulkload.bulk_load_stream` for the knobs.
+
+        Raises:
+            ValueError: when the tree already contains objects.
+        """
+        from repro.rtree.bulkload import bulk_load_stream
+
+        return bulk_load_stream(self, items, method=method,
+                                run_size=run_size, workers=workers,
+                                tmp_dir=tmp_dir)
+
     def _materialize(self, group: Sequence[Entry], is_leaf: bool) -> int:
         record = NodeRecord(is_leaf=is_leaf, entries=tuple(
             (e.rect.x1, e.rect.y1, e.rect.x2, e.rect.y2, int(e.oid))

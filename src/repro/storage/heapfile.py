@@ -85,11 +85,13 @@ class HeapFile:
         return self._payload_size - _HEADER_SIZE - _SLOT_SIZE
 
     def _scan_existing(self) -> None:
+        # Freed (and allocated-but-unwritten) pages read back as an
+        # empty payload, which the length guard skips; anything that
+        # *raises* here — checksum mismatch, injected fault, failed
+        # syscall — is a real storage fault and must surface at open
+        # time, not be mistaken for "not a heap page".
         for page_no in range(1, self.pager.page_count):
-            try:
-                payload = self.pool.get(page_no)
-            except Exception:
-                continue  # not a heap page (e.g. freed)
+            payload = self.pool.get(page_no)
             if len(payload) < _HEADER_SIZE:
                 continue
             self._pages.append(page_no)

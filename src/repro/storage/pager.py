@@ -51,6 +51,8 @@ FP_APPLY_TORN = failpoints.declare(
     "wal.apply.torn", "half a data page written, then crash")
 FP_CHECKPOINT = failpoints.declare(
     "wal.checkpoint", "data file fsynced, WAL not yet truncated")
+FP_READ = failpoints.declare(
+    "pager.read", "physical page read about to be served (inject EIO here)")
 
 
 class PagerError(Exception):
@@ -205,6 +207,25 @@ class Pager:
         self._write_header()
         return page_no
 
+    def allocate_batch(self, n: int) -> list[int]:
+        """Reserve *n* brand-new consecutive pages with one header update.
+
+        The bulk loader allocates thousands of pages; :meth:`allocate`
+        writes the header once per page, this writes it once per batch.
+        The free list is deliberately not consulted (batch callers want
+        sequential page numbers) and the reserved pages are *not*
+        zero-filled — the caller must write every returned page before
+        reading it back, or reads will fail as truncated.
+        """
+        if n < 0:
+            raise ValueError("cannot allocate a negative number of pages")
+        if n == 0:
+            return []
+        start = self._page_count
+        self._page_count += n
+        self._write_header()
+        return list(range(start, start + n))
+
     def free(self, page_no: int) -> None:
         """Return *page_no* to the free list.
 
@@ -248,6 +269,8 @@ class Pager:
             CorruptPageError: when the checksum or length is inconsistent.
         """
         self._check_page_no(page_no)
+        if failpoints.ACTIVE:
+            failpoints.hit(FP_READ)
         raw = self._raw_read(page_no)
         crc, length = struct.unpack_from(_PAGE_PREFIX_FMT, raw)
         if length > self.page_size - _PAGE_PREFIX_SIZE:

@@ -8,6 +8,8 @@
   pictorial database with cities, states, lakes, highways and time zones,
   standing in for the paper's digitised maps (see DESIGN.md substitutions).
 - :mod:`~repro.workloads.queries` — query workload generators.
+- :mod:`~repro.workloads.streams` — lazily streamed item generators for
+  the out-of-core bulk-load experiments.
 """
 
 from repro.workloads.uniform import (
@@ -17,6 +19,10 @@ from repro.workloads.uniform import (
     uniform_rects,
 )
 from repro.workloads.clustered import clustered_points
+from repro.workloads.streams import (
+    stream_uniform_items,
+    stream_uniform_point_items,
+)
 from repro.workloads.queries import (
     random_point_probes,
     random_windows,
@@ -32,6 +38,8 @@ __all__ = [
     "clustered_points",
     "random_point_probes",
     "random_windows",
+    "stream_uniform_items",
+    "stream_uniform_point_items",
     "uniform_points",
     "uniform_rects",
     "windows_of_selectivity",

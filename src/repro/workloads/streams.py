@@ -1,0 +1,61 @@
+"""Streaming workload generators for out-of-core experiments.
+
+The list-returning generators in :mod:`~repro.workloads.uniform` are
+fine for Table 1's 900 points; the bulk-load pipeline exists precisely
+for inputs that must *not* be materialised.  These generators yield
+``(Rect, oid)`` items one at a time — a 100M-item stream costs the same
+memory as a 100-item one — and are deterministic under their seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.geometry.rect import Rect
+from repro.workloads.uniform import TABLE1_UNIVERSE
+
+__all__ = ["stream_uniform_items", "stream_uniform_point_items"]
+
+
+def stream_uniform_point_items(n: int, universe: Rect = TABLE1_UNIVERSE,
+                               seed: int = 0,
+                               ) -> Iterator[tuple[Rect, int]]:
+    """*n* degenerate (point) rectangles uniform over *universe*.
+
+    Draws coordinates in the same order as
+    :func:`~repro.workloads.uniform.uniform_points`, so
+    ``list(stream_uniform_point_items(n, seed=s))`` indexes exactly the
+    point set ``uniform_points(n, seed=s)`` — experiments can compare an
+    in-memory build against a streamed one over identical data.
+    """
+    if n < 0:
+        raise ValueError("cannot generate a negative number of items")
+    rng = random.Random(seed)
+    for i in range(n):
+        x = rng.uniform(universe.x1, universe.x2)
+        y = rng.uniform(universe.y1, universe.y2)
+        yield Rect(x, y, x, y), i
+
+
+def stream_uniform_items(n: int, universe: Rect = TABLE1_UNIVERSE,
+                         max_side: float = 20.0, seed: int = 0,
+                         ) -> Iterator[tuple[Rect, int]]:
+    """*n* small rectangles with uniform centres, streamed lazily.
+
+    The region-object analogue of :func:`stream_uniform_point_items`,
+    clipped to the universe like
+    :func:`~repro.workloads.uniform.uniform_rects`.
+    """
+    if n < 0:
+        raise ValueError("cannot generate a negative number of items")
+    if max_side <= 0:
+        raise ValueError("max_side must be positive")
+    rng = random.Random(seed)
+    for i in range(n):
+        cx = rng.uniform(universe.x1, universe.x2)
+        cy = rng.uniform(universe.y1, universe.y2)
+        hw = rng.uniform(0.0, max_side) / 2.0
+        hh = rng.uniform(0.0, max_side) / 2.0
+        yield Rect(max(universe.x1, cx - hw), max(universe.y1, cy - hh),
+                   min(universe.x2, cx + hw), min(universe.y2, cy + hh)), i

@@ -1,0 +1,279 @@
+"""The out-of-core bulk loader: streaming pipeline, workers, swap safety.
+
+The load-bearing property is *equivalence*: a tree built by the
+external-sort pipeline must answer every query exactly like the
+in-memory reference (``DiskRTree.bulk_load`` / ``pack``), because the
+pipeline's whole point is changing the build's memory profile, not its
+results.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.rtree import bulkload
+from repro.rtree.bulkload import (
+    SORT_KEYS,
+    BulkLoadStats,
+    _level_sizes,
+    bulk_load_stream,
+    build_tree_file,
+    rebuild_tree_file,
+)
+from repro.storage import failpoints
+from repro.storage.disk_rtree import DiskRTree
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    failpoints.reset()
+    yield
+    failpoints.reset()
+
+
+def _items(n, seed=42):
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+        w, h = rng.uniform(0, 5), rng.uniform(0, 5)
+        out.append((Rect(x, y, x + w, y + h), i))
+    return out
+
+
+def _windows(n, seed=99):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        x, y = rng.uniform(0, 900), rng.uniform(0, 900)
+        out.append(Rect(x, y, x + rng.uniform(1, 150),
+                        y + rng.uniform(1, 150)))
+    return out
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """An in-memory-loaded DiskRTree over the shared item set."""
+    path = tmp_path_factory.mktemp("ref") / "ref.db"
+    tree = DiskRTree(str(path), max_entries=8)
+    tree.bulk_load(_items(2000))
+    yield tree
+    tree.close()
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("method", SORT_KEYS)
+    def test_matches_in_memory_load(self, tmp_path, reference, method):
+        items = _items(2000)
+        tree = DiskRTree(str(tmp_path / "t.db"), max_entries=8)
+        stats = bulk_load_stream(tree, iter(items), method=method,
+                                 run_size=300)
+        assert stats.items == len(tree) == 2000
+        assert stats.runs == 7  # ceil(2000 / 300)
+        for w in _windows(40):
+            assert sorted(tree.search(w)) == sorted(reference.search(w))
+            assert sorted(tree.search_within(w)) == \
+                sorted(reference.search_within(w))
+        for rect, oid in random.Random(5).sample(items, 25):
+            hits = tree.point_query(Point(rect.x1, rect.y1))
+            assert oid in hits
+            assert sorted(hits) == \
+                sorted(reference.point_query(Point(rect.x1, rect.y1)))
+        tree.close()
+
+    def test_single_run_fast_path(self, tmp_path, reference):
+        tree = DiskRTree(str(tmp_path / "t.db"), max_entries=8)
+        stats = bulk_load_stream(tree, iter(_items(2000)), run_size=5000)
+        assert stats.runs == 1
+        for w in _windows(10, seed=3):
+            assert sorted(tree.search(w)) == sorted(reference.search(w))
+        tree.close()
+
+    def test_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "t.db")
+        items = _items(500, seed=9)
+        tree = DiskRTree(path, max_entries=8)
+        bulk_load_stream(tree, iter(items), run_size=100)
+        expect = sorted(tree.search(Rect(0, 0, 500, 500)))
+        tree.close()
+        with DiskRTree(path, max_entries=8) as reopened:
+            assert len(reopened) == 500
+            assert sorted(reopened.search(Rect(0, 0, 500, 500))) == expect
+
+    def test_workers_produce_identical_tree(self, tmp_path):
+        items = _items(1200, seed=17)
+        inline = DiskRTree(str(tmp_path / "a.db"), max_entries=8)
+        forked = DiskRTree(str(tmp_path / "b.db"), max_entries=8)
+        s0 = bulk_load_stream(inline, iter(items), run_size=200, workers=0)
+        s1 = bulk_load_stream(forked, iter(items), run_size=200, workers=2)
+        assert s0 == s1
+        for w in _windows(15, seed=4):
+            assert inline.search(w) == forked.search(w)
+        inline.close()
+        forked.close()
+
+    def test_wal_attached_tree(self, tmp_path):
+        path = str(tmp_path / "t.db")
+        wal = str(tmp_path / "t.wal")
+        items = _items(800, seed=2)
+        tree = DiskRTree(path, max_entries=8, wal_path=wal)
+        bulk_load_stream(tree, iter(items), run_size=150, commit_every=16)
+        expect = sorted(tree.search(Rect(100, 100, 600, 600)))
+        tree.close()
+        with DiskRTree(path, max_entries=8, wal_path=wal) as reopened:
+            assert sorted(reopened.search(Rect(100, 100, 600, 600))) \
+                == expect
+
+    def test_method_on_tree_object(self, tmp_path):
+        tree = DiskRTree(str(tmp_path / "t.db"), max_entries=8)
+        stats = tree.bulk_load_stream(iter(_items(100)), run_size=40)
+        assert stats.items == len(tree) == 100
+        tree.close()
+
+
+class TestEdgeCases:
+    def test_empty_input(self, tmp_path):
+        tree = DiskRTree(str(tmp_path / "t.db"), max_entries=8)
+        stats = bulk_load_stream(tree, iter(()))
+        assert stats == BulkLoadStats(items=0, runs=0, levels=1,
+                                      nodes_written=0)
+        assert len(tree) == 0
+        assert tree.search(Rect(0, 0, 1000, 1000)) == []
+        tree.close()
+
+    def test_single_item(self, tmp_path):
+        tree = DiskRTree(str(tmp_path / "t.db"), max_entries=8)
+        stats = bulk_load_stream(tree, [(Rect(1, 1, 2, 2), 7)])
+        assert stats.levels == 1 and stats.nodes_written == 1
+        assert stats.height == 0
+        assert tree.search(Rect(0, 0, 3, 3)) == [7]
+        tree.close()
+
+    def test_exactly_one_full_node(self, tmp_path):
+        tree = DiskRTree(str(tmp_path / "t.db"), max_entries=8)
+        stats = bulk_load_stream(tree, _items(8))
+        assert stats.levels == 1 and stats.nodes_written == 1
+        tree.close()
+
+    def test_non_empty_tree_rejected(self, tmp_path):
+        tree = DiskRTree(str(tmp_path / "t.db"), max_entries=8)
+        tree.insert(Rect(0, 0, 1, 1), 1)
+        with pytest.raises(ValueError, match="empty tree"):
+            bulk_load_stream(tree, _items(10))
+        tree.close()
+
+    def test_bad_run_size_rejected(self, tmp_path):
+        tree = DiskRTree(str(tmp_path / "t.db"), max_entries=8)
+        with pytest.raises(ValueError, match="run_size"):
+            bulk_load_stream(tree, _items(10), run_size=1)
+        tree.close()
+
+    def test_unknown_method_rejected(self, tmp_path):
+        tree = DiskRTree(str(tmp_path / "t.db"), max_entries=8)
+        with pytest.raises(KeyError, match="zorder"):
+            bulk_load_stream(tree, _items(10), method="zorder")
+        tree.close()
+
+    def test_invalid_rect_rejected(self, tmp_path):
+        tree = DiskRTree(str(tmp_path / "t.db"), max_entries=8)
+        with pytest.raises(ValueError, match="invalid rectangle"):
+            bulk_load_stream(tree, [(Rect(5, 5, 1, 1), 0)])
+        tree.close()
+
+    def test_negative_oid_rejected(self, tmp_path):
+        tree = DiskRTree(str(tmp_path / "t.db"), max_entries=8)
+        with pytest.raises(ValueError, match="non-negative"):
+            bulk_load_stream(tree, [(Rect(0, 0, 1, 1), -3)])
+        tree.close()
+
+
+class TestStructure:
+    def test_level_sizes_exact(self):
+        assert _level_sizes(1, 8) == [1]
+        assert _level_sizes(8, 8) == [1]
+        assert _level_sizes(9, 8) == [2, 1]
+        assert _level_sizes(64, 8) == [8, 1]
+        assert _level_sizes(65, 8) == [9, 2, 1]
+
+    def test_nodes_written_matches_level_math(self, tmp_path):
+        tree = DiskRTree(str(tmp_path / "t.db"), max_entries=8)
+        stats = bulk_load_stream(tree, _items(777), run_size=100)
+        sizes = _level_sizes(777, 8)
+        assert stats.nodes_written == sum(sizes)
+        assert stats.levels == len(sizes)
+        tree.close()
+
+    def test_leaves_are_packed_full(self, tmp_path):
+        """Run-packing fills every leaf but the last (Section 3.3)."""
+        tree = DiskRTree(str(tmp_path / "t.db"), max_entries=8)
+        bulk_load_stream(tree, _items(500), run_size=120)
+        fills = []
+        queue = [tree.root_page]
+        while queue:
+            node = tree._read_node(queue.pop())
+            if node.is_leaf:
+                fills.append(len(node.entries))
+            else:
+                queue.extend(int(e[4]) for e in node.entries)
+        assert sum(f == 8 for f in fills) >= len(fills) - 1
+        assert sum(fills) == 500
+        tree.close()
+
+
+class TestRebuildAndSwap:
+    def test_rebuild_replaces_contents(self, tmp_path):
+        path = str(tmp_path / "t.db")
+        tree = DiskRTree(path, max_entries=8)
+        bulk_load_stream(tree, _items(200, seed=1), run_size=50)
+        new_items = _items(900, seed=2)
+        stats = rebuild_tree_file(tree, iter(new_items), run_size=200)
+        assert stats.items == len(tree) == 900
+        w = Rect(0, 0, 400, 400)
+        assert sorted(tree.search(w)) == sorted(
+            oid for rect, oid in new_items if rect.intersects(w))
+        assert not os.path.exists(path + ".rebuild")
+        tree.close()
+
+    def test_build_tree_file_overwrites_stale_leftover(self, tmp_path):
+        path = str(tmp_path / "x.rebuild")
+        with open(path, "wb") as f:
+            f.write(b"junk from a crashed earlier rebuild")
+        stats = build_tree_file(path, _items(50), max_entries=8)
+        assert stats.items == 50
+        with DiskRTree(path, max_entries=8) as t:
+            assert len(t) == 50
+
+    def test_crash_before_swap_leaves_old_tree_intact(self, tmp_path):
+        path = str(tmp_path / "t.db")
+        tree = DiskRTree(path, max_entries=8)
+        old_items = _items(300, seed=5)
+        bulk_load_stream(tree, iter(old_items), run_size=100)
+        failpoints.arm(bulkload.FP_SWAP_BEFORE, "crash")
+        with pytest.raises(failpoints.SimulatedCrash):
+            rebuild_tree_file(tree, _items(50, seed=6), run_size=25)
+        # "Recover": reopen from disk as a fresh process would.
+        with DiskRTree(path, max_entries=8) as recovered:
+            assert len(recovered) == 300
+            w = Rect(0, 0, 500, 500)
+            assert sorted(recovered.search(w)) == sorted(
+                oid for rect, oid in old_items if rect.intersects(w))
+
+    def test_crash_after_swap_leaves_new_tree_readable(self, tmp_path):
+        path = str(tmp_path / "t.db")
+        tree = DiskRTree(path, max_entries=8)
+        bulk_load_stream(tree, _items(300, seed=5), run_size=100)
+        new_items = _items(80, seed=6)
+        failpoints.arm(bulkload.FP_SWAP_AFTER, "crash")
+        with pytest.raises(failpoints.SimulatedCrash):
+            rebuild_tree_file(tree, iter(new_items), run_size=25)
+        with DiskRTree(path, max_entries=8) as recovered:
+            assert len(recovered) == 80
+            w = Rect(0, 0, 500, 500)
+            assert sorted(recovered.search(w)) == sorted(
+                oid for rect, oid in new_items if rect.intersects(w))
+
+    def test_failpoints_are_declared(self):
+        assert bulkload.FP_SWAP_BEFORE in failpoints.names()
+        assert bulkload.FP_SWAP_AFTER in failpoints.names()

@@ -97,3 +97,28 @@ class TestKnn:
         got = knn_search(tree, Point(777, 111), k=8)
         dists = [d for d, _ in got]
         assert dists == sorted(dists)
+
+    def test_knn_obs_counter_equals_search_stats(self, tree):
+        """SearchStats is the single source of truth for node visits;
+        the observability counter is derived from it and must agree."""
+        from repro import obs
+
+        stats = SearchStats()
+        with obs.scope(forward=False, enable=True) as registry:
+            knn_search(tree, Point(400, 400), k=3, stats=stats)
+        snapshot = registry.snapshot()
+        assert snapshot["rtree.knn.nodes_visited"] == stats.nodes_visited
+        assert stats.nodes_visited > 0
+
+    def test_knn_obs_counter_deltas_with_preloaded_stats(self, tree):
+        """A caller-supplied SearchStats carrying earlier counts must
+        contribute only this query's delta to the obs counter."""
+        from repro import obs
+
+        stats = SearchStats(nodes_visited=100)
+        with obs.scope(forward=False, enable=True) as registry:
+            knn_search(tree, Point(400, 400), k=3, stats=stats)
+        visited_this_query = stats.nodes_visited - 100
+        assert registry.snapshot()["rtree.knn.nodes_visited"] == \
+            visited_this_query
+        assert 0 < visited_this_query <= tree.node_count

@@ -68,3 +68,97 @@ class TestQueryCache:
         assert stats["server.cache.misses"] == 1.0
         assert stats["server.cache.hit_rate"] == pytest.approx(0.5)
         assert stats["server.cache.size"] == 1.0
+
+
+class TestConcurrentStats:
+    """stats()/__len__/hit_rate take the lock: no torn values under load.
+
+    Regression for the unsynchronised readers: a stats() snapshot taken
+    while get/put traffic is mutating the OrderedDict could observe a
+    mid-rebalance dict (RuntimeError) or internally inconsistent
+    counters (a hit_rate disagreeing with the hits/misses beside it).
+    """
+
+    def test_stats_hammer(self):
+        import threading
+
+        cache = QueryCache(capacity=32)
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def mutate(seed: int) -> None:
+            n = 0
+            while not stop.is_set():
+                key = f"q{(seed * 31 + n) % 100}"
+                cache.put(key, 0, PAYLOAD, 1)
+                cache.get(key, 0)
+                cache.get(f"miss{n}", 0)
+                if n % 50 == 0:
+                    cache.drop_stale(0)
+                n += 1
+
+        def observe() -> None:
+            try:
+                while not stop.is_set():
+                    snap = cache.stats()
+                    # The snapshot must be self-consistent: the rate was
+                    # computed from the very hits/misses it ships with.
+                    total = (snap["server.cache.hits"]
+                             + snap["server.cache.misses"])
+                    expected = (snap["server.cache.hits"] / total
+                                if total else 0.0)
+                    assert snap["server.cache.hit_rate"] == expected
+                    assert 0 <= snap["server.cache.size"] <= 32
+                    len(cache)
+                    _ = cache.hit_rate
+            except BaseException as exc:  # noqa: BLE001 - collected for the assert
+                failures.append(exc)
+
+        mutators = [threading.Thread(target=mutate, args=(i,))
+                    for i in range(4)]
+        observers = [threading.Thread(target=observe) for _ in range(2)]
+        for t in mutators + observers:
+            t.start()
+        import time
+
+        time.sleep(0.8)
+        stop.set()
+        for t in mutators + observers:
+            t.join(10)
+        assert not failures, failures
+
+    def test_stats_snapshot_is_atomic_against_injected_pause(self):
+        """Deterministic torn-read check: freeze a mutation mid-flight
+        (lock held) and prove stats() blocks rather than reading through."""
+        import threading
+
+        cache = QueryCache(capacity=4)
+        cache.put("q", 0, PAYLOAD, 1)
+        in_critical = threading.Event()
+        release = threading.Event()
+
+        def slow_put() -> None:
+            with cache._lock:
+                cache.hits += 1000  # half of a torn update...
+                in_critical.set()
+                release.wait(5)
+                cache.hits -= 1000  # ...undone before the lock drops
+
+        t = threading.Thread(target=slow_put)
+        t.start()
+        assert in_critical.wait(5)
+        done = threading.Event()
+        snap: dict[str, float] = {}
+
+        def read_stats() -> None:
+            snap.update(cache.stats())
+            done.set()
+
+        r = threading.Thread(target=read_stats)
+        r.start()
+        # The reader must be blocked on the lock, not seeing hits=1000.
+        assert not done.wait(0.2)
+        release.set()
+        t.join(5)
+        r.join(5)
+        assert snap["server.cache.hits"] == 0.0

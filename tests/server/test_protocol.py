@@ -107,3 +107,29 @@ class TestParseResponse:
     def test_ok_passes_raise_for_status(self):
         r = protocol.parse_response(["OK fresh 0 0", "COLS a", "END"])
         assert r.raise_for_status() is r
+
+
+def test_parse_repack_ok_header():
+    from repro.server.protocol import parse_response
+
+    r = parse_response(["OK repack 7 1234", "END"])
+    assert r.status == "ok" and not r.cached
+    assert r.generation == 7
+    assert r.nrows == 1234
+    assert r.rows == []
+
+
+def test_parse_ok_header_carries_nrows():
+    from repro.server.protocol import parse_response
+
+    r = parse_response(["OK fresh 2 1", "COLS city", "ROW Boston", "END"])
+    assert r.nrows == 1 and len(r.rows) == 1
+
+
+def test_parse_ok_rejects_bad_nrows():
+    import pytest as _pytest
+
+    from repro.server.protocol import ProtocolError, parse_response
+
+    with _pytest.raises(ProtocolError):
+        parse_response(["OK fresh 2 lots", "END"])

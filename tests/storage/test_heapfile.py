@@ -183,3 +183,58 @@ def test_property_roundtrip(tmp_path_factory, records):
         for addr, expected in zip(addrs, records):
             assert heap.get(addr) == expected
         assert sorted(d for _a, d in heap.scan()) == sorted(records)
+
+
+class TestScanFaultPropagation:
+    """_scan_existing must surface storage faults, not swallow them.
+
+    Regression for the bare ``except Exception: continue`` that used to
+    wrap the open-time page scan: a heap whose pages could not be read
+    would silently open *empty*, and the next insert would overwrite
+    live data.  Freed pages (empty payloads) are still skipped — that is
+    a length check, not an exception path.
+    """
+
+    def test_injected_read_fault_surfaces_at_open(self, tmp_path):
+        from repro.storage import InjectedFault, failpoints
+        from repro.storage.pager import FP_READ
+
+        path = str(tmp_path / "h.db")
+        with HeapFile(path, page_size=512) as h:
+            for i in range(10):
+                h.insert(f"rec-{i}".encode())
+        failpoints.reset()
+        # Reopening scans every page; fault the first data-page read.
+        failpoints.arm(FP_READ, "error")
+        try:
+            with pytest.raises(InjectedFault):
+                HeapFile(path, page_size=512)
+        finally:
+            failpoints.reset()
+        # Undisturbed, the same file opens with its data intact.
+        with HeapFile(path, page_size=512) as h:
+            assert len(h) == 10
+
+    def test_corrupt_page_surfaces_at_open(self, tmp_path):
+        from repro.storage import CorruptPageError
+
+        path = str(tmp_path / "h.db")
+        with HeapFile(path, page_size=512) as h:
+            addr = h.insert(b"payload")
+        with open(path, "r+b") as f:
+            f.seek(addr.page * 512 + 30)
+            f.write(b"\xff\xff\xff\xff")
+        with pytest.raises(CorruptPageError):
+            HeapFile(path, page_size=512)
+
+    def test_freed_pages_still_skipped(self, tmp_path):
+        """The benign case the old blanket except was aimed at: pages
+        returned to the free list read back empty and are ignored."""
+        path = str(tmp_path / "h.db")
+        h = HeapFile(path, page_size=512)
+        keep = h.insert(b"keeper")
+        h.pager.free(h.pager.allocate())
+        h.close()
+        with HeapFile(path, page_size=512) as h2:
+            assert h2.get(keep) == b"keeper"
+            assert len(h2) == 1
