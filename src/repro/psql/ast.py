@@ -146,3 +146,14 @@ class Query:
     pictures: tuple[str, ...] = ()
     at: Optional[AtClause] = None
     where: Optional[Condition] = None
+
+
+@dataclass(frozen=True)
+class Explain:
+    """``explain [analyze] <query>`` — show (and optionally run) the plan."""
+
+    query: Query
+    analyze: bool = False
+
+
+Statement = Union[Query, Explain]

@@ -20,6 +20,8 @@ a polygon :func:`_refine` additionally applies the exact region test.
 
 from __future__ import annotations
 
+import copy
+from collections import OrderedDict
 from typing import Any, Iterable, Optional, Sequence
 
 from repro import obs
@@ -31,11 +33,14 @@ from repro.geometry.segment import Segment
 from repro.psql import ast
 from repro.psql.errors import PsqlSemanticError
 from repro.psql.functions import FunctionRegistry
-from repro.psql.parser import parse
+from repro.psql.parser import parse, parse_statement
+from repro.psql.planner import Plan, PlanNode, plan_query, \
+    sargable_conjuncts
 from repro.psql.result import PictorialObject, QueryResult
 from repro.relational.catalog import Database, mbr_of_value
 from repro.relational.relation import Relation, RowId
-from repro.rtree.join import spatial_join
+from repro.rtree.join import JoinStats, nested_window_join, spatial_join
+from repro.rtree.search import SearchStats
 
 #: One candidate combination of rows: relation name -> (row id, row).
 Binding = dict[str, tuple[RowId, dict[str, Any]]]
@@ -53,19 +58,70 @@ class Session:
         session = Session(db)
         session.functions.register("runway-heading", my_fn)
         result = session.execute("select city from cities ...")
+
+    Every query is planned before it runs (:mod:`repro.psql.planner`);
+    plans are cached per ``(query AST, data generation)`` so repeated
+    queries skip path enumeration until the data changes.  Prefix a
+    query with ``explain`` (or ``explain analyze``) to get the plan
+    itself back as a one-column result.
     """
+
+    #: plans kept per session before the oldest is dropped
+    PLAN_CACHE_SIZE = 64
 
     def __init__(self, db: Database):
         self.db = db
         self.functions = FunctionRegistry()
+        self._plans: OrderedDict[tuple[ast.Query, int], Plan] = \
+            OrderedDict()
 
     def execute(self, text: str) -> QueryResult:
-        """Parse and run one PSQL query."""
-        return self.run(parse(text))
+        """Parse and run one PSQL statement (a query or an EXPLAIN)."""
+        statement = parse_statement(text)
+        if isinstance(statement, ast.Explain):
+            return self.explain(statement)
+        return self.run(statement)
 
     def run(self, query: ast.Query) -> QueryResult:
         """Run an already parsed query."""
         return _Execution(self, query).run()
+
+    def plan(self, query: ast.Query) -> Plan:
+        """The (cached) plan for *query* at the current data generation."""
+        key = (query, self.db.generation)
+        cached = self._plans.get(key)
+        if cached is not None:
+            self._plans.move_to_end(key)
+            if obs.ENABLED:
+                obs.active().bump("psql.plan.cache_hits")
+            return cached
+        plan = plan_query(self.db, query)
+        if obs.ENABLED:
+            obs.active().bump("psql.plan.cache_misses")
+        self._plans[key] = plan
+        while len(self._plans) > self.PLAN_CACHE_SIZE:
+            self._plans.popitem(last=False)
+        return plan
+
+    def explain(self, statement: ast.Explain) -> QueryResult:
+        """Render (and for ANALYZE also run) the plan of a statement.
+
+        The result has a single ``plan`` column with one row per plan
+        line, so EXPLAIN output travels through every existing result
+        channel — the REPL, the wire protocol, the server cache —
+        unchanged.
+        """
+        plan = self.plan(statement.query)
+        if statement.analyze:
+            # Annotate a private copy: the cached plan must stay clean
+            # for concurrent executions of the same query.
+            plan = copy.deepcopy(plan)
+            _Execution(self, statement.query, plan=plan,
+                       annotate=True).run()
+        result = QueryResult(columns=("plan",))
+        result.rows = [(line,)
+                       for line in plan.format(analyze=statement.analyze)]
+        return result
 
     def explain_stats(self, text: str,
                       trace_tail: int = 12) -> tuple[QueryResult, str]:
@@ -90,12 +146,21 @@ def execute(db: Database, text: str) -> QueryResult:
 
 
 class _Execution:
-    """State for executing a single query."""
+    """State for executing a single query along its plan.
 
-    def __init__(self, session: Session, query: ast.Query):
+    The plan (built by :mod:`repro.psql.planner`, usually via the
+    session's plan cache) decides every access path; execution dispatches
+    on plan-node kinds instead of re-deriving the decisions.  With
+    ``annotate=True`` each executed node additionally records its actual
+    row count and index-node accesses — the ``EXPLAIN ANALYZE`` payload.
+    """
+
+    def __init__(self, session: Session, query: ast.Query,
+                 plan: Optional[Plan] = None, annotate: bool = False):
         self.session = session
         self.db = session.db
         self.query = query
+        self.annotate = annotate
         self.relations: dict[str, Relation] = {}
         for name in query.relations:
             if not self.db.has_relation(name):
@@ -104,6 +169,7 @@ class _Execution:
         for pic in query.pictures:
             if not self.db.has_picture(pic):
                 raise PsqlSemanticError(f"unknown picture {pic!r}")
+        self.plan = plan if plan is not None else session.plan(query)
         self.window: Optional[Rect] = None
 
     # -- top level ------------------------------------------------------------
@@ -121,7 +187,11 @@ class _Execution:
                     reg = obs.active()
                     reg.bump("psql.where.rows_in", candidates)
                     reg.bump("psql.where.rows_out", len(bindings))
+                if self.annotate and self.plan.filter is not None:
+                    self.plan.filter.actual_rows = len(bindings)
             result = self._project(bindings)
+            if self.annotate:
+                self.plan.root.actual_rows = len(result.rows)
         if obs.ENABLED:
             reg = obs.active()
             reg.bump("psql.queries")
@@ -129,29 +199,29 @@ class _Execution:
         return result
 
     def _bindings_from_indexes(self) -> Optional[list[Binding]]:
-        """Index-assisted scan for pure alphanumeric queries.
+        """Execute a B-tree access path, when the plan chose one.
 
         The paper indexes alphanumeric columns "the usual way" (B-trees);
         when a single-relation query has no at-clause but its where
-        contains a sargable conjunct on an indexed column, seed the
-        bindings from the index instead of a full scan.  The full where
-        is re-checked afterwards, so this is purely an access-path
-        optimisation.
+        contains a sargable conjunct on an indexed column, the planner
+        seeds the bindings from the index instead of a full scan.  The
+        full where is re-checked afterwards, so this is purely an
+        access-path optimisation.
         """
-        if self.query.at is not None or len(self.query.relations) != 1:
-            return None
-        if self.query.where is None:
-            return None
-        relation = self.relations[self.query.relations[0]]
-        probe = self._find_sargable(self.query.where, relation)
-        if probe is None:
+        node = self.plan.access
+        if node.kind == "seq-scan":
             if obs.ENABLED:
                 obs.active().bump("psql.plan.relation_scan")
                 obs.trace("psql.plan", path="scan",
-                          relation=relation.name,
+                          relation=node.props["relation"],
                           reason="no sargable indexed conjunct")
             return None
-        column, op, value = probe
+        if node.kind != "index-scan":
+            return None
+        relation = self.relations[node.props["relation"]]
+        column = node.props["column"]
+        op = node.props["op"]
+        value = node.props["value"]
         index = relation.index_on(column)
         assert index is not None
         if op == "=":
@@ -179,40 +249,22 @@ class _Execution:
             reg.bump("psql.index.rows_seeded", len(bindings))
             reg.trace("psql.plan", path="index", relation=relation.name,
                       column=column, op=op, rows=len(bindings))
+        if self.annotate:
+            node.actual_rows = len(bindings)
+            node.actual_accesses = len(rows)
         return bindings
 
     def _find_sargable(self, cond: ast.Condition, relation: Relation,
                        ) -> Optional[tuple[str, str, Any]]:
         """The first ``indexed-column <op> literal`` conjunct, if any."""
-        if isinstance(cond, ast.And):
-            return (self._find_sargable(cond.left, relation)
-                    or self._find_sargable(cond.right, relation))
-        if not isinstance(cond, ast.Comparison):
-            return None
-        left, op, right = cond.left, cond.op, cond.right
-        flip = {">": "<", "<": ">", ">=": "<=", "<=": ">=", "=": "="}
-        if isinstance(left, ast.Literal) and isinstance(right,
-                                                        ast.ColumnRef):
-            left, right = right, left
-            op = flip.get(op, op)
-        if not (isinstance(left, ast.ColumnRef)
-                and isinstance(right, ast.Literal)):
-            return None
-        if op not in flip:
-            return None
-        if left.relation not in (None, relation.name):
-            return None
-        if not relation.has_column(left.column):
-            return None
-        if relation.index_on(left.column) is None:
-            return None
-        return left.column, op, right.value
+        found = sargable_conjuncts(cond, relation)
+        return found[0] if found else None
 
     # -- at-clause evaluation ------------------------------------------------------
 
     def _bindings_from_at(self) -> list[Binding]:
-        at = self.query.at
-        if at is None:
+        node = self.plan.access
+        if node.kind in ("cross-product", "seq-scan"):
             bindings = self._cross_product(self.query.relations)
             if obs.ENABLED:
                 obs.active().bump("psql.plan.cross_product")
@@ -220,90 +272,105 @@ class _Execution:
                 obs.trace("psql.plan", path="cross-product",
                           relations=list(self.query.relations),
                           rows=len(bindings))
+            if self.annotate:
+                node.actual_rows = len(bindings)
+                node.actual_accesses = len(bindings)
             return bindings
 
-        left, op, right = at.left, at.op, at.right
-        left = self._resolve_named_location(left)
-        right = self._resolve_named_location(right)
-        # Normalise: keep a LocRef on the left where possible.
-        if isinstance(left, ast.WindowLiteral) and isinstance(right,
-                                                              ast.LocRef):
-            left, right = right, left
-            op = _FLIP.get(op, op)
-        if isinstance(left, ast.SubquerySpec) and isinstance(right,
-                                                             ast.LocRef):
-            left, right = right, left
-            op = _FLIP.get(op, op)
-
-        if isinstance(left, ast.LocRef) and isinstance(right,
-                                                       ast.WindowLiteral):
-            return self._window_search(left, op, right)
-        if isinstance(left, ast.LocRef) and isinstance(right, ast.LocRef):
-            return self._juxtaposition(left, op, right)
-        if isinstance(left, ast.LocRef) and isinstance(right,
-                                                       ast.SubquerySpec):
-            return self._nested_mapping(left, op, right)
-        raise PsqlSemanticError(
-            "unsupported at-clause operand combination "
-            f"({type(at.left).__name__} {op} {type(at.right).__name__})")
-
-    def _resolve_named_location(self, spec: ast.AreaSpec) -> ast.AreaSpec:
-        """Turn a LocRef naming a predefined location into a window.
-
-        Section 2.2 allows a location "predefined outside the retrieve
-        mapping" as an at-clause operand.  An unqualified name that does
-        not match any from-clause column is looked up in the catalog's
-        named locations.
-        """
-        if not isinstance(spec, ast.LocRef) or spec.relation is not None:
-            return spec
-        if any(rel.has_column(spec.column)
-               for rel in self.relations.values()):
-            return spec
-        if self.db.has_location(spec.column):
-            area = self.db.location(spec.column)
-            cx, cy = area.center()
-            return ast.WindowLiteral(cx=cx, dx=area.width / 2.0,
-                                     cy=cy, dy=area.height / 2.0)
-        return spec
+        extend = None
+        if node.kind == "extend-cross":
+            extend = node
+            node = node.children[0]
+        if node.kind == "rtree-window":
+            base = self._window_search(node)
+        elif node.kind == "spatial-filter-scan":
+            base = self._spatial_filter_scan(node)
+        elif node.kind == "spatial-join":
+            base = self._juxtaposition(node)
+        else:
+            assert node.kind == "nested-mapping", node.kind
+            base = self._nested_mapping(node)
+        if extend is None:
+            return base
+        bindings = self._extend_cross(base, extend.props["relations"])
+        if self.annotate:
+            extend.actual_rows = len(bindings)
+        return bindings
 
     # -- case 1: direct spatial search against a window ------------------------------
 
-    def _window_search(self, loc: ast.LocRef, op: str,
-                       window_lit: ast.WindowLiteral) -> list[Binding]:
-        relation = self._loc_relation(loc)
-        window = Rect.from_center(Point(window_lit.cx, window_lit.cy),
-                                  window_lit.dx, window_lit.dy)
+    def _window_search(self, node: PlanNode) -> list[Binding]:
+        relation = self.relations[node.props["relation"]]
+        column = node.props["column"]
+        op = node.props["op"]
+        window: Rect = node.props["window"]
         self.window = window
-        tree = self._tree_for(relation.name, loc.column)
-        rids = self._search_op(tree, op, window, relation, loc.column)
+        tree = self.db.picture(node.props["picture"]).index(relation.name,
+                                                            column)
+        stats = SearchStats() if self.annotate else None
+        rids = self._search_op(tree, op, window, relation, column,
+                               stats=stats)
         if obs.ENABLED:
             reg = obs.active()
             reg.bump("psql.plan.direct_spatial_search")
             reg.bump("psql.at.rows_out", len(rids))
             reg.trace("psql.plan", path="direct-spatial-search",
                       relation=relation.name, op=op, rows=len(rids))
-        base = [{relation.name: (rid, relation.get(rid))} for rid in rids]
-        others = [r for r in self.query.relations if r != relation.name]
-        return self._extend_cross(base, others)
+        if self.annotate:
+            node.actual_rows = len(rids)
+            if stats is not None and stats.nodes_visited:
+                # The disjoined complement also enumerates every heap
+                # rid, so those reads count against the access path.
+                extra = len(relation) if op == "disjoined" else 0
+                node.actual_accesses = stats.nodes_visited + extra
+        return [{relation.name: (rid, relation.get(rid))} for rid in rids]
+
+    def _spatial_filter_scan(self, node: PlanNode) -> list[Binding]:
+        """MBR-test every tuple of the relation — no index involved.
+
+        The planner only picks this when reading the whole heap beats
+        the R-tree (essentially: ``disjoined`` with a large window,
+        where the complement search touches most nodes *and* most rows).
+        """
+        relation = self.relations[node.props["relation"]]
+        column = node.props["column"]
+        op = node.props["op"]
+        window: Rect = node.props["window"]
+        self.window = window
+        rids = [rid for rid, row in relation.rows()
+                if _window_op(op, mbr_of_value(row[column]), window)]
+        if obs.ENABLED:
+            reg = obs.active()
+            reg.bump("psql.plan.spatial_filter_scan")
+            reg.bump("psql.at.rows_out", len(rids))
+            reg.trace("psql.plan", path="spatial-filter-scan",
+                      relation=relation.name, op=op, rows=len(rids))
+        if self.annotate:
+            node.actual_rows = len(rids)
+            node.actual_accesses = len(relation)
+        return [{relation.name: (rid, relation.get(rid))} for rid in rids]
 
     def _search_op(self, tree: Any, op: str, window: Rect,
-                   relation: Relation, column: str) -> list[RowId]:
+                   relation: Relation, column: str,
+                   stats: Optional[SearchStats] = None) -> list[RowId]:
         """Translate a spatial operator into R-tree searches + refinement."""
+        # Disk-backed trees take no stats kwarg; recording is best-effort.
+        kwargs = ({"stats": stats}
+                  if stats is not None and hasattr(tree, "root") else {})
         if op == "covered-by":
-            rids = tree.search_within(window)
+            rids = tree.search_within(window, **kwargs)
         elif op == "intersecting":
-            rids = tree.search(window)
+            rids = tree.search(window, **kwargs)
         elif op == "overlapping":
-            rids = [rid for rid in tree.search(window)
+            rids = [rid for rid in tree.search(window, **kwargs)
                     if mbr_of_value(relation.get(rid)[column])
                     .overlaps_interior(window)]
         elif op == "covering":
-            rids = [rid for rid in tree.search(window)
+            rids = [rid for rid in tree.search(window, **kwargs)
                     if mbr_of_value(relation.get(rid)[column])
                     .contains(window)]
         elif op == "disjoined":
-            hit = set(tree.search(window))
+            hit = set(tree.search(window, **kwargs))
             rids = [rid for rid, _row in relation.rows() if rid not in hit]
         else:  # pragma: no cover - the parser validates operator names
             raise PsqlSemanticError(f"unknown spatial operator {op!r}")
@@ -311,57 +378,77 @@ class _Execution:
 
     # -- case 2: juxtaposition ("geographic join") --------------------------------------
 
-    def _juxtaposition(self, left: ast.LocRef, op: str,
-                       right: ast.LocRef) -> list[Binding]:
-        rel_l = self._loc_relation(left)
-        rel_r = self._loc_relation(right)
-        if rel_l.name == rel_r.name:
-            raise PsqlSemanticError(
-                "juxtaposition needs two distinct relations in the at-clause")
-        tree_l = self._tree_for(rel_l.name, left.column)
-        tree_r = self._tree_for(rel_r.name, right.column)
+    def _juxtaposition(self, node: PlanNode) -> list[Binding]:
+        name_l, name_r = node.props["relations"]
+        col_l, col_r = node.props["columns"]
+        pic_l, pic_r = node.props["pictures"]
+        op = node.props["op"]
+        rel_l = self.relations[name_l]
+        rel_r = self.relations[name_r]
+        tree_l = self.db.picture(pic_l).index(name_l, col_l)
+        tree_r = self.db.picture(pic_r).index(name_r, col_r)
+        stats = JoinStats() if self.annotate else None
 
-        if op == "disjoined":
+        if node.props["strategy"] == "lockstep-complement":
             # Complement of the intersecting join: no lockstep pruning is
             # possible, so qualify every non-intersecting pair.
-            intersecting = set(spatial_join(tree_l, tree_r, Rect.intersects))
+            intersecting = set(spatial_join(tree_l, tree_r, Rect.intersects,
+                                            stats=stats))
             pairs = [(ra, rb)
                      for ra, _ in rel_l.rows() for rb, _ in rel_r.rows()
                      if (ra, rb) not in intersecting]
         else:
             predicate = OPERATORS[op]
-            pairs = spatial_join(tree_l, tree_r, predicate)
+            if node.props["strategy"] == "nested":
+                if node.props["outer"] == "left":
+                    pairs = nested_window_join(tree_l, tree_r, predicate,
+                                               stats=stats)
+                else:
+                    flipped = OPERATORS[_FLIP.get(op, op)]
+                    pairs = [(ra, rb) for rb, ra in
+                             nested_window_join(tree_r, tree_l, flipped,
+                                                stats=stats)]
+            else:
+                pairs = spatial_join(tree_l, tree_r, predicate,
+                                     stats=stats)
             pairs = [(ra, rb) for ra, rb in pairs
                      if self._refine(op,
-                                     rel_l.get(ra)[left.column],
-                                     rel_r.get(rb)[right.column])]
+                                     rel_l.get(ra)[col_l],
+                                     rel_r.get(rb)[col_r])]
         if obs.ENABLED:
             reg = obs.active()
             reg.bump("psql.plan.juxtaposition")
             reg.bump("psql.at.rows_out", len(pairs))
             reg.trace("psql.plan", path="juxtaposition",
-                      relations=[rel_l.name, rel_r.name], op=op,
-                      pairs=len(pairs))
-        base = [{rel_l.name: (ra, rel_l.get(ra)),
-                 rel_r.name: (rb, rel_r.get(rb))} for ra, rb in pairs]
-        others = [r for r in self.query.relations
-                  if r not in (rel_l.name, rel_r.name)]
-        return self._extend_cross(base, others)
+                      relations=[name_l, name_r], op=op,
+                      strategy=node.props["strategy"], pairs=len(pairs))
+        if self.annotate:
+            node.actual_rows = len(pairs)
+            if stats is not None:
+                node.actual_accesses = stats.nodes_accessed
+        return [{name_l: (ra, rel_l.get(ra)),
+                 name_r: (rb, rel_r.get(rb))} for ra, rb in pairs]
 
     # -- case 3: nested mapping -------------------------------------------------------
 
-    def _nested_mapping(self, loc: ast.LocRef, op: str,
-                        sub: ast.SubquerySpec) -> list[Binding]:
-        inner = self.session.run(sub.query)
-        inner_locs = _single_pictorial_column(inner)
-        relation = self._loc_relation(loc)
-        tree = self._tree_for(relation.name, loc.column)
+    def _nested_mapping(self, node: PlanNode) -> list[Binding]:
+        inner_plan: Plan = node.props["_inner_plan"]
+        inner = _Execution(self.session, inner_plan.query, plan=inner_plan,
+                           annotate=self.annotate).run()
+        inner_locs = _single_pictorial_column(inner, inner_plan.query,
+                                              self.db)
+        relation = self.relations[node.props["relation"]]
+        column = node.props["column"]
+        op = node.props["op"]
+        tree = self.db.picture(node.props["picture"]).index(relation.name,
+                                                            column)
+        stats = SearchStats() if self.annotate else None
         rids: set[RowId] = set()
         for value in inner_locs:
             window = mbr_of_value(value)
-            for rid in self._search_op(tree, op, window, relation,
-                                       loc.column):
-                if self._refine(op, relation.get(rid)[loc.column], value):
+            for rid in self._search_op(tree, op, window, relation, column,
+                                       stats=stats):
+                if self._refine(op, relation.get(rid)[column], value):
                     rids.add(rid)
         if obs.ENABLED:
             reg = obs.active()
@@ -370,10 +457,12 @@ class _Execution:
             reg.trace("psql.plan", path="nested-mapping",
                       relation=relation.name, op=op,
                       inner_locations=len(inner_locs), rows=len(rids))
-        base = [{relation.name: (rid, relation.get(rid))}
+        if self.annotate:
+            node.actual_rows = len(rids)
+            if stats is not None and stats.nodes_visited:
+                node.actual_accesses = stats.nodes_visited
+        return [{relation.name: (rid, relation.get(rid))}
                 for rid in sorted(rids)]
-        others = [r for r in self.query.relations if r != relation.name]
-        return self._extend_cross(base, others)
 
     # -- refinement beyond MBRs ----------------------------------------------------------
 
@@ -579,6 +668,21 @@ class _Execution:
                     PictorialObject(label=label, geometry=value))
 
 
+def _window_op(op: str, mbr: Rect, window: Rect) -> bool:
+    """The scan-side twin of ``_search_op``: same MBR semantics, no tree."""
+    if op == "covered-by":
+        return window.contains(mbr)
+    if op == "intersecting":
+        return mbr.intersects(window)
+    if op == "overlapping":
+        return mbr.overlaps_interior(window)
+    if op == "covering":
+        return mbr.contains(window)
+    if op == "disjoined":
+        return not mbr.intersects(window)
+    raise PsqlSemanticError(f"unknown spatial operator {op!r}")
+
+
 def _row_label(row: tuple[Any, ...], columns: tuple[str, ...]) -> str:
     for value in row:
         if isinstance(value, str):
@@ -607,11 +711,17 @@ def _compare(op: str, left: Any, right: Any) -> bool:
     raise PsqlSemanticError(f"unknown comparison operator {op!r}")
 
 
-def _single_pictorial_column(result: QueryResult) -> list[Any]:
+def _single_pictorial_column(result: QueryResult,
+                             query: Optional[ast.Query] = None,
+                             db: Optional[Database] = None) -> list[Any]:
     """The pictorial values an inner (nested) mapping produced.
 
     The inner query must expose exactly one pictorial column; that column
-    becomes the location binding of the outer mapping.
+    becomes the location binding of the outer mapping.  With result rows
+    the column is found by inspecting the values; an *empty* inner result
+    instead resolves the select list statically against the schema (when
+    *query* and *db* are given) — a legitimately empty inner mapping
+    yields an empty location set, it is not a semantic error.
     """
     pictorial_indexes = set()
     for row in result.rows:
@@ -619,6 +729,10 @@ def _single_pictorial_column(result: QueryResult) -> list[Any]:
             if isinstance(value, (Point, Segment, Region, Rect)):
                 pictorial_indexes.add(i)
     if not pictorial_indexes:
+        if not result.rows:
+            if (query is None or db is None
+                    or _static_pictorial_count(query, db) != 0):
+                return []
         raise PsqlSemanticError(
             "the nested mapping selects no pictorial column to bind")
     if len(pictorial_indexes) > 1:
@@ -626,3 +740,32 @@ def _single_pictorial_column(result: QueryResult) -> list[Any]:
             "the nested mapping selects more than one pictorial column")
     idx = pictorial_indexes.pop()
     return [row[idx] for row in result.rows]
+
+
+def _static_pictorial_count(query: ast.Query,
+                            db: Database) -> Optional[int]:
+    """How many pictorial columns the select list provably yields.
+
+    ``None`` when the answer cannot be determined from the schema alone
+    (a function call may compute a geometry at runtime).
+    """
+    count = 0
+    for sel in query.select:
+        if isinstance(sel, ast.Star):
+            for name in query.relations:
+                if db.has_relation(name):
+                    count += len(list(db.relation(name)
+                                      .pictorial_columns()))
+        elif isinstance(sel, ast.ColumnRef):
+            names = ([sel.relation] if sel.relation is not None
+                     else list(query.relations))
+            for name in names:
+                if db.has_relation(name):
+                    relation = db.relation(name)
+                    if relation.has_column(sel.column) and \
+                            relation.column(sel.column).is_pictorial:
+                        count += 1
+                        break
+        else:  # a function call: value type unknown until runtime
+            return None
+    return count

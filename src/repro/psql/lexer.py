@@ -16,6 +16,7 @@ from repro.psql.errors import PsqlSyntaxError
 
 KEYWORDS = frozenset({
     "select", "from", "on", "at", "where", "and", "or", "not",
+    "explain", "analyze",
 })
 
 #: token kinds

@@ -2,6 +2,7 @@
 
 Grammar (terminals quoted, ``[]`` optional, ``{}`` repetition)::
 
+    statement   :=  [ 'explain' [ 'analyze' ] ] query
     query       :=  'select' select_list
                     'from' name_list
                     [ 'on' name_list ]
@@ -46,6 +47,18 @@ def parse(text: str) -> ast.Query:
     query = parser.parse_query()
     parser.expect_eof()
     return query
+
+
+def parse_statement(text: str) -> ast.Statement:
+    """Parse a statement: a query, optionally under ``explain [analyze]``.
+
+    Raises:
+        PsqlSyntaxError: on any lexical or grammatical problem.
+    """
+    parser = _Parser(tokenize(text))
+    statement = parser.parse_statement()
+    parser.expect_eof()
+    return statement
 
 
 class _Parser:
@@ -114,6 +127,12 @@ class _Parser:
                 self._cur.position)
 
     # -- query -----------------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        if self._accept_keyword("explain"):
+            analyze = self._accept_keyword("analyze")
+            return ast.Explain(query=self.parse_query(), analyze=analyze)
+        return self.parse_query()
 
     def parse_query(self) -> ast.Query:
         self._expect_keyword("select")

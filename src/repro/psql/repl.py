@@ -11,11 +11,13 @@ Meta-commands:
 - ``\\map``        toggle ASCII rendering of each result's pictorial output
 - ``\\quit``       exit
 
-Prefixing a query with ``explain stats`` runs it under an isolated
-:mod:`repro.obs` scope and prints, after the result table, every counter
-the query touched (R-tree node visits, buffer traffic, access-path
-decisions) plus timers and the trace tail — the paper's Table 1
-accounting, live at the prompt.
+Prefixing a query with ``explain`` prints the cost-based plan instead of
+running it; ``explain analyze`` runs it too and annotates every plan node
+with actual rows and index-node accesses.  Prefixing with ``explain
+stats`` runs it under an isolated :mod:`repro.obs` scope and prints,
+after the result table, every counter the query touched (R-tree node
+visits, buffer traffic, access-path decisions) plus timers and the trace
+tail — the paper's Table 1 accounting, live at the prompt.
 """
 
 from __future__ import annotations
@@ -105,8 +107,9 @@ class Repl:
                     "US map.")
         self._print("End a query with ';'. \\relations \\pictures \\map "
                     "\\quit")
-        self._print("Prefix a query with 'explain stats' for access-path "
-                    "counters.\n")
+        self._print("Prefix a query with 'explain' or 'explain analyze' "
+                    "for the plan, or")
+        self._print("'explain stats' for access-path counters.\n")
         buffer: list[str] = []
         while True:
             self._prompt(self.CONTINUATION if buffer else self.PROMPT)

@@ -168,6 +168,10 @@ class Database:
         self._pictures: dict[str, Picture] = {}
         self._locations: dict[str, Rect] = {}
         self._generation = 0
+        # (picture, relation, column) -> (generation, IndexSummary);
+        # entries from an older generation are recomputed on access.
+        self._index_summaries: dict[tuple[str, str, str],
+                                    tuple[int, Any]] = {}
 
     # -- data generation -------------------------------------------------------
 
@@ -391,6 +395,30 @@ class Database:
             count = len(tree)
         self._generation += 1
         return count
+
+    def index_summary(self, picture_name: str, relation_name: str,
+                      column: str = "loc"):
+        """Planner statistics for one picture index, cached per generation.
+
+        Returns an :class:`~repro.relational.stats.IndexSummary` built
+        from the live index.  The summary is recomputed lazily whenever
+        the data :attr:`generation` has moved past the cached one, so a
+        plan costed from it always reflects the current tree structure.
+
+        Raises:
+            KeyError: when picture, relation or association is unknown.
+        """
+        from repro.relational.stats import summarize_index
+
+        picture = self.picture(picture_name)
+        index = picture.index(relation_name, column)
+        key = (picture_name, relation_name, column)
+        cached = self._index_summaries.get(key)
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
+        summary = summarize_index(index, picture.universe)
+        self._index_summaries[key] = (self._generation, summary)
+        return summary
 
     def spatial_search(self, picture_name: str, relation_name: str,
                        window: Rect, column: str = "loc",

@@ -80,6 +80,11 @@ class DiskSpatialIndex:
         with self._lock:
             return self._tree.knn(point, k, **kwargs)
 
+    def entry_rects(self) -> list[tuple[int, bool, Rect]]:
+        """Snapshot of ``(level, is_leaf_entry, rect)`` for the planner."""
+        with self._lock:
+            return self._tree.entry_rects()
+
     # -- the Section 3.4 update path -----------------------------------------
 
     def insert(self, rect: Rect, oid: int) -> None:

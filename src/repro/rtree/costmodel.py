@@ -33,6 +33,35 @@ class CostEstimate:
     per_level: tuple[float, ...]  # root level first
 
 
+def node_visit_probability(mbr: Rect, window_w: float, window_h: float,
+                           universe: Rect) -> float:
+    """P(a uniform window intersects *mbr*): clipped Minkowski sum.
+
+    The window's centre is uniform over *universe*; the window intersects
+    the MBR exactly when its centre falls inside the Minkowski sum of the
+    MBR and the half-window.  That sum is clipped to the universe **per
+    MBR** — clamping each axis to the full universe extent instead (the
+    seed's behaviour) inflates the probability of every MBR near the
+    border, because the part of its Minkowski rectangle hanging outside
+    the universe can never contain a window centre.
+    """
+    x1 = max(mbr.x1 - window_w / 2.0, universe.x1)
+    x2 = min(mbr.x2 + window_w / 2.0, universe.x2)
+    y1 = max(mbr.y1 - window_h / 2.0, universe.y1)
+    y2 = min(mbr.y2 + window_h / 2.0, universe.y2)
+    if x2 <= x1 or y2 <= y1:
+        return 0.0
+    return (x2 - x1) * (y2 - y1) / universe.area()
+
+
+def expected_accesses_for_mbrs(mbrs: "list[Rect] | tuple[Rect, ...]",
+                               window_w: float, window_h: float,
+                               universe: Rect) -> float:
+    """Expected visits among nodes whose parent-entry MBRs are *mbrs*."""
+    return sum(node_visit_probability(m, window_w, window_h, universe)
+               for m in mbrs)
+
+
 def expected_window_accesses(tree: RTree, window_w: float,
                              window_h: float,
                              universe: Rect) -> CostEstimate:
@@ -55,7 +84,6 @@ def expected_window_accesses(tree: RTree, window_w: float,
         raise ValueError("universe must have positive area")
     if window_w < 0 or window_h < 0:
         raise ValueError("window extents must be non-negative")
-    area = universe.area()
 
     # Walk levels: the root (probability 1), then every child MBR.
     per_level: list[float] = [1.0]
@@ -65,10 +93,8 @@ def expected_window_accesses(tree: RTree, window_w: float,
         nxt = []
         for node in frontier:
             for e in node.entries:
-                prob = ((min(e.rect.width + window_w, universe.width))
-                        * (min(e.rect.height + window_h, universe.height))
-                        / area)
-                level_sum += min(1.0, prob)
+                level_sum += node_visit_probability(e.rect, window_w,
+                                                    window_h, universe)
                 assert e.child is not None
                 nxt.append(e.child)
         per_level.append(level_sum)

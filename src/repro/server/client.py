@@ -60,6 +60,17 @@ class Client:
         one_line = " ".join(text.splitlines())
         return self._roundtrip(f"QUERY {one_line}")
 
+    def explain(self, text: str, analyze: bool = False) -> Response:
+        """Fetch the query plan (``EXPLAIN``) as a one-column result.
+
+        With ``analyze=True`` the server also executes the query and
+        annotates every plan node with actual row counts and index-node
+        accesses.  Each response row is one plan line.
+        """
+        one_line = " ".join(text.splitlines())
+        prefix = "ANALYZE " if analyze else ""
+        return self._roundtrip(f"EXPLAIN {prefix}{one_line}")
+
     def repack(self, picture: str, relation: str,
                column: str = "loc") -> Response:
         """Ask the server for an offline index rebuild (``REPACK``).

@@ -6,10 +6,16 @@ text protocol — you can drive the server with ``nc`` and read every
 frame.  Requests are single lines::
 
     QUERY select city from cities on us-map at loc covered-by {4+-4, 11+-9}
+    EXPLAIN ANALYZE select city from cities where population > 1000000
     REPACK us-map cities loc
     STATS
     PING
     QUIT
+
+``EXPLAIN [ANALYZE] <query>`` rides the QUERY pipeline end to end: the
+plan comes back as an ordinary result with a single ``plan`` column,
+one row per plan line, and is cached under the same
+``(normalized text, generation)`` key as query results.
 
 Responses are sequences of frames terminated by an ``END`` line.  For a
 successful query::

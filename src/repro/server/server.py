@@ -240,6 +240,11 @@ class PsqlServer:
                 verb = verb.upper()
                 if verb == "QUERY":
                     await self._handle_query(conn, rest)
+                elif verb == "EXPLAIN":
+                    # EXPLAIN [ANALYZE] <query> — same pipeline as QUERY
+                    # (normalisation, cache, admission, framing); the
+                    # session turns the plan into a one-column result.
+                    await self._handle_query(conn, "explain " + rest)
                 elif verb == "REPACK":
                     await self._handle_repack(conn, rest)
                 elif verb in ("STATS", "METRICS"):
@@ -256,8 +261,8 @@ class PsqlServer:
                 else:
                     await self._write_error(
                         conn, "ProtocolError",
-                        f"unknown command {verb!r} (try QUERY/REPACK/"
-                        f"STATS/PING/QUIT)")
+                        f"unknown command {verb!r} (try QUERY/EXPLAIN/"
+                        f"REPACK/STATS/PING/QUIT)")
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:

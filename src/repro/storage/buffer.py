@@ -146,6 +146,12 @@ class BufferPool:
         self.policy = policy
         self.stats = BufferStats()
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
+        # Clock state: an explicit ring of page ids plus the hand's slot
+        # index.  The ring is stable across evictions (a victim's slot is
+        # reused by the page that replaces it), so the hand always points
+        # at a meaningful position — indexing a freshly rebuilt key list
+        # with a stale hand made second-chance fairness near-random.
+        self._clock_ring: list[int] = []
         self._clock_hand = 0
         # Re-entrant: pin() faults pages in through get().
         self._lock = threading.RLock()
@@ -220,13 +226,16 @@ class BufferPool:
     def invalidate(self, page_no: int) -> None:
         """Drop *page_no* without writing it back (used after free())."""
         with self._lock:
-            self._frames.pop(page_no, None)
+            if self._frames.pop(page_no, None) is not None:
+                self._ring_remove(page_no)
 
     def clear(self) -> None:
         """Flush and drop every frame (cold-cache the pool)."""
         with self._lock:
             self.flush()
             self._frames.clear()
+            self._clock_ring.clear()
+            self._clock_hand = 0
 
     @property
     def resident(self) -> int:
@@ -242,11 +251,22 @@ class BufferPool:
             frame.referenced = True
 
     def _install(self, page_no: int, frame: _Frame) -> None:
+        reuse_slot: int | None = None
         while len(self._frames) >= self.capacity:
-            self._evict_one()
+            reuse_slot = self._evict_one()
         self._frames[page_no] = frame
+        if self.policy == "clock":
+            if reuse_slot is not None:
+                # The new page takes over its victim's ring slot, and the
+                # hand stays there: the replacement is swept first next
+                # time, so pages re-referenced since the last sweep keep
+                # their second chance.
+                self._clock_ring[reuse_slot] = page_no
+            else:
+                self._clock_ring.append(page_no)
 
-    def _evict_one(self) -> None:
+    def _evict_one(self) -> int | None:
+        """Evict one unpinned page; its ring slot index (clock only)."""
         victim_no = (self._pick_lru_victim() if self.policy == "lru"
                      else self._pick_clock_victim())
         if victim_no is None:
@@ -262,6 +282,7 @@ class BufferPool:
         self.stats.evictions += 1
         if obs.ENABLED:
             obs.active().bump("storage.buffer.evictions")
+        return self._clock_hand if self.policy == "clock" else None
 
     def _pick_lru_victim(self) -> int | None:
         for page_no, frame in self._frames.items():
@@ -270,22 +291,53 @@ class BufferPool:
         return None
 
     def _pick_clock_victim(self) -> int | None:
-        """Second-chance sweep: clear reference bits until one is cold."""
-        pages = list(self._frames.keys())
-        n = len(pages)
+        """Second-chance sweep: clear reference bits until one is cold.
+
+        Sweeps ``self._clock_ring`` — a stable circular order of page
+        ids — resuming where the last sweep stopped.  On success the
+        hand is left **on the victim's slot**; ``_install`` places the
+        replacement page there.
+        """
+        ring = self._clock_ring
+        idx = self._clock_hand
+        checks = 0
         # Two full sweeps suffice: the first clears reference bits, the
         # second must find a victim unless everything is pinned.
-        for step in range(2 * n):
-            page_no = pages[(self._clock_hand + step) % n]
-            frame = self._frames[page_no]
+        while ring and checks < 2 * len(ring):
+            if idx >= len(ring):
+                idx = 0
+            page_no = ring[idx]
+            frame = self._frames.get(page_no)
+            if frame is None:
+                # Stale slot (defensive; invalidate() removes eagerly).
+                ring.pop(idx)
+                continue
+            checks += 1
             if frame.pins > 0:
+                idx = (idx + 1) % len(ring)
                 continue
             if frame.referenced:
                 frame.referenced = False
+                idx = (idx + 1) % len(ring)
                 continue
-            self._clock_hand = (self._clock_hand + step + 1) % n
+            self._clock_hand = idx
             return page_no
+        self._clock_hand = idx if idx < len(ring) else 0
         return None
+
+    def _ring_remove(self, page_no: int) -> None:
+        """Drop a page from the clock ring, keeping the hand in place."""
+        if self.policy != "clock":
+            return
+        try:
+            idx = self._clock_ring.index(page_no)
+        except ValueError:
+            return
+        self._clock_ring.pop(idx)
+        if idx < self._clock_hand:
+            self._clock_hand -= 1
+        elif self._clock_hand >= len(self._clock_ring):
+            self._clock_hand = 0
 
 
 class BufferFullError(Exception):

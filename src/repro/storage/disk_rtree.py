@@ -148,6 +148,29 @@ class DiskRTree:
                 stack.extend(e[4] for e in node.entries)
         return count
 
+    def entry_rects(self) -> list[tuple[int, bool, Rect]]:
+        """``(level, is_leaf_entry, rect)`` for every entry, level order.
+
+        Level 1 is the root's own entries; an internal entry carries the
+        level of the child node it bounds.  This feeds the planner's
+        :func:`repro.relational.stats.summarize_index` without exposing
+        pages or node records.
+        """
+        out: list[tuple[int, bool, Rect]] = []
+        frontier = [self._root_page]
+        level = 1
+        while frontier:
+            nxt: list[int] = []
+            for page_no in frontier:
+                node = self._read_node(page_no)
+                for e in node.entries:
+                    out.append((level, node.is_leaf, _entry_rect(e)))
+                    if not node.is_leaf:
+                        nxt.append(e[4])
+            frontier = nxt
+            level += 1
+        return out
+
     # -- bulk load ---------------------------------------------------------------
 
     def bulk_load(self, items: Iterable[tuple[Rect, int]],

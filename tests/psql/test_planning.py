@@ -7,6 +7,7 @@ from repro.psql import PsqlSemanticError, Session
 from repro.psql import ast
 from repro.psql.executor import _Execution
 from repro.psql.parser import parse
+from repro.psql.planner import sargable_conjuncts
 
 
 @pytest.fixture()
@@ -128,3 +129,56 @@ class TestIndexedAccessPath:
             "where state = 'Avalon' and population > 500_000")
         for _city, state, pop in r.rows:
             assert state == "Avalon" and pop > 500_000
+
+
+class TestSargableConjuncts:
+    """Direct unit tests for the planner's conjunct extraction."""
+
+    @pytest.fixture()
+    def cities(self, map_database):
+        rel = map_database.relation("cities")
+        rel.create_index("population")
+        rel.create_index("state")
+        return rel
+
+    def _conjuncts(self, relation, where_text):
+        query = parse(f"select city from cities where {where_text}")
+        return sargable_conjuncts(query.where, relation)
+
+    def test_literal_on_left_is_flipped(self, cities):
+        found = self._conjuncts(cities, "1_000_000 < population")
+        assert found == [("population", ">", 1_000_000)]
+
+    @pytest.mark.parametrize("left_op,flipped", [
+        ("<", ">"), ("<=", ">="), (">", "<"), (">=", "<="), ("=", "=")])
+    def test_every_flip_direction(self, cities, left_op, flipped):
+        found = self._conjuncts(cities, f"7 {left_op} population")
+        assert found == [("population", flipped, 7)]
+
+    def test_not_equal_is_rejected(self, cities):
+        assert self._conjuncts(cities, "population <> 7") == []
+        assert self._conjuncts(cities, "7 <> population") == []
+
+    def test_qualified_column_of_other_relation_rejected(self, cities):
+        query = parse("select city from cities, states "
+                      "where states.population-density > 7")
+        assert sargable_conjuncts(query.where, cities) == []
+
+    def test_matching_qualifier_accepted(self, cities):
+        query = parse("select city from cities "
+                      "where cities.population > 7")
+        assert sargable_conjuncts(query.where, cities) == [
+            ("population", ">", 7)]
+
+    def test_unindexed_and_unknown_columns_rejected(self, cities):
+        assert self._conjuncts(cities, "city = 'X'") == []
+        assert self._conjuncts(cities, "no-such-column = 3") == []
+
+    def test_conjunction_collects_in_syntactic_order(self, cities):
+        found = self._conjuncts(
+            cities, "population > 5 and state = 'Avalon'")
+        assert found == [("population", ">", 5), ("state", "=", "Avalon")]
+
+    def test_disjunction_contributes_nothing(self, cities):
+        assert self._conjuncts(
+            cities, "population > 5 or state = 'Avalon'") == []

@@ -70,6 +70,57 @@ def test_papers_thesis_packed_cheaper(trees):
         assert meas_packed < meas_dynamic
 
 
+def test_boundary_clipping_matches_measurement_within_10pct():
+    """Per-node clipping pins the estimate on a boundary-heavy workload.
+
+    Every point hugs the universe border, so every MBR's Minkowski
+    rectangle hangs well past the universe; the seed's axis-wise clamp
+    (min(width + w, universe.width)) barely clips anything and
+    over-estimated these trees badly.  Per-node clipping must land the
+    estimate within 10% of Monte-Carlo ground truth.
+    """
+    import random
+
+    rng = random.Random(99)
+    pts = []
+    for _ in range(500):
+        # A 20-unit frame around the edge of the 1000x1000 universe.
+        edge = rng.randrange(4)
+        along = rng.uniform(0, 1000)
+        across = rng.uniform(0, 20)
+        if edge == 0:
+            pts.append((along, across))
+        elif edge == 1:
+            pts.append((along, 1000 - across))
+        elif edge == 2:
+            pts.append((across, along))
+        else:
+            pts.append((1000 - across, along))
+    items = [(Rect(x, y, x, y), i) for i, (x, y) in enumerate(pts)]
+    tree = pack(items, max_entries=4)
+    for w in (100.0, 300.0):
+        est = expected_window_accesses(tree, w, w, TABLE1_UNIVERSE)
+        measured = measured_window_accesses(tree, w, w, TABLE1_UNIVERSE,
+                                            samples=2000, seed=3)
+        assert est.expected_accesses == pytest.approx(measured, rel=0.10)
+
+
+def test_clipping_never_exceeds_unclipped_estimate(trees):
+    """The clipped probability is bounded by the naive Minkowski term."""
+    from repro.rtree.costmodel import node_visit_probability
+
+    packed, _ = trees
+    for node in packed.nodes():
+        if node.is_leaf:
+            continue
+        for e in node.entries:
+            clipped = node_visit_probability(e.rect, 50, 50,
+                                             TABLE1_UNIVERSE)
+            naive = ((e.rect.width + 50) * (e.rect.height + 50)
+                     / TABLE1_UNIVERSE.area())
+            assert 0.0 <= clipped <= min(1.0, naive) + 1e-12
+
+
 def test_zero_window_degenerates_to_point_probe(trees):
     packed, _ = trees
     est = expected_window_accesses(packed, 0, 0, TABLE1_UNIVERSE)

@@ -228,6 +228,26 @@ class TestCache:
             assert r2.cached
             assert r2.payload == r1.payload
 
+    def test_explain_over_the_wire(self, server):
+        host, port = _addr(server)
+        q = ("select city from cities on us-map "
+             "at loc covered-by {400+-150, 300+-150}")
+        with Client(host, port) as client:
+            r1 = client.explain(q)
+            assert r1.ok
+            assert r1.columns == ("plan",)
+            plan_text = "\n".join(row[0] for row in r1.rows)
+            assert "rtree-window" in plan_text
+            assert "(actual" not in plan_text
+            # EXPLAIN rides the query cache like any other statement.
+            r2 = client.explain(q)
+            assert r2.cached
+            assert r2.payload == r1.payload
+            analyzed = client.explain(q, analyze=True)
+            assert analyzed.ok
+            assert "(actual rows=" in "\n".join(
+                row[0] for row in analyzed.rows)
+
     def test_insert_bumps_generation_and_invalidates(self, server,
                                                      map_database):
         host, port = _addr(server)

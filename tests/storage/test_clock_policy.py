@@ -75,6 +75,42 @@ def test_clock_all_pinned_raises(pager):
         pool.get(3)
 
 
+def test_clock_hot_page_survives_eviction_pressure(pager):
+    """A page re-referenced every round is never evicted.
+
+    The seed indexed a freshly rebuilt key list with a hand left over
+    from a previous (differently ordered) list, so the sweep start was
+    effectively random and the hot page lost its second chance every few
+    rounds.  With a stable ring the hand always resumes where it
+    stopped, and a page whose bit is set on every sweep survives.
+    """
+    pool = BufferPool(pager, capacity=3, policy="clock")
+    pool.get(2)  # cold seed — deliberately first in the ring
+    pool.get(1)  # hot
+    pool.get(3)  # hot
+    for round_no in range(20):
+        cold = (4, 5, 6, 7, 8, 2)[round_no % 6]
+        reads = pager.reads
+        pool.get(1)
+        pool.get(3)
+        assert pager.reads == reads, (
+            f"a hot page was evicted before round {round_no}")
+        pool.get(cold)
+
+
+def test_clock_hand_survives_invalidate(pager):
+    """Dropping pages mid-sweep must not derail the hand."""
+    pool = BufferPool(pager, capacity=4, policy="clock")
+    for page in (1, 2, 3, 4):
+        pool.get(page)
+    pool.get(5)          # one eviction so the hand has moved
+    pool.invalidate(2)
+    pool.invalidate(3)
+    for page in (6, 7, 8, 1, 4, 5):
+        pool.get(page)   # must neither crash nor loop forever
+    assert pool.resident <= 4
+
+
 def test_clock_and_lru_answer_identically(pager):
     """Policies change performance, never contents."""
     workload = [1, 2, 3, 1, 4, 2, 5, 1, 6, 3, 2, 7, 1]
