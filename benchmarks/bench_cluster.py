@@ -1,0 +1,157 @@
+"""Cluster scaling: window-query QPS vs. primary shard count.
+
+The scale-out claim behind :mod:`repro.cluster`: sharding the universe
+into Hilbert key ranges and scattering window queries only to the
+shards they overlap multiplies read throughput with real processes —
+each shard is a separate ``python -m repro.cluster`` subprocess with
+its own interpreter, tree and cache, so shard parallelism is process
+parallelism.
+
+One sweep, written to ``benchmarks/out/cluster_qps.txt``: QPS at 1, 2
+and 4 shards for a narrow-window workload (narrow windows are the case
+routing helps — most queries touch one shard, so shards serve them
+concurrently).  The router's merged-result cache is disabled and every
+query text is distinct, so each one is actually scattered and merged.
+
+Smoke knobs: ``REPRO_CLUSTER_BENCH_QUERIES`` (queries per client),
+``REPRO_CLUSTER_BENCH_SCALE`` (demo dataset multiplier).  The >= 3x
+speedup assertion (4 shards vs. 1) only applies where it can
+physically hold — ``os.cpu_count() >= 6`` (4 shard processes + router
++ client); smaller boxes still run and report.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+import threading
+import time
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.demo import demo_dataset
+from repro.cluster.launcher import ProcessCluster
+from repro.cluster.workload import random_window
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "out",
+                        "cluster_qps.txt")
+
+QUERIES_PER_CLIENT = int(os.environ.get("REPRO_CLUSTER_BENCH_QUERIES",
+                                        "200"))
+SCALE = int(os.environ.get("REPRO_CLUSTER_BENCH_SCALE", "20"))
+SHARD_COUNTS = (1, 2, 4)
+CLIENTS = 4
+SPEEDUP_FLOOR = 3.0
+MIN_CORES_FOR_ASSERT = 6
+
+
+def _query_mix(rng: random.Random, universe, n: int) -> list[str]:
+    """Distinct narrow-window queries (each must miss every cache)."""
+    out = []
+    for i in range(n):
+        cx, dx, cy, dy = random_window(rng, universe, spanning=False)
+        rel, pic = (("cities", "us-map") if i % 3 else ("states", "us-map"))
+        col = "city" if rel == "cities" else "state"
+        out.append(f"select {col} from {rel} on {pic} at loc "
+                   f"intersecting {{{cx} +- {dx}, {cy} +- {dy}}}")
+    return out
+
+
+def _drive(host: str, port: int, universe, clients: int,
+           queries_per_client: int, seed: int) -> tuple[float, int]:
+    errors: list[str] = []
+    completed = [0]
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1)
+
+    def client_main(idx: int) -> None:
+        rng = random.Random(seed + idx)
+        queries = _query_mix(rng, universe, queries_per_client)
+        try:
+            with ClusterClient(host, port, timeout=120.0) as c:
+                barrier.wait()
+                for q in queries:
+                    r = c.query(q)
+                    if r.ok:
+                        with lock:
+                            completed[0] += 1
+                    else:
+                        with lock:
+                            errors.append(f"{r.status}: "
+                                          f"{r.error_message}")
+        except Exception as exc:  # noqa: BLE001
+            with lock:
+                errors.append(f"{type(exc).__name__}: {exc}")
+            try:
+                barrier.abort()
+            except threading.BrokenBarrierError:
+                pass
+
+    threads = [threading.Thread(target=client_main, args=(i,))
+               for i in range(clients)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise AssertionError(f"bench clients failed: {errors[:3]}")
+    return elapsed, completed[0]
+
+
+def _measure(nshards: int, universe) -> float:
+    with tempfile.TemporaryDirectory(prefix="bench-cluster-") as tmp, \
+            ProcessCluster(nshards, tmp, scale=SCALE,
+                           router_cache_size=0) as cluster:
+        # Warm up connections and shard plan caches off the clock.
+        _drive(cluster.router_host, cluster.router_port, universe,
+               CLIENTS, 5, seed=999)
+        elapsed, completed = _drive(cluster.router_host,
+                                    cluster.router_port, universe,
+                                    CLIENTS, QUERIES_PER_CLIENT,
+                                    seed=1234)
+        assert completed == CLIENTS * QUERIES_PER_CLIENT
+        return completed / elapsed
+
+
+def run_bench() -> list[tuple[int, float]]:
+    universe = demo_dataset(scale=SCALE).universe
+    return [(n, _measure(n, universe)) for n in SHARD_COUNTS]
+
+
+def write_report(results: list[tuple[int, float]]) -> str:
+    cores = os.cpu_count() or 1
+    base = results[0][1]
+    lines = [
+        "Cluster window-query throughput (router cache disabled)",
+        f"cores={cores} clients={CLIENTS} "
+        f"queries/client={QUERIES_PER_CLIENT} demo-scale={SCALE}",
+        "",
+    ]
+    for n, qps in results:
+        lines.append(f"  shards={n:<2d}  qps={qps:8.1f}  "
+                     f"speedup={qps / base:4.2f}x")
+    report = "\n".join(lines) + "\n"
+    os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
+    with open(OUT_PATH, "w", encoding="utf-8") as fh:
+        fh.write(report)
+    return report
+
+
+def test_cluster_scaling():
+    results = run_bench()
+    print()
+    print(write_report(results))
+    assert all(qps > 0 for _n, qps in results)
+    if (os.cpu_count() or 1) >= MIN_CORES_FOR_ASSERT:
+        base = results[0][1]
+        top = results[-1][1]
+        assert top >= SPEEDUP_FLOOR * base, (
+            f"{SHARD_COUNTS[-1]} shards only {top / base:.2f}x over 1 "
+            f"shard: {results}")
+
+
+if __name__ == "__main__":
+    test_cluster_scaling()

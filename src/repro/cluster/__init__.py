@@ -1,0 +1,34 @@
+"""Scale-out tier: spatial sharding with a scatter-gather router.
+
+The cluster partitions the universe into Hilbert-key ranges
+(:mod:`~repro.cluster.partition`), runs one full PSQL server per range
+(:mod:`~repro.cluster.shardserver`) plus optional WAL log-shipped read
+replicas (:mod:`~repro.cluster.replica`), and fronts them with an
+asyncio router (:mod:`~repro.cluster.router`) that speaks the existing
+wire protocol: inserts/deletes route by key, window/kNN/join queries
+scatter to overlapping shards and gather with gid-dedup
+(:mod:`~repro.cluster.routing`).  See DESIGN.md §12.
+"""
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.dataset import (GID_COLUMN, ClusterDataset,
+                                   build_database, dataset_from_database,
+                                   materialize_database)
+from repro.cluster.launcher import LocalCluster, ProcessCluster
+from repro.cluster.partition import ShardMap
+from repro.cluster.replica import LagInfo, LogShipper
+from repro.cluster.router import (BackendDownError, BackendSpec, Router,
+                                  RouterConfig)
+from repro.cluster.routing import (ClusterRoutingError, RoutePlan,
+                                   execute_local, merge_knn, merge_rows,
+                                   plan_route, shard_targets)
+from repro.cluster.shardserver import ShardServer
+
+__all__ = [
+    "BackendDownError", "BackendSpec", "ClusterClient", "ClusterDataset",
+    "ClusterRoutingError", "GID_COLUMN", "LagInfo", "LocalCluster",
+    "LogShipper", "ProcessCluster", "RoutePlan", "Router", "RouterConfig",
+    "ShardMap", "ShardServer", "build_database", "dataset_from_database",
+    "execute_local", "materialize_database", "merge_knn", "merge_rows",
+    "plan_route", "shard_targets",
+]

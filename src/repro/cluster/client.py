@@ -1,0 +1,60 @@
+"""Blocking client for the cluster router (and for shard servers).
+
+Extends the single-server :class:`~repro.server.client.Client` with the
+cluster verbs — the base verbs (``query``/``explain``/``repack``/
+``stats``/``ping``) work against a router unchanged, since the router
+speaks the same protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.relational.rowcodec import encode_row
+from repro.server.client import Client
+from repro.server.protocol import Response
+from repro.cluster.dataset import GID_COLUMN
+
+__all__ = ["ClusterClient"]
+
+
+class ClusterClient(Client):
+    """One blocking connection to a :class:`~repro.cluster.router.Router`.
+
+    Also usable against an individual
+    :class:`~repro.cluster.shardserver.ShardServer` for surgery/tests —
+    the verbs are the same, only gid assignment differs (a shard never
+    assigns gids; the router does).
+    """
+
+    def knn(self, picture: str, relation: str, x: float, y: float,
+            k: int, column: str = "loc") -> Response:
+        """The k nearest objects to ``(x, y)`` as ``(distance, gid)`` rows."""
+        return self._roundtrip(
+            f"KNN {picture} {relation} {x!r} {y!r} {k} {column}")
+
+    def insert_row(self, relation: str, row: dict[str, Any],
+                   gid: Optional[int] = None) -> Response:
+        """Insert *row* through the router.
+
+        Returns the acknowledgement; ``response.nrows`` is the assigned
+        gid.  Pass *gid* to retry a possibly-partial insert — shard
+        inserts are idempotent by gid, so the retry converges instead of
+        duplicating.
+        """
+        if gid is not None:
+            row = {GID_COLUMN: gid, **row}
+        return self._roundtrip(
+            f"INSERT {relation} {encode_row(row).hex()}")
+
+    def delete_row(self, relation: str, gid: int) -> Response:
+        """Delete the row with this gid everywhere it is stored."""
+        return self._roundtrip(f"DELETE {relation} {gid}")
+
+    def replay(self) -> Response:
+        """Force one log-shipping resync (replica servers only)."""
+        return self._roundtrip("REPLAY")
+
+    def command(self, line: str) -> Response:
+        """Send a raw protocol line (test/diagnostic escape hatch)."""
+        return self._roundtrip(line)

@@ -1,0 +1,25 @@
+"""Demo cluster datasets — the sharded twins of the server demo DB.
+
+The single-server demo factory builds the deterministic US-map database
+every test and benchmark knows; these helpers snapshot it into a
+:class:`~repro.cluster.dataset.ClusterDataset` (tagging every row with
+its gid), so a cluster's shards, its replicas and the equivalence
+tests' single-server oracle all derive from identical bytes.
+"""
+
+from __future__ import annotations
+
+from repro.server.demo import bench_database, demo_database
+from repro.cluster.dataset import ClusterDataset, dataset_from_database
+
+__all__ = ["bench_dataset", "demo_dataset"]
+
+
+def demo_dataset(scale: int = 1, seed: int = 7) -> ClusterDataset:
+    """The demo database as a shardable dataset."""
+    return dataset_from_database(demo_database(scale=scale, seed=seed))
+
+
+def bench_dataset() -> ClusterDataset:
+    """The benchmark-sized demo dataset (``REPRO_DEMO_SCALE`` applies)."""
+    return dataset_from_database(bench_database())

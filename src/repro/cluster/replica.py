@@ -1,0 +1,175 @@
+"""WAL log-shipping: feed a read replica from its primary's redo log.
+
+The durability work of PR 3 left each persistent relation with a
+page-level redo log of full after-images (:mod:`repro.storage.wal`).
+That log is a complete, replayable history of the heap file — which
+makes it a log-shipping feed for free: a replica that can see the
+primary's files (this tier targets many processes on one machine)
+rebuilds the primary's exact state by
+
+1. copying the primary's heap file (the bootstrap snapshot — possibly
+   torn mid-write, which is harmless: the pager is no-steal, so any
+   in-flight data-file write already has its committed after-image in
+   the log);
+2. overlaying every committed page image from the primary's WAL (full
+   images make this idempotent — re-applying is a no-op);
+3. decoding the rows and materialising a fresh in-memory database to
+   serve reads from.
+
+Each :meth:`LogShipper.apply_once` performs a full resync of all three
+steps; between applies the replica serves the previous snapshot.  Lag
+is measured in *commits*: the primary's WAL commit count (monotone —
+cluster primaries never checkpoint-truncate, see
+:func:`repro.cluster.dataset.build_database`) minus the count the
+replica last applied.  A paused replica therefore reports monotonically
+growing lag, which is what the router's read-routing threshold keys on.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro import obs
+from repro.relational.catalog import Database
+from repro.relational.persistent import PersistentRelation
+from repro.storage import failpoints
+from repro.storage.wal import WriteAheadLog
+from repro.cluster.dataset import ClusterDataset, materialize_database
+
+__all__ = ["FP_REPLICA_APPLY", "LagInfo", "LogShipper"]
+
+FP_REPLICA_APPLY = failpoints.declare(
+    "cluster.replica.apply",
+    "replica replay: after reading shipped pages, before applying them")
+
+
+@dataclass(frozen=True)
+class LagInfo:
+    """How far a replica trails its primary."""
+
+    primary_commits: int
+    applied_commits: int
+    seconds_behind: float
+
+    @property
+    def commits_behind(self) -> int:
+        return max(0, self.primary_commits - self.applied_commits)
+
+    @property
+    def caught_up(self) -> bool:
+        return self.commits_behind == 0
+
+
+class LogShipper:
+    """Ships one primary shard's WALs into a replica-local database.
+
+    Args:
+        dataset: the cluster dataset (schema, pictures, locations — the
+            rows come from the shipped pages, never from the seeds).
+        primary_data_dir: the primary shard's heap/WAL directory.
+        replica_dir: this replica's private directory for page
+            snapshots.
+        page_size: heap-file page geometry (must match the primary's).
+        clock: injectable monotonic clock, for tests that need to drive
+            lag-seconds explicitly.
+    """
+
+    def __init__(self, dataset: ClusterDataset, primary_data_dir: str,
+                 replica_dir: str, page_size: int = 4096,
+                 clock: Callable[[], float] = time.monotonic):
+        self.dataset = dataset
+        self.primary_data_dir = primary_data_dir
+        self.replica_dir = replica_dir
+        self.page_size = page_size
+        self.clock = clock
+        self.applied_commits = 0
+        self.applies = 0
+        self._last_caught_up_at = clock()
+        os.makedirs(replica_dir, exist_ok=True)
+
+    # -- feed inspection ----------------------------------------------------
+
+    def _heap_path(self, relation: str) -> str:
+        return os.path.join(self.primary_data_dir, f"{relation}.heap")
+
+    def _copy_path(self, relation: str) -> str:
+        return os.path.join(self.replica_dir, f"{relation}.heap")
+
+    def primary_commits(self) -> int:
+        """Total committed batches across the primary's relation WALs.
+
+        Scans the logs read-only; safe against a concurrently appending
+        primary (a torn tail record simply ends the scan, exactly as it
+        would during crash recovery).
+        """
+        total = 0
+        for rel in self.dataset.relations:
+            wal_path = self._heap_path(rel.name) + ".wal"
+            if not os.path.exists(wal_path):
+                continue
+            with WriteAheadLog(wal_path, self.page_size,
+                               sync="none") as wal:
+                _images, commits = wal.committed_pages()
+            total += commits
+        return total
+
+    def lag(self, now: Optional[float] = None) -> LagInfo:
+        """Current lag; *now* defaults to the injected clock."""
+        now = self.clock() if now is None else now
+        primary = self.primary_commits()
+        behind = max(0, primary - self.applied_commits)
+        seconds = (now - self._last_caught_up_at) if behind else 0.0
+        return LagInfo(primary_commits=primary,
+                       applied_commits=self.applied_commits,
+                       seconds_behind=seconds)
+
+    # -- replay --------------------------------------------------------------
+
+    def apply_once(self) -> tuple[Database, int]:
+        """One full resync: snapshot + committed overlay + materialise.
+
+        Returns the freshly materialised database and the commit count
+        it reflects.  The caller (the replica server) swaps the database
+        under its query service; this object only tracks feed positions.
+        """
+        rows_by_relation: dict[str, list[dict[str, Any]]] = {}
+        commits_seen = 0
+        for rel in self.dataset.relations:
+            heap_path = self._heap_path(rel.name)
+            copy_path = self._copy_path(rel.name)
+            shutil.copyfile(heap_path, copy_path)
+            wal_path = heap_path + ".wal"
+            images: dict[int, bytes] = {}
+            if os.path.exists(wal_path):
+                with WriteAheadLog(wal_path, self.page_size,
+                                   sync="none") as wal:
+                    images, commits = wal.committed_pages()
+                commits_seen += commits
+            if failpoints.ACTIVE:
+                failpoints.hit(FP_REPLICA_APPLY)
+            with open(copy_path, "r+b") as f:
+                for page_no, raw in images.items():
+                    f.seek(page_no * self.page_size)
+                    f.write(raw)
+            stored = PersistentRelation(rel.name, list(rel.columns),
+                                        copy_path, page_size=self.page_size,
+                                        durable=False)
+            try:
+                rows_by_relation[rel.name] = [row for _rid, row
+                                              in stored.rows()]
+            finally:
+                stored.close()
+        db = materialize_database(self.dataset, rows_by_relation)
+        self.applied_commits = commits_seen
+        self.applies += 1
+        self._last_caught_up_at = self.clock()
+        if obs.ENABLED:
+            reg = obs.active()
+            reg.bump("cluster.replica.applies")
+            reg.bump("cluster.replica.rows_materialized",
+                     sum(len(r) for r in rows_by_relation.values()))
+        return db, commits_seen

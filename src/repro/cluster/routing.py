@@ -1,0 +1,214 @@
+"""Pure routing logic: classify, rewrite, target, merge, dedup.
+
+Everything the router *decides* lives here as plain functions over
+plain data, with no sockets or event loops — so the equivalence
+property suite can drive thousands of routed queries against in-process
+shard databases, and the asyncio :mod:`repro.cluster.router` stays a
+thin transport around the very same code paths.
+
+The routed-query pipeline for one PSQL text:
+
+1. :func:`plan_route` normalises and parses it, rejects shapes that
+   cannot be routed over duplicated storage (aggregates), extracts the
+   window literal when there is one, and rewrites the select list to
+   prepend each relation's hidden ``gid`` column — the dedup key;
+2. :func:`shard_targets` turns the plan into a shard id list: window
+   queries go only to shards the window overlaps, everything else is
+   broadcast;
+3. each target shard executes the rewritten text;
+4. :func:`merge_rows` unions the shard answers, deduplicates on the
+   gid prefix (a boundary-spanning rect is stored on, and answered by,
+   every shard it overlaps), strips the gid columns again and sorts the
+   rows for a deterministic merged order.
+
+kNN rides the same shape through :func:`merge_knn`: every shard answers
+its local k best, the union keeps the globally smallest k with
+``(distance, gid)`` as the total order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.psql import ast
+from repro.psql.functions import FunctionRegistry
+from repro.psql.normalize import normalize_query
+from repro.psql.parser import parse_statement
+from repro.cluster.dataset import GID_COLUMN
+from repro.cluster.partition import ShardMap
+
+__all__ = ["ClusterRoutingError", "RoutePlan", "execute_local", "merge_knn",
+           "merge_rows", "plan_route", "shard_targets"]
+
+#: Aggregate names the router must refuse: an aggregate folded over
+#: duplicated, partitioned rows is not the aggregate over the logical
+#: relation, and partial aggregation is out of scope for this tier.
+_AGGREGATES = FunctionRegistry()
+
+
+class ClusterRoutingError(Exception):
+    """The query is valid PSQL but not routable over sharded storage."""
+
+
+@dataclass(frozen=True)
+class RoutePlan:
+    """The routing decision for one query text."""
+
+    normalized: str              #: canonical client text — the cache key
+    rewritten: str               #: text actually sent to shards
+    relations: tuple[str, ...]
+    window: Optional[Rect]       #: targeting window; None = broadcast
+    ngid: int                    #: gid columns prepended to each row
+    explain: bool = False
+
+
+def plan_route(text: str) -> RoutePlan:
+    """Classify and rewrite one query for scatter-gather execution.
+
+    Raises:
+        PsqlError: when the text does not lex/parse (exactly what a
+            single server would raise — routing never outlives parsing).
+        ClusterRoutingError: for aggregate select lists.
+    """
+    normalized = normalize_query(text)
+    statement = parse_statement(normalized)
+    explain = isinstance(statement, ast.Explain)
+    query = statement.query if explain else statement
+    for item in query.select:
+        if (isinstance(item, ast.FunctionCall)
+                and _AGGREGATES.is_aggregate(item.name)):
+            raise ClusterRoutingError(
+                f"aggregate {item.name}() cannot be routed: shards hold "
+                f"overlapping row subsets, so a merged aggregate would "
+                f"double-count boundary-spanning objects; run aggregates "
+                f"against a single server")
+    window = _targeting_window(query)
+    if explain:
+        # Plans are merged per shard with no dedup, so the original
+        # text travels unchanged (each shard EXPLAINs what it would
+        # actually run for its slice).
+        return RoutePlan(normalized=normalized, rewritten=normalized,
+                         relations=query.relations, window=window,
+                         ngid=0, explain=True)
+    return RoutePlan(normalized=normalized,
+                     rewritten=_rewrite_with_gids(normalized,
+                                                  query.relations),
+                     relations=query.relations, window=window,
+                     ngid=len(query.relations))
+
+
+def _targeting_window(query: ast.Query) -> Optional[Rect]:
+    """The window to route by, when routing can be narrowed at all.
+
+    Only a single-relation query with a window *literal* in its
+    at-clause is narrowable: the qualifying objects must intersect the
+    window, so only shards overlapping it can contribute.  That holds
+    for every spatial operator except ``disjoined`` — which qualifies
+    objects *away* from the window, so it broadcasts.  A join is
+    always broadcast — its second relation's rows are not constrained
+    by the window — and subquery/named areas are opaque to the router.
+    """
+    if len(query.relations) != 1 or query.at is None:
+        return None
+    if query.at.op == "disjoined":
+        return None
+    for side in (query.at.left, query.at.right):
+        if isinstance(side, ast.WindowLiteral):
+            return Rect.from_center(Point(side.cx, side.cy),
+                                    side.dx, side.dy)
+    return None
+
+
+def _rewrite_with_gids(normalized: str,
+                       relations: tuple[str, ...]) -> str:
+    """Prepend the per-relation gid columns to the select list."""
+    prefix = "select "
+    assert normalized.startswith(prefix), normalized
+    if len(relations) == 1:
+        gids = GID_COLUMN
+    else:
+        gids = " , ".join(f"{rel}.{GID_COLUMN}" for rel in relations)
+    return f"select {gids} , " + normalized[len(prefix):]
+
+
+def shard_targets(plan: RoutePlan, shardmap: ShardMap) -> list[int]:
+    """The shard ids this plan must be executed on."""
+    if plan.window is None:
+        return shardmap.all_shards()
+    return shardmap.shards_for_rect(plan.window)
+
+
+# -- merging -------------------------------------------------------------------
+
+
+def merge_rows(columns_per_shard: Sequence[Sequence[str]],
+               rows_per_shard: Sequence[Iterable[tuple]],
+               ngid: int) -> tuple[tuple[str, ...], list[tuple]]:
+    """Union shard answers, dedup on the gid prefix, strip it, sort.
+
+    Works on both wire rows (tuples of strings) and in-process rows
+    (tuples of domain values): the gid prefix is compared verbatim, and
+    the surviving suffix rows are sorted for a deterministic merged
+    order regardless of shard arrival order.
+    """
+    columns: tuple[str, ...] = ()
+    for cols in columns_per_shard:
+        if cols:
+            columns = tuple(cols[ngid:])
+            break
+    seen: dict[tuple, tuple] = {}
+    for rows in rows_per_shard:
+        for row in rows:
+            key = tuple(row[:ngid])
+            if key not in seen:
+                seen[key] = tuple(row[ngid:])
+    merged = sorted(seen.values(), key=_row_sort_key)
+    return columns, merged
+
+
+def _row_sort_key(row: tuple) -> tuple:
+    # Mixed value types within a column never happen for one query, but
+    # stringifying keeps the sort total even for exotic domain values.
+    return tuple(str(v) for v in row)
+
+
+def merge_knn(per_shard: Sequence[Iterable[tuple[float, Any]]],
+              k: int) -> list[tuple[float, Any]]:
+    """The global k nearest from per-shard ``(distance, gid)`` answers.
+
+    A boundary-spanning object can be answered by several shards with
+    the same distance; dedup keeps one.  ``(distance, gid)`` is the
+    total order on both sides of the equivalence tests, so merged
+    results are deterministic even under distance ties.
+    """
+    best: dict[Any, float] = {}
+    for rows in per_shard:
+        for dist, gid in rows:
+            if gid not in best or dist < best[gid]:
+                best[gid] = dist
+    ranked = sorted(((d, g) for g, d in best.items()))
+    return ranked[:k]
+
+
+# -- in-process reference execution -------------------------------------------
+
+
+def execute_local(text: str, shard_sessions, shardmap: ShardMap,
+                  ) -> tuple[tuple[str, ...], list[tuple]]:
+    """Route one query across in-process shard sessions and merge.
+
+    *shard_sessions* is a sequence of
+    :class:`~repro.psql.executor.Session`, one per shard id.  This is
+    the reference implementation the property suite checks against a
+    single-server oracle; the socket router performs the same steps
+    over the wire.
+    """
+    plan = plan_route(text)
+    targets = shard_targets(plan, shardmap)
+    results = [shard_sessions[sid].execute(plan.rewritten)
+               for sid in targets]
+    return merge_rows([r.columns for r in results],
+                      [r.rows for r in results], plan.ngid)

@@ -38,8 +38,8 @@ from repro.relational.catalog import Database
 from repro.relational.relation import Relation
 from repro.relational.stats import IndexSummary, LevelAgg
 
-__all__ = ["Plan", "PlanNode", "plan_query", "sargable_conjuncts",
-           "SEL_EQ", "SEL_RANGE", "SEL_NEQ"]
+__all__ = ["Plan", "PlanNode", "merge_shard_plans", "plan_query",
+           "sargable_conjuncts", "SEL_EQ", "SEL_RANGE", "SEL_NEQ"]
 
 #: selectivity of ``column = literal`` without histograms (System R)
 SEL_EQ = 0.1
@@ -568,3 +568,24 @@ def _window_text(w: ast.WindowLiteral) -> str:
 
 def _num(value: float) -> str:
     return str(int(value)) if float(value).is_integer() else str(value)
+
+
+def merge_shard_plans(labels: "list[str]",
+                      plan_rows: "list[list[str]]") -> list[str]:
+    """Merge per-shard EXPLAIN outputs into one routed plan listing.
+
+    The cluster router scatters ``EXPLAIN`` to every target shard and
+    each answers with the plan *it* would run over its slice; this
+    helper stitches those answers into a single one-column listing with
+    a header line per shard.  No dedup, no reordering — unlike data
+    rows, plan lines are positional, and two shards legitimately pick
+    different plans for the same text (their slices have different
+    statistics).
+    """
+    if len(labels) != len(plan_rows):
+        raise ValueError("one label per shard plan required")
+    merged: list[str] = [f"Scatter-gather over {len(labels)} shard(s)"]
+    for label, rows in zip(labels, plan_rows):
+        merged.append(f"-- {label}")
+        merged.extend(f"  {line}" for line in rows)
+    return merged

@@ -189,6 +189,20 @@ def _spill_runs(items: Iterable[tuple[Rect, int]], run_dir: str,
 # ---------------------------------------------------------------------------
 
 
+def hilbert_sort_key(rect: Rect, universe: Rect, order: int = 16) -> int:
+    """The Hilbert sort key the bulk loader orders *rect* by.
+
+    The key of an object is the Hilbert curve index of its MBR center
+    within *universe*.  Exposed because this ordering doubles as the
+    cluster tier's partitioning axis: :mod:`repro.cluster.partition`
+    carves the very same key space into contiguous per-shard ranges, so
+    a shard's key range corresponds to a contiguous stretch of the
+    bulk-load order.
+    """
+    center = Point((rect.x1 + rect.x2) / 2.0, (rect.y1 + rect.y2) / 2.0)
+    return hilbert_key(center, universe, order)
+
+
 def _key_fn(spec: _SortSpec) -> Callable[[tuple], tuple[float, float]]:
     """The (k1, k2) sort key for one raw record under *spec*."""
     ux1, uy1, ux2, uy2 = spec.universe
@@ -197,8 +211,8 @@ def _key_fn(spec: _SortSpec) -> Callable[[tuple], tuple[float, float]]:
         order = spec.hilbert_order
 
         def key(rec: tuple) -> tuple[float, float]:
-            center = Point((rec[0] + rec[2]) / 2.0, (rec[1] + rec[3]) / 2.0)
-            return (float(hilbert_key(center, universe, order)), 0.0)
+            rect = Rect(rec[0], rec[1], rec[2], rec[3])
+            return (float(hilbert_sort_key(rect, universe, order)), 0.0)
 
         return key
     if spec.method == "lowx":

@@ -211,7 +211,11 @@ def _parse_ok(rest: str, lines: list[str]) -> Response:
     if len(parts) != 3:
         raise ProtocolError(f"malformed OK header {rest!r}")
     disposition, gen_text, nrows_text = parts
-    if disposition not in ("cached", "fresh", "repack"):
+    # "cached"/"fresh" mark query results by cache disposition; the
+    # acknowledgement dispositions name the verb they answer (REPACK,
+    # and the cluster tier's INSERT/DELETE routing verbs).
+    if disposition not in ("cached", "fresh", "repack", "insert", "delete",
+                           "replay"):
         raise ProtocolError(f"unknown cache disposition {disposition!r}")
     try:
         nrows = int(nrows_text)

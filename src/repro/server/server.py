@@ -238,37 +238,55 @@ class PsqlServer:
                     continue
                 verb, _, rest = text.partition(" ")
                 verb = verb.upper()
-                if verb == "QUERY":
-                    await self._handle_query(conn, rest)
-                elif verb == "EXPLAIN":
-                    # EXPLAIN [ANALYZE] <query> — same pipeline as QUERY
-                    # (normalisation, cache, admission, framing); the
-                    # session turns the plan into a one-column result.
-                    await self._handle_query(conn, "explain " + rest)
-                elif verb == "REPACK":
-                    await self._handle_repack(conn, rest)
-                elif verb in ("STATS", "METRICS"):
-                    await self._write_lines(
-                        conn, protocol.encode_stats(
-                            self.stats(), generation=self.generation))
-                elif verb == "PING":
-                    await self._write_lines(
-                        conn, [protocol.PONG, protocol.END])
-                elif verb == "QUIT":
+                if verb == "QUIT":
                     await self._write_lines(
                         conn, [protocol.BYE, protocol.END])
                     break
-                else:
+                if not await self._dispatch(conn, verb, rest):
                     await self._write_error(
                         conn, "ProtocolError",
-                        f"unknown command {verb!r} (try QUERY/EXPLAIN/"
-                        f"REPACK/STATS/PING/QUIT)")
+                        f"unknown command {verb!r} "
+                        f"(try {'/'.join(self.verbs())})")
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
             self._connections.pop(sid, None)
             self.registry.bump("server.sessions.closed")
             writer.close()
+
+    # -- verb dispatch -------------------------------------------------------
+
+    def verbs(self) -> tuple[str, ...]:
+        """The command verbs this server answers (for error messages)."""
+        return ("QUERY", "EXPLAIN", "REPACK", "STATS", "PING", "QUIT")
+
+    async def _dispatch(self, conn: _Connection, verb: str,
+                        rest: str) -> bool:
+        """Handle one framed command; False means the verb is unknown.
+
+        The extension point for role-specific servers: the cluster's
+        shard and replica servers override this to add verbs (INSERT,
+        DELETE, KNN, REPLAY) and to gate mutations by role, falling
+        back here for the base protocol.
+        """
+        if verb == "QUERY":
+            await self._handle_query(conn, rest)
+        elif verb == "EXPLAIN":
+            # EXPLAIN [ANALYZE] <query> — same pipeline as QUERY
+            # (normalisation, cache, admission, framing); the
+            # session turns the plan into a one-column result.
+            await self._handle_query(conn, "explain " + rest)
+        elif verb == "REPACK":
+            await self._handle_repack(conn, rest)
+        elif verb in ("STATS", "METRICS"):
+            await self._write_lines(
+                conn, protocol.encode_stats(
+                    self.stats(), generation=self.generation))
+        elif verb == "PING":
+            await self._write_lines(conn, [protocol.PONG, protocol.END])
+        else:
+            return False
+        return True
 
     # -- the QUERY path ------------------------------------------------------
 

@@ -1,0 +1,150 @@
+"""Cluster crash matrix: kill -9 at the cluster failpoints, converge.
+
+Real subprocesses (``python -m repro.cluster``) armed through
+``REPRO_FAILPOINTS``:
+
+- a primary shard dies at ``cluster.shard.commit`` — after the durable
+  insert, before the acknowledgement.  The router must degrade to
+  ``BUSY`` (not wrong answers), queries not touching the dead shard
+  must keep working, and after a restart a gid-pinned retry of the
+  unacknowledged insert must converge without duplicating the row;
+- a read replica dies at ``cluster.replica.apply`` mid-resync.  The
+  router must keep serving reads from the primary, and the restarted
+  replica must catch back up to zero lag.
+"""
+
+import tempfile
+import time
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.server.protocol import ServerBusyError
+from repro.storage.failpoints import CRASH_EXIT_CODE
+from repro.cluster.demo import demo_dataset
+from repro.cluster.launcher import ProcessCluster
+from repro.cluster.partition import ShardMap
+
+
+def one_shard_point(shardmap):
+    """A point whose insert targets exactly one shard, and which one."""
+    u = shardmap.universe
+    for fx in (0.1, 0.2, 0.3, 0.7, 0.8, 0.9):
+        x = u.x1 + (u.x2 - u.x1) * fx
+        y = u.y1 + (u.y2 - u.y1) * fx
+        p = Point(round(x, 1), round(y, 1))
+        targets = shardmap.shards_for_rect(Rect(p.x, p.y, p.x, p.y))
+        if len(targets) == 1:
+            return p, targets[0]
+    raise AssertionError("no single-shard point found")
+
+
+def wait_until(predicate, timeout=20.0, interval=0.1):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def test_shard_crash_at_commit_busy_then_idempotent_recovery():
+    dataset = demo_dataset()
+    shardmap = ShardMap(dataset.universe, 2, order=5)
+    point, victim = one_shard_point(shardmap)
+    row = {"city": "crash-city", "state": "CX", "population": 1234,
+           "loc": point}
+    gid = 424242
+    probe = (f"select city from cities on us-map at loc covered-by "
+             f"{{{point.x} +- 0.01, {point.y} +- 0.01}}")
+    with tempfile.TemporaryDirectory(prefix="crash-shard-") as tmp, \
+            ProcessCluster(
+                2, tmp,
+                shard_env={"REPRO_FAILPOINTS":
+                           "cluster.shard.commit=crash:hard"}) as cluster:
+        client = cluster.client()
+        try:
+            baseline = client.query(
+                "select city from cities").raise_for_status()
+            assert baseline.nrows > 0
+
+            # The target shard commits the row durably, then dies before
+            # acking — the router must answer BUSY, never "ok but lost".
+            with pytest.raises(ServerBusyError):
+                client.insert_row("cities", row,
+                                  gid=gid).raise_for_status()
+            assert cluster.wait_shard_exit(victim) == CRASH_EXIT_CODE
+
+            # Degraded, not wrong: broadcasts hit the dead shard -> BUSY.
+            with pytest.raises(ServerBusyError):
+                client.query("select city from cities").raise_for_status()
+        finally:
+            client.close()
+
+        cluster.restart_shard(victim)  # clears REPRO_FAILPOINTS
+        client = cluster.client()
+        try:
+            # Idempotent-by-gid retry converges on the recovered shard:
+            # the crashed insert WAS durable, so the retry inserts 0 new
+            # copies there, and the row exists exactly once.
+            client.insert_row("cities", row, gid=gid).raise_for_status()
+            assert wait_until(lambda: ("crash-city",) in client.query(
+                probe).raise_for_status().rows)
+            rows = client.query(probe).raise_for_status().rows
+            assert rows.count(("crash-city",)) == 1
+            after = client.query(
+                "select city from cities").raise_for_status()
+            assert after.nrows == baseline.nrows + 1
+        finally:
+            client.close()
+
+
+def test_replica_crash_mid_replay_recovers_to_zero_lag():
+    dataset = demo_dataset()
+    nrelations = len(dataset.relations)
+    # The failpoint fires once per relation inside every resync; the
+    # bootstrap resync consumes the first `nrelations` hits, so a budget
+    # of `nrelations + 2` dies mid-way through the SECOND resync — a
+    # genuine mid-replay kill, after the replica has served reads.
+    arm = f"cluster.replica.apply=crash:hard:after={nrelations + 2}"
+    row = {"city": "replay-city", "state": "RX", "population": 99,
+           "loc": Point(41.5, 33.5)}
+    probe = ("select city from cities on us-map at loc covered-by "
+             "{41.5 +- 0.01, 33.5 +- 0.01}")
+    with tempfile.TemporaryDirectory(prefix="crash-replica-") as tmp, \
+            ProcessCluster(1, tmp, replicas_per_shard=1,
+                           replica_poll_interval=0.05,
+                           replica_env={"REPRO_FAILPOINTS": arm}
+                           ) as cluster:
+        client = cluster.client()
+        try:
+            assert cluster.wait_replica_exit(0) == CRASH_EXIT_CODE
+
+            # Router still serves reads and writes from the primary.
+            client.insert_row("cities", row).raise_for_status()
+            rows = client.query(probe).raise_for_status().rows
+            assert ("replay-city",) in rows
+
+            cluster.restart_replica(0)  # clears REPRO_FAILPOINTS
+
+            def caught_up():
+                rclient = cluster.replica_client(0)
+                try:
+                    stats = rclient.stats()
+                    return stats["cluster.replica.commits_behind"] == 0
+                finally:
+                    rclient.close()
+
+            assert wait_until(caught_up)
+            rclient = cluster.replica_client(0)
+            try:
+                rrows = rclient.query(probe).raise_for_status().rows
+                assert ("replay-city",) in rrows
+            finally:
+                rclient.close()
+            # And routed reads agree after recovery.
+            rows = client.query(probe).raise_for_status().rows
+            assert ("replay-city",) in rows
+        finally:
+            client.close()

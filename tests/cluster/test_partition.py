@@ -1,0 +1,96 @@
+"""Unit tests for the Hilbert-range shard map."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.rtree.hilbert import hilbert_d
+from repro.cluster.partition import ShardMap
+
+UNIVERSE = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+def test_ranges_cover_key_space_exactly():
+    for nshards in (1, 2, 3, 5, 8):
+        sm = ShardMap(UNIVERSE, nshards, order=3)
+        total = sm.side * sm.side
+        assert sm.ranges[0][0] == 0
+        assert sm.ranges[-1][1] == total
+        for (_, hi), (lo, _) in zip(sm.ranges, sm.ranges[1:]):
+            assert hi == lo  # contiguous, no gaps or overlaps
+        assert all(lo < hi for lo, hi in sm.ranges)
+
+
+def test_shard_for_key_matches_linear_scan():
+    sm = ShardMap(UNIVERSE, 5, order=4)
+    for key in range(sm.side * sm.side):
+        want = next(i for i, (lo, hi) in enumerate(sm.ranges)
+                    if lo <= key < hi)
+        assert sm.shard_for_key(key) == want
+
+
+def test_shard_for_key_rejects_out_of_range():
+    sm = ShardMap(UNIVERSE, 2, order=3)
+    with pytest.raises(ValueError):
+        sm.shard_for_key(-1)
+    with pytest.raises(ValueError):
+        sm.shard_for_key(sm.side * sm.side)
+
+
+def test_point_home_shard_is_among_rect_targets():
+    sm = ShardMap(UNIVERSE, 4, order=4)
+    for x in range(0, 101, 7):
+        for y in range(0, 101, 7):
+            p = Point(float(x), float(y))
+            home = sm.shard_for_point(p)
+            targets = sm.shards_for_rect(Rect(p.x, p.y, p.x, p.y))
+            assert targets == [home]
+
+
+def test_out_of_universe_geometry_clamps_to_valid_shards():
+    sm = ShardMap(UNIVERSE, 3, order=3)
+    assert 0 <= sm.shard_for_point(Point(-50.0, 250.0)) < 3
+    targets = sm.shards_for_rect(Rect(-10.0, -10.0, 300.0, 300.0))
+    assert targets == [0, 1, 2]  # clamps to the full universe
+
+
+def test_universe_wide_rect_targets_all_shards():
+    for nshards in (1, 2, 4, 7):
+        sm = ShardMap(UNIVERSE, nshards, order=4)
+        assert sm.shards_for_rect(UNIVERSE) == list(range(nshards))
+        assert sm.all_shards() == list(range(nshards))
+
+
+def test_single_shard_owns_everything():
+    sm = ShardMap(UNIVERSE, 1, order=3)
+    assert sm.ranges == [(0, sm.side * sm.side)]
+    assert sm.shards_for_rect(Rect(12.0, 34.0, 56.0, 78.0)) == [0]
+    assert sm.shard_for_point(Point(99.0, 1.0)) == 0
+
+
+def test_shards_for_rect_is_sorted_and_unique():
+    sm = ShardMap(UNIVERSE, 5, order=4)
+    for rect in (Rect(0.0, 0.0, 100.0, 10.0), Rect(40.0, 40.0, 60.0, 60.0),
+                 Rect(0.0, 90.0, 100.0, 100.0)):
+        targets = sm.shards_for_rect(rect)
+        assert targets == sorted(set(targets))
+        assert all(0 <= sid < 5 for sid in targets)
+
+
+def test_cell_table_agrees_with_key_ranges():
+    sm = ShardMap(UNIVERSE, 3, order=3)
+    for cy in range(sm.side):
+        for cx in range(sm.side):
+            key = hilbert_d(sm.order, cx, cy)
+            assert sm._shard_at(cx, cy) == sm.shard_for_key(key)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ShardMap(UNIVERSE, 0)
+    with pytest.raises(ValueError):
+        ShardMap(UNIVERSE, 2, order=0)
+    with pytest.raises(ValueError):
+        ShardMap(UNIVERSE, 2, order=13)
+    with pytest.raises(ValueError):
+        ShardMap(Rect(0.0, 0.0, 0.0, 0.0), 2)

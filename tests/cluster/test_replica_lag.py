@@ -1,0 +1,161 @@
+"""Replica lag accounting and lag-aware read routing.
+
+The unit half drives a :class:`LogShipper` with an explicit fake clock:
+a paused replica must report monotonically growing lag (commits and
+seconds), and one apply must snap it back to caught-up.  The cluster
+half checks the router actually *uses* that signal: a replica behind
+the ``replica_lag_threshold`` is excluded from read rotation until it
+replays, so reads never travel back in time past the threshold.
+"""
+
+import os
+import tempfile
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.relational.relation import Column
+from repro.cluster.dataset import (GID_COLUMN, ClusterDataset,
+                                   ClusterRelation, build_database)
+from repro.cluster.demo import demo_dataset
+from repro.cluster.launcher import LocalCluster
+from repro.cluster.replica import LogShipper
+from repro.cluster.router import RouterConfig
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def tiny_dataset() -> ClusterDataset:
+    rel = ClusterRelation(
+        "pts", (Column(GID_COLUMN, "int"), Column("name", "str"),
+                Column("loc", "point")),
+        [{GID_COLUMN: i, "name": f"p{i}", "loc": Point(float(i), 1.0)}
+         for i in range(3)])
+    return ClusterDataset(universe=Rect(0.0, 0.0, 100.0, 100.0),
+                          relations=[rel],
+                          pictures={"map": [("pts", "loc")]}, next_gid=3)
+
+
+@pytest.fixture()
+def shipper_env():
+    with tempfile.TemporaryDirectory(prefix="lag-") as tmp:
+        primary_dir = os.path.join(tmp, "primary")
+        os.makedirs(primary_dir)
+        dataset = tiny_dataset()
+        db = build_database(dataset, data_dir=primary_dir)
+        clock = FakeClock()
+        shipper = LogShipper(dataset, primary_dir,
+                             os.path.join(tmp, "replica"), clock=clock)
+        yield dataset, db, shipper, clock
+        db.relation("pts").close()
+
+
+def test_paused_replica_lag_is_monotone(shipper_env):
+    dataset, db, shipper, clock = shipper_env
+    replica_db, _ = shipper.apply_once()
+    assert shipper.lag().caught_up
+    assert shipper.lag().seconds_behind == 0.0
+    assert len(list(replica_db.relation("pts").rows())) == 3
+
+    # The primary keeps committing while the replica is paused.
+    seen_commits, seen_seconds = [], []
+    for i in range(4):
+        db.insert("pts", {GID_COLUMN: 100 + i, "name": f"n{i}",
+                          "loc": Point(10.0 + i, 20.0)})
+        clock.advance(2.5)
+        lag = shipper.lag()
+        assert not lag.caught_up
+        seen_commits.append(lag.commits_behind)
+        seen_seconds.append(lag.seconds_behind)
+    assert seen_commits == sorted(seen_commits)
+    assert seen_commits[0] >= 1
+    assert seen_commits[-1] > seen_commits[0]
+    assert seen_seconds == sorted(seen_seconds)
+    assert seen_seconds[-1] == pytest.approx(10.0)
+
+
+def test_apply_snaps_back_to_caught_up(shipper_env):
+    dataset, db, shipper, clock = shipper_env
+    shipper.apply_once()
+    db.insert("pts", {GID_COLUMN: 200, "name": "late",
+                      "loc": Point(42.0, 42.0)})
+    clock.advance(60.0)
+    assert shipper.lag().commits_behind >= 1
+    replica_db, commits = shipper.apply_once()
+    lag = shipper.lag()
+    assert lag.caught_up
+    assert lag.seconds_behind == 0.0
+    assert lag.applied_commits == commits
+    names = {row["name"] for _rid, row in replica_db.relation("pts").rows()}
+    assert "late" in names
+
+
+def test_lag_info_properties():
+    from repro.cluster.replica import LagInfo
+    assert LagInfo(5, 5, 0.0).caught_up
+    assert LagInfo(7, 5, 1.0).commits_behind == 2
+    assert not LagInfo(7, 5, 1.0).caught_up
+    assert LagInfo(3, 5, 0.0).commits_behind == 0  # never negative
+
+
+def test_router_excludes_lagging_replica():
+    dataset = demo_dataset()
+    probe = ("select city from cities on us-map at loc covered-by "
+             "{77.0 +- 0.01, 41.0 +- 0.01}")
+    with tempfile.TemporaryDirectory(prefix="lag-route-") as tmp, \
+            LocalCluster(dataset, nshards=1, replicas_per_shard=1,
+                         data_root=tmp,
+                         router_config=RouterConfig(
+                             cache_size=0, replica_lag_threshold=0.0,
+                             health_interval=0.0)) as local:
+        client = local.client()
+        try:
+            # Caught-up replica participates in read rotation.
+            for _ in range(4):
+                client.query(probe).raise_for_status()
+            stats = client.stats()
+            assert stats["router.reads.replica"] >= 1
+            assert stats["router.reads.primary"] >= 1
+
+            # A write puts the replica behind the (zero) threshold.
+            client.insert_row(
+                "cities", {"city": "lag-city", "state": "LG",
+                           "population": 9, "loc": Point(77.0, 41.0)}
+            ).raise_for_status()
+            before = client.stats()
+            for _ in range(4):
+                rows = client.query(probe).raise_for_status().rows
+                # Never a stale answer: the lagging replica is excluded.
+                assert ("lag-city",) in rows
+            after = client.stats()
+            assert after["router.reads.replica"] == \
+                before["router.reads.replica"]
+            assert after["router.reads.primary"] == \
+                before["router.reads.primary"] + 4
+
+            # REPLAY re-admits the replica, now serving the new row.
+            rclient = local.replica_client(0)
+            try:
+                rclient.replay().raise_for_status()
+                assert rclient.stats()[
+                    "cluster.replica.commits_behind"] == 0
+            finally:
+                rclient.close()
+            mid = client.stats()
+            for _ in range(4):
+                rows = client.query(probe).raise_for_status().rows
+                assert ("lag-city",) in rows
+            assert client.stats()["router.reads.replica"] > \
+                mid["router.reads.replica"]
+        finally:
+            client.close()

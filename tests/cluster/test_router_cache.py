@@ -1,0 +1,98 @@
+"""Router result cache: keyed on (shard, generation), REPACK-safe.
+
+The merged-result cache must stop being addressable the moment ANY
+backend's database generation moves — otherwise a REPACK or an insert
+on one shard could keep serving a stale merged answer assembled before
+the change.  The cache warms up in two steps: the first execution runs
+before the router has learned every backend's generation, the second
+runs (and caches) under the learned token, and from the third on the
+router serves hits.
+"""
+
+import pytest
+
+from repro.cluster.demo import demo_dataset
+from repro.cluster.launcher import LocalCluster
+
+PROBE = ("select city from cities on us-map at loc intersecting "
+         "{50 +- 500, 30 +- 500}")
+
+
+@pytest.fixture()
+def cluster():
+    with LocalCluster(demo_dataset(), nshards=2) as local:
+        yield local
+
+
+def warm(client, text):
+    """Drive *text* to a steady cached state; the stable row answer."""
+    first = client.query(text).raise_for_status()
+    second = client.query(text).raise_for_status()
+    assert sorted(first.rows) == sorted(second.rows)
+    return second.rows
+
+
+def test_cache_warms_up_then_hits(cluster):
+    client = cluster.client()
+    try:
+        rows = warm(client, PROBE)
+        third = client.query(PROBE).raise_for_status()
+        assert third.cached
+        assert third.rows == rows
+        stats = client.stats()
+        assert stats["router.cache.hits"] >= 1
+    finally:
+        client.close()
+
+
+def test_repack_invalidates_but_preserves_answers(cluster):
+    client = cluster.client()
+    try:
+        rows = warm(client, PROBE)
+        assert client.query(PROBE).raise_for_status().cached
+        client.command("REPACK us-map cities loc").raise_for_status()
+        after = client.query(PROBE).raise_for_status()
+        # The generation token moved: the stale merged result is not
+        # addressable any more — but a repack changes no row content.
+        assert not after.cached
+        assert sorted(after.rows) == sorted(rows)
+        again = client.query(PROBE).raise_for_status()
+        assert again.cached  # re-cached under the new generations
+    finally:
+        client.close()
+
+
+def test_insert_and_delete_invalidate(cluster):
+    client = cluster.client()
+    try:
+        from repro.geometry.point import Point
+        rows = warm(client, PROBE)
+        assert client.query(PROBE).raise_for_status().cached
+        ack = client.insert_row(
+            "cities", {"city": "cache-buster", "state": "CB",
+                       "population": 42,
+                       "loc": Point(33.0, 22.0)}).raise_for_status()
+        after = client.query(PROBE).raise_for_status()
+        assert not after.cached
+        assert ("cache-buster",) in after.rows
+        client.delete_row("cities", ack.nrows).raise_for_status()
+        gone = client.query(PROBE).raise_for_status()
+        assert not gone.cached
+        assert ("cache-buster",) not in gone.rows
+        assert sorted(gone.rows) == sorted(rows)
+    finally:
+        client.close()
+
+
+def test_knn_results_are_cached_too(cluster):
+    client = cluster.client()
+    try:
+        first = client.knn("us-map", "cities", 40.0, 30.0,
+                           5).raise_for_status()
+        client.knn("us-map", "cities", 40.0, 30.0, 5).raise_for_status()
+        third = client.knn("us-map", "cities", 40.0, 30.0,
+                           5).raise_for_status()
+        assert third.cached
+        assert third.rows == first.rows
+    finally:
+        client.close()
