@@ -1,0 +1,124 @@
+"""Advisor costs: capture overhead and what-if planning latency.
+
+Two numbers gate the advisor's always-on posture:
+
+- **capture overhead** — attaching a :class:`QueryLog` to a session
+  switches execution into measure mode (per-node access counting) and
+  adds one fingerprint + dict update per statement.  The acceptance bar
+  (ISSUE 7): under 5% QPS loss versus the same loop with no log.
+- **what-if latency** — ``advise()`` replans the whole captured
+  workload once per candidate action.  Over a 50-query workload it must
+  stay interactive (well under a second), since the server answers
+  ``ADVISE`` inline on a worker thread.
+
+Timing uses best-of-R over fixed statement batches (minimum is the
+standard noise-robust estimator); the figures land in
+``benchmarks/out/advisor_overhead.txt``.
+"""
+
+import time
+
+import pytest
+
+from repro.advisor import QueryLog, advise
+from repro.advisor.smoke import build_degraded_database
+from repro.psql.executor import Session
+
+REPEATS = 7
+MAX_CAPTURE_OVERHEAD = 1.05
+MAX_ADVISE_SECONDS = 1.0
+N_WHATIF_QUERIES = 50
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_degraded_database()
+
+
+@pytest.fixture(scope="module")
+def statements():
+    # The smoke workload shape: cheap window probes (plan/search bound,
+    # worst case for per-statement bookkeeping) plus a few scans.
+    probes = [f"select id from points on map at loc covered-by "
+              f"{{{cx}+-8, {cy}+-8}}"
+              for cx in (100, 300, 500, 700, 900)
+              for cy in (100, 300, 500, 700, 900)]
+    scans = ["select id from points where val > 900",
+             "select id from points where val < 50"]
+    return probes + scans
+
+
+def best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def overhead(report, db, statements):
+    plain = Session(db)
+    logged = Session(db)
+    logged.query_log = QueryLog()
+
+    def run(session):
+        for text in statements:
+            session.execute(text)
+
+    run(plain), run(logged)  # warm plan caches before timing
+    t_plain = best_of(REPEATS, lambda: run(plain))
+    t_logged = best_of(REPEATS, lambda: run(logged))
+    ratio = t_logged / t_plain
+    batch = len(statements)
+    report("advisor_overhead", "\n".join([
+        "Workload-capture overhead "
+        f"(batch of {batch} statements, best of {REPEATS})",
+        f"  no log   : {t_plain * 1e3:8.3f} ms "
+        f"({batch / t_plain:8.0f} stmt/s)",
+        f"  captured : {t_logged * 1e3:8.3f} ms "
+        f"({batch / t_logged:8.0f} stmt/s)",
+        f"  ratio    : {ratio:8.3f}x  (bar: {MAX_CAPTURE_OVERHEAD}x)",
+    ]))
+    return ratio
+
+
+def test_capture_overhead_under_five_percent(overhead):
+    assert overhead < MAX_CAPTURE_OVERHEAD
+
+
+def test_capture_records_everything(db, statements):
+    session = Session(db)
+    session.query_log = QueryLog()
+    for text in statements:
+        session.execute(text)
+    assert sum(e.calls for e in session.query_log.snapshot()) \
+        == len(statements)
+
+
+@pytest.fixture(scope="module")
+def whatif_log(db):
+    log = QueryLog()
+    session = Session(db)
+    session.query_log = log
+    for i in range(N_WHATIF_QUERIES):
+        lo = (i * 17) % 900
+        session.execute(f"select id from points where val > {lo}")
+    assert len(log) == N_WHATIF_QUERIES
+    return log
+
+
+def test_whatif_latency_over_fifty_queries(report, db, whatif_log):
+    seconds = best_of(REPEATS,
+                      lambda: advise(db, whatif_log,
+                                     top=N_WHATIF_QUERIES))
+    report("advisor_whatif_latency", "\n".join([
+        f"What-if ADVISE latency ({N_WHATIF_QUERIES} captured queries, "
+        f"best of {REPEATS})",
+        f"  advise() : {seconds * 1e3:8.3f} ms "
+        f"(bar: {MAX_ADVISE_SECONDS * 1e3:.0f} ms)",
+    ]))
+    assert seconds < MAX_ADVISE_SECONDS
+    report_obj = advise(db, whatif_log, top=N_WHATIF_QUERIES)
+    assert report_obj.recommendations  # the skew earns an index

@@ -1,0 +1,217 @@
+"""HEALTH: OK/WARN/FAIL checks over stats the system already collects.
+
+Each check reads one signal — obs counters the server merges anyway
+(buffer hit rate, WAL checkpoint backlog, replica lag, cache hit
+rates) or catalog statistics (per-tree packing degradation) — and grades
+it against fixed thresholds.  Checks never fix anything; a WARN on a
+degraded tree points at the matching ADVISE recommendation.
+
+Checks that lack their signal (no WAL attached, no replica, too little
+traffic for a meaningful rate) report OK with a "no data" detail rather
+than guessing: an all-OK report from an idle server is correct, not
+vacuous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from repro.advisor.whatif import packed_degradation
+
+__all__ = ["CheckResult", "HealthReport", "HealthThresholds",
+           "run_health_checks"]
+
+OK = "OK"
+WARN = "WARN"
+FAIL = "FAIL"
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Grading knobs, overridable per call."""
+
+    #: buffer hit rate below these grades WARN / FAIL
+    buffer_warn: float = 0.90
+    buffer_fail: float = 0.50
+    #: commits accumulated per WAL checkpoint
+    checkpoint_warn: float = 5_000.0
+    checkpoint_fail: float = 50_000.0
+    #: replica commits behind the primary
+    replica_warn: float = 10.0
+    replica_fail: float = 1_000.0
+    #: result-cache and plan-cache hit rates below these grade WARN
+    result_cache_warn: float = 0.10
+    plan_cache_warn: float = 0.50
+    #: per-tree current/packed access ratio at or above these grade
+    #: WARN / FAIL (1.0 = as good as freshly packed)
+    tree_warn: float = 1.25
+    tree_fail: float = 2.00
+    #: rates need at least this many observations to be graded
+    min_samples: int = 50
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One graded signal."""
+
+    name: str
+    status: str
+    value: Optional[float]
+    detail: str
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    checks: tuple[CheckResult, ...]
+
+    @property
+    def worst(self) -> str:
+        order = {OK: 0, WARN: 1, FAIL: 2}
+        worst = OK
+        for check in self.checks:
+            if order[check.status] > order[worst]:
+                worst = check.status
+        return worst
+
+    def counts(self) -> tuple[int, int, int]:
+        """(ok, warn, fail) totals."""
+        ok = sum(1 for c in self.checks if c.status == OK)
+        warn = sum(1 for c in self.checks if c.status == WARN)
+        fail = sum(1 for c in self.checks if c.status == FAIL)
+        return ok, warn, fail
+
+
+def run_health_checks(db: Any = None,
+                      stats: Optional[Mapping[str, float]] = None,
+                      thresholds: HealthThresholds = HealthThresholds(),
+                      ) -> HealthReport:
+    """Grade every applicable signal.
+
+    Args:
+        db: catalog for the per-tree degradation checks (skipped when
+            ``None``).
+        stats: a flat counter mapping — a server's ``stats()`` payload
+            or an :func:`repro.obs.snapshot`.  Counter-driven checks are
+            skipped when ``None``.
+        thresholds: grading knobs.
+    """
+    t = thresholds
+    checks: list[CheckResult] = []
+    counters: Mapping[str, float] = stats or {}
+    if stats is not None:
+        checks.append(_rate_check(
+            "buffer.hit_rate", counters,
+            hits="storage.buffer.hits", misses="storage.buffer.misses",
+            warn_below=t.buffer_warn, fail_below=t.buffer_fail,
+            min_samples=t.min_samples))
+        checks.append(_checkpoint_check(counters, t))
+        checks.append(_replica_check(counters, t))
+        checks.append(_rate_check(
+            "cache.results", counters,
+            hits="server.cache.hits", misses="server.cache.misses",
+            warn_below=t.result_cache_warn, fail_below=None,
+            min_samples=t.min_samples))
+        checks.append(_rate_check(
+            "cache.plans", counters,
+            hits="psql.plan.cache_hits", misses="psql.plan.cache_misses",
+            warn_below=t.plan_cache_warn, fail_below=None,
+            min_samples=t.min_samples))
+    if db is not None:
+        checks.extend(_tree_checks(db, t))
+    checks.sort(key=lambda c: c.name)
+    return HealthReport(checks=tuple(checks))
+
+
+# -- counter-driven checks ---------------------------------------------------
+
+
+def _rate_check(name: str, counters: Mapping[str, float], *, hits: str,
+                misses: str, warn_below: float,
+                fail_below: Optional[float],
+                min_samples: int) -> CheckResult:
+    hit = float(counters.get(hits, 0))
+    miss = float(counters.get(misses, 0))
+    total = hit + miss
+    if total < min_samples:
+        return CheckResult(name, OK, None,
+                           f"no data ({int(total)} samples, "
+                           f"need {min_samples})")
+    rate = hit / total
+    detail = f"{int(hit)}/{int(total)} hits"
+    if fail_below is not None and rate < fail_below:
+        return CheckResult(name, FAIL, rate,
+                           f"{detail}; below {fail_below:.2f}")
+    if rate < warn_below:
+        return CheckResult(name, WARN, rate,
+                           f"{detail}; below {warn_below:.2f}")
+    return CheckResult(name, OK, rate, detail)
+
+
+def _checkpoint_check(counters: Mapping[str, float],
+                      t: HealthThresholds) -> CheckResult:
+    commits = float(counters.get("storage.wal.commits", 0))
+    checkpoints = float(counters.get("storage.wal.checkpoints", 0))
+    if commits <= 0:
+        return CheckResult("wal.checkpoint", OK, None,
+                           "no data (no WAL commits)")
+    backlog = commits / (checkpoints + 1.0)
+    detail = (f"{int(commits)} commits over "
+              f"{int(checkpoints)} checkpoint(s)")
+    if backlog > t.checkpoint_fail:
+        return CheckResult("wal.checkpoint", FAIL, backlog,
+                           f"{detail}; recovery replay would be long")
+    if backlog > t.checkpoint_warn:
+        return CheckResult("wal.checkpoint", WARN, backlog,
+                           f"{detail}; consider a lower checkpoint_bytes")
+    return CheckResult("wal.checkpoint", OK, backlog, detail)
+
+
+def _replica_check(counters: Mapping[str, float],
+                   t: HealthThresholds) -> CheckResult:
+    behind = counters.get("cluster.replica.commits_behind")
+    if behind is None:
+        return CheckResult("replica.lag", OK, None,
+                           "no data (not a replica)")
+    behind = float(behind)
+    detail = f"{int(behind)} commits behind primary"
+    if behind > t.replica_fail:
+        return CheckResult("replica.lag", FAIL, behind, detail)
+    if behind > t.replica_warn:
+        return CheckResult("replica.lag", WARN, behind, detail)
+    return CheckResult("replica.lag", OK, behind, detail)
+
+
+# -- catalog-driven checks ---------------------------------------------------
+
+
+def _tree_checks(db: Any, t: HealthThresholds) -> list[CheckResult]:
+    """Packing degradation per (picture, relation, column) tree.
+
+    The value is the ratio of expected window-query node accesses on
+    the live structure vs. its hypothetically re-packed self — the
+    Section 3.4 update problem, quantified by the PR 5 cost model.
+    """
+    checks = []
+    for picture in db.pictures():
+        for relation_name, column in sorted(picture.associations()):
+            name = f"tree.{picture.name}/{relation_name}.{column}"
+            try:
+                ratio, current, _packed = packed_degradation(
+                    db, picture.name, relation_name, column)
+            except (KeyError, ValueError) as exc:
+                checks.append(CheckResult(name, OK, None,
+                                          f"no data ({exc})"))
+                continue
+            detail = (f"{ratio:.2f}x packed search cost, "
+                      f"{current.size} entries, "
+                      f"{current.node_count} nodes")
+            if ratio >= t.tree_fail:
+                checks.append(CheckResult(name, FAIL, ratio,
+                                          f"{detail}; REPACK overdue"))
+            elif ratio >= t.tree_warn:
+                checks.append(CheckResult(name, WARN, ratio,
+                                          f"{detail}; consider REPACK"))
+            else:
+                checks.append(CheckResult(name, OK, ratio, detail))
+    return checks

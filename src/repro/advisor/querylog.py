@@ -1,0 +1,218 @@
+"""Workload capture: a thread-safe log of executed queries.
+
+The advisor can only tune what it has seen.  A :class:`QueryLog` keys
+every executed statement by its :func:`repro.psql.fingerprint_query`
+fingerprint (so ``population > 1e5`` and ``population > 100000`` count
+as one workload entry) and accumulates calls, result rows, the planner's
+estimated cost and the actual access count the measure-mode executor
+observed — the same numbers ``EXPLAIN ANALYZE`` prints, aggregated over
+time instead of per statement.
+
+Cost discipline mirrors :mod:`repro.obs`: a disabled log costs callers a
+single attribute test (``log.enabled``), and the capture hook in
+:meth:`repro.psql.executor.Session.execute` is only entered when a log
+is both attached and enabled.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.psql.normalize import fingerprint_query
+
+__all__ = ["QueryLog", "QueryStats"]
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Accumulated statistics for one query fingerprint."""
+
+    fingerprint: str
+    #: the first raw statement text seen for this fingerprint — what the
+    #: what-if planner re-parses to replay the workload
+    sample: str
+    calls: int = 0
+    #: additional invocations answered from the server result cache
+    #: (no execution, so no cost/access numbers accumulate for them)
+    cached: int = 0
+    rows: int = 0
+    est_cost: float = 0.0
+    est_rows: float = 0.0
+    accesses: int = 0
+    seconds: float = 0.0
+
+    @property
+    def mean_cost(self) -> float:
+        """Planner-estimated accesses per executed call."""
+        return self.est_cost / self.calls if self.calls else 0.0
+
+    @property
+    def mean_accesses(self) -> float:
+        """Actual measured accesses per executed call."""
+        return self.accesses / self.calls if self.calls else 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.seconds / self.calls if self.calls else 0.0
+
+
+class _Entry:
+    """Mutable accumulator behind one :class:`QueryStats` snapshot."""
+
+    __slots__ = ("fingerprint", "sample", "calls", "cached", "rows",
+                 "est_cost", "est_rows", "accesses", "seconds")
+
+    def __init__(self, fingerprint: str, sample: str):
+        self.fingerprint = fingerprint
+        self.sample = sample
+        self.calls = 0
+        self.cached = 0
+        self.rows = 0
+        self.est_cost = 0.0
+        self.est_rows = 0.0
+        self.accesses = 0
+        self.seconds = 0.0
+
+    def freeze(self) -> QueryStats:
+        return QueryStats(fingerprint=self.fingerprint, sample=self.sample,
+                          calls=self.calls, cached=self.cached,
+                          rows=self.rows, est_cost=self.est_cost,
+                          est_rows=self.est_rows, accesses=self.accesses,
+                          seconds=self.seconds)
+
+
+class QueryLog:
+    """Bounded, thread-safe per-fingerprint workload statistics.
+
+    At most *capacity* distinct fingerprints are kept; when full, the
+    least recently *updated* fingerprint is evicted — a workload's hot
+    queries, by definition, keep themselves resident.
+    """
+
+    #: raw-text -> fingerprint memo bound; cleared wholesale when full
+    #: (hot workloads repeat spellings, so hits dominate either way)
+    _FP_CACHE_SIZE = 4096
+
+    def __init__(self, capacity: int = 512, enabled: bool = True):
+        if capacity < 1:
+            raise ValueError("query log capacity must be positive")
+        self.capacity = capacity
+        #: read (unlocked) by the capture hook before doing any work;
+        #: flipping it off makes recording a no-op everywhere.
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        self._fp_cache: dict[str, str] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def _fingerprint(self, text: str) -> Optional[str]:
+        """Fingerprint *text*, memoised by the raw statement string.
+
+        Re-tokenising every call would cost about as much as parsing the
+        statement again; production workloads repeat the same spellings,
+        so a raw-text memo makes the steady-state capture cost a dict
+        probe.  Reads are unlocked (a miss merely recomputes); inserts
+        happen under the caller's lock.  Returns ``None`` for text that
+        fails to tokenise (it failed before reaching the executor too).
+        """
+        key = self._fp_cache.get(text)
+        if key is None:
+            try:
+                key = fingerprint_query(text)
+            except Exception:
+                return None
+        return key
+
+    def _memoise(self, text: str, key: str) -> None:
+        # Caller holds self._lock.
+        if len(self._fp_cache) >= self._FP_CACHE_SIZE:
+            self._fp_cache.clear()
+        self._fp_cache[text] = key
+
+    def record(self, text: str, *, rows: int, est_cost: float,
+               est_rows: float, accesses: int, seconds: float) -> None:
+        """Record one executed statement.
+
+        *text* is the raw statement; fingerprinting happens here so
+        callers never deal in keys.  Statements that fail to tokenize
+        are ignored (they failed before reaching the executor anyway).
+        """
+        if not self.enabled:
+            return
+        key = self._fingerprint(text)
+        if key is None:
+            return
+        with self._lock:
+            self._memoise(text, key)
+            entry = self._touch(key, text)
+            entry.calls += 1
+            entry.rows += rows
+            entry.est_cost += est_cost
+            entry.est_rows += est_rows
+            entry.accesses += accesses
+            entry.seconds += seconds
+
+    def record_cached(self, text: str, rows: int = 0) -> None:
+        """Record a statement answered from a result cache.
+
+        Cache hits execute nothing, so only the call count (and the row
+        count the cached result carried) accumulates — but the advisor
+        still needs them: a query that is *always* cached contributes no
+        execution cost today yet dominates the workload the moment the
+        cache is invalidated.
+        """
+        if not self.enabled:
+            return
+        key = self._fingerprint(text)
+        if key is None:
+            return
+        with self._lock:
+            self._memoise(text, key)
+            entry = self._touch(key, text)
+            entry.cached += 1
+            entry.rows += rows
+
+    def _touch(self, key: str, text: str) -> _Entry:
+        # Caller holds self._lock.
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = _Entry(key, text)
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        else:
+            self._entries.move_to_end(key)
+        return entry
+
+    # -- reading -----------------------------------------------------------
+
+    def top(self, n: Optional[int] = None,
+            key: str = "est_cost") -> list[QueryStats]:
+        """The TOP report: fingerprints ranked by accumulated *key*.
+
+        *key* may be any additive :class:`QueryStats` field
+        (``est_cost``, ``accesses``, ``calls``, ``seconds``, ``rows``).
+        Ties break on call count, then fingerprint, so the ordering is
+        deterministic.
+        """
+        snap = self.snapshot()
+        snap.sort(key=lambda s: (-getattr(s, key), -s.calls,
+                                 s.fingerprint))
+        return snap if n is None else snap[:n]
+
+    def snapshot(self) -> list[QueryStats]:
+        """An atomic point-in-time copy of every entry (unordered)."""
+        with self._lock:
+            return [e.freeze() for e in self._entries.values()]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

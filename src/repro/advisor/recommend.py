@@ -1,0 +1,243 @@
+"""ADVISE: turn a captured workload into ranked tuning actions.
+
+Candidate generation is deliberately narrow and the judging deliberately
+reuses production machinery: every candidate — a hypothetical B-tree on
+an unindexed filtered column, or a hypothetical re-PACK of a degraded
+picture tree — is priced by replanning the *entire captured workload*
+through :func:`repro.psql.planner.plan_query` against a
+:class:`~repro.advisor.whatif.WhatIfDatabase`.  A recommendation is the
+difference between two workload bills, not a heuristic score, so
+applying it moves the planner the way the advisor predicted (the parity
+test in ``tests/advisor`` pins exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.advisor.querylog import QueryLog, QueryStats
+from repro.advisor.whatif import WhatIfDatabase, packed_degradation
+from repro.psql import ast
+from repro.psql.errors import PsqlError
+from repro.psql.parser import parse_statement
+from repro.psql.planner import plan_query
+
+__all__ = ["AdviseReport", "Recommendation", "advise"]
+
+#: ignore actions that save less than this fraction of the workload bill
+MIN_SAVING = 0.05
+#: structural gate for REPACK: current/packed access ratio must exceed it
+REPACK_MIN_RATIO = 1.25
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One ranked tuning action with its predicted workload effect."""
+
+    #: ``"create-index"`` or ``"repack"``
+    kind: str
+    #: the action, spelled the way an operator would run it
+    statement: str
+    #: (relation, column) for create-index;
+    #: (picture, relation, column) for repack
+    target: tuple
+    #: workload-weighted planner cost before / after the action
+    cost_before: float
+    cost_after: float
+    detail: str = ""
+
+    @property
+    def saving(self) -> float:
+        """Fraction of the workload bill the action removes."""
+        if self.cost_before <= 0.0:
+            return 0.0
+        return (self.cost_before - self.cost_after) / self.cost_before
+
+    def apply(self, db: Any) -> None:
+        """Perform the action against the real catalog."""
+        if self.kind == "create-index":
+            relation, column = self.target
+            db.relation(relation).create_index(column)
+            # B-tree creation does not route through a generation-bumping
+            # catalog mutation; bump so cached plans re-cost.
+            db.bump_generation()
+        elif self.kind == "repack":
+            picture, relation, column = self.target
+            db.rebuild_index(picture, relation, column)
+        else:  # pragma: no cover - kinds are fixed at construction
+            raise ValueError(f"unknown recommendation kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class AdviseReport:
+    """The ADVISE payload: top queries plus ranked recommendations."""
+
+    entries: tuple[QueryStats, ...]
+    recommendations: tuple[Recommendation, ...]
+    #: workload-weighted planner cost of the captured queries as-is
+    workload_cost: float = 0.0
+    #: fingerprints captured but not replayable (parse/plan failures)
+    skipped: int = 0
+
+
+def advise(db: Any, log: QueryLog, top: int = 20,
+           min_saving: float = MIN_SAVING) -> AdviseReport:
+    """Analyse the captured workload and rank tuning actions.
+
+    Args:
+        db: the live catalog (read-only here; recommendations carry an
+            ``apply`` method for later).
+        log: the workload capture to replay.
+        top: how many fingerprints (by accumulated estimated cost) to
+            report and to replay against candidates.
+        min_saving: drop actions saving less than this fraction of the
+            workload bill.
+    """
+    entries = tuple(log.top(top, key="est_cost"))
+    queries, skipped = _replayable(db, entries)
+    workload_cost = _workload_cost(db, queries)
+    recs: list[Recommendation] = []
+    recs.extend(_btree_candidates(db, queries, workload_cost, min_saving))
+    recs.extend(_repack_candidates(db, queries, workload_cost,
+                                   min_saving))
+    recs.sort(key=lambda r: (r.cost_after - r.cost_before, r.statement))
+    return AdviseReport(entries=entries, recommendations=tuple(recs),
+                        workload_cost=workload_cost, skipped=skipped)
+
+
+# -- workload replay ---------------------------------------------------------
+
+
+def _replayable(db: Any, entries: tuple[QueryStats, ...],
+                ) -> tuple[list[tuple[ast.Query, float]], int]:
+    """Parse each sample back to an AST with its workload weight.
+
+    The weight is the total observed call count — cache hits included,
+    since any invalidation turns them back into executions.
+    """
+    queries: list[tuple[ast.Query, float]] = []
+    skipped = 0
+    for stats in entries:
+        weight = float(stats.calls + stats.cached)
+        if weight <= 0.0:
+            continue
+        try:
+            statement = parse_statement(stats.sample)
+            if isinstance(statement, ast.Explain):
+                statement = statement.query
+            plan_query(db, statement)
+        except (PsqlError, KeyError, ValueError):
+            skipped += 1
+            continue
+        queries.append((statement, weight))
+    return queries, skipped
+
+
+def _workload_cost(db: Any,
+                   queries: list[tuple[ast.Query, float]]) -> float:
+    total = 0.0
+    for query, weight in queries:
+        try:
+            total += weight * plan_query(db, query).root.est_cost
+        except (PsqlError, KeyError):
+            # Hypothetical catalogs answer the same reads the real one
+            # did in _replayable, so this only fires on live-schema
+            # races; price the query as unchanged by skipping it.
+            continue
+    return total
+
+
+# -- candidates --------------------------------------------------------------
+
+
+def _btree_candidates(db: Any, queries: list[tuple[ast.Query, float]],
+                      workload_cost: float,
+                      min_saving: float) -> list[Recommendation]:
+    candidates: set[tuple[str, str]] = set()
+    for query, _weight in queries:
+        if query.where is None:
+            continue
+        for name in query.relations:
+            try:
+                relation = db.relation(name)
+            except KeyError:
+                continue
+            for column in _filterable_columns(query.where, relation):
+                if relation.index_on(column) is None:
+                    candidates.add((name, column))
+    recs = []
+    for name, column in sorted(candidates):
+        whatif = WhatIfDatabase(db, btrees=[(name, column)])
+        cost_after = _workload_cost(whatif, queries)
+        rec = Recommendation(
+            kind="create-index",
+            statement=f"CREATE INDEX {name}.{column}",
+            target=(name, column),
+            cost_before=workload_cost,
+            cost_after=cost_after,
+            detail=(f"b-tree on {name}.{column} serves captured "
+                    f"filter conjuncts"))
+        if rec.saving >= min_saving:
+            recs.append(rec)
+    return recs
+
+
+def _filterable_columns(cond: ast.Condition, relation: Any) -> set[str]:
+    """Columns of *relation* compared to literals in and-conjuncts.
+
+    The same shape test as the planner's ``sargable_conjuncts`` minus
+    the index-existence requirement — these are exactly the conjuncts a
+    new B-tree could serve.
+    """
+    if isinstance(cond, ast.And):
+        return (_filterable_columns(cond.left, relation)
+                | _filterable_columns(cond.right, relation))
+    if not isinstance(cond, ast.Comparison):
+        return set()
+    left, op, right = cond.left, cond.op, cond.right
+    if isinstance(left, ast.Literal) and isinstance(right, ast.ColumnRef):
+        left, right = right, left
+    if not (isinstance(left, ast.ColumnRef)
+            and isinstance(right, ast.Literal)):
+        return set()
+    if op == "<>":
+        return set()
+    if left.relation not in (None, relation.name):
+        return set()
+    if not relation.has_column(left.column):
+        return set()
+    if relation.column(left.column).is_pictorial:
+        return set()
+    return {left.column}
+
+
+def _repack_candidates(db: Any, queries: list[tuple[ast.Query, float]],
+                       workload_cost: float,
+                       min_saving: float) -> list[Recommendation]:
+    recs = []
+    for picture in db.pictures():
+        for relation_name, column in sorted(picture.associations()):
+            try:
+                ratio, _current, packed = packed_degradation(
+                    db, picture.name, relation_name, column)
+            except (KeyError, ValueError):
+                continue
+            if ratio < REPACK_MIN_RATIO:
+                continue
+            whatif = WhatIfDatabase(
+                db, summaries={(picture.name, relation_name, column):
+                               packed})
+            cost_after = _workload_cost(whatif, queries)
+            rec = Recommendation(
+                kind="repack",
+                statement=(f"REPACK {picture.name} {relation_name} "
+                           f"{column}"),
+                target=(picture.name, relation_name, column),
+                cost_before=workload_cost,
+                cost_after=cost_after,
+                detail=(f"tree degraded to {ratio:.2f}x its packed "
+                        f"search cost"))
+            if rec.saving >= min_saving:
+                recs.append(rec)
+    return recs

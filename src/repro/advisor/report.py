@@ -1,0 +1,72 @@
+"""Render ADVISE / HEALTH reports as one-column text lines.
+
+Reports travel every existing result channel — the wire protocol's
+one-column results, the REPL, the cluster router's per-shard merge — so
+the renderer emits plain lines, not structures.  Rendering is
+deterministic for a given report; wall-clock-derived numbers (per-call
+latency) are only included when asked, so golden tests can pin the
+stable remainder byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from repro.advisor.health import HealthReport
+from repro.advisor.recommend import AdviseReport
+
+__all__ = ["format_advise", "format_health"]
+
+#: query texts longer than this are elided in the TOP listing
+_SAMPLE_WIDTH = 68
+
+
+def format_advise(report: AdviseReport,
+                  timings: bool = False) -> list[str]:
+    """The ADVISE payload: TOP queries, then ranked recommendations."""
+    total_calls = sum(e.calls + e.cached for e in report.entries)
+    lines = [f"workload: {len(report.entries)} fingerprint(s), "
+             f"{total_calls} call(s) captured, "
+             f"planner cost {report.workload_cost:.1f}"]
+    if report.skipped:
+        lines.append(f"  ({report.skipped} fingerprint(s) not "
+                     f"replayable, excluded)")
+    if report.entries:
+        lines.append("top queries by accumulated estimated cost:")
+    for i, entry in enumerate(report.entries, start=1):
+        text = (f"  {i}. calls={entry.calls + entry.cached} "
+                f"rows={entry.rows} est_cost={entry.est_cost:.1f} "
+                f"accesses={entry.accesses}")
+        if timings:
+            text += f" mean_ms={entry.mean_seconds * 1e3:.2f}"
+        lines.append(text)
+        lines.append(f"     {_elide(entry.fingerprint)}")
+    if not report.recommendations:
+        lines.append("recommendations: none "
+                     "(workload already well served)")
+        return lines
+    lines.append("recommendations:")
+    for i, rec in enumerate(report.recommendations, start=1):
+        lines.append(f"  {i}. {rec.statement}  "
+                     f"[workload cost {rec.cost_before:.1f} -> "
+                     f"{rec.cost_after:.1f}, -{rec.saving * 100:.1f}%]")
+        if rec.detail:
+            lines.append(f"     {rec.detail}")
+    return lines
+
+
+def format_health(report: HealthReport) -> list[str]:
+    """The HEALTH payload: summary line, then one line per check."""
+    ok, warn, fail = report.counts()
+    lines = [f"health: {report.worst} "
+             f"({ok} ok, {warn} warn, {fail} fail)"]
+    width = max((len(c.name) for c in report.checks), default=0)
+    for check in report.checks:
+        value = "-" if check.value is None else f"{check.value:.2f}"
+        lines.append(f"  {check.status:<4} {check.name:<{width}} "
+                     f"value={value}  {check.detail}")
+    return lines
+
+
+def _elide(text: str) -> str:
+    if len(text) <= _SAMPLE_WIDTH:
+        return text
+    return text[:_SAMPLE_WIDTH - 3] + "..."

@@ -1,0 +1,200 @@
+"""End-to-end advisor smoke test — ``python -m repro.advisor.smoke``.
+
+Runs the whole self-tuning loop against a live server and verifies each
+link with the paper's own metric:
+
+1. **Degrade**: pack an R-tree over uniform points (Section 3.3), then
+   push clustered inserts through the Section 3.4 update path until
+   coverage/overlap drift is measurable.
+2. **Capture**: drive two skewed workloads through the query server —
+   an attribute-filter scan on an unindexed column, then small window
+   probes whose cost is dominated by R-tree node visits.
+3. **Recommend**: ``ADVISE`` must propose ``CREATE INDEX`` for the
+   first workload and ``REPACK`` for the second; ``HEALTH`` must grade
+   the degraded tree WARN/FAIL.
+4. **Apply**: build the recommended B-tree; run the repack through the
+   server verb.
+5. **Verify**: the planner's workload bill drops for both workloads,
+   ``HEALTH`` returns to OK, and the *measured* Table-1 search cost
+   (R-tree nodes visited on the hot window) improves.
+
+Exit code 0 when every link holds; 1 with a diagnostic when not.  CI
+runs this as the ``advisor-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.relational.catalog import Database
+from repro.relational.relation import Column
+from repro.rtree.search import SearchStats, window_search_within
+
+__all__ = ["build_degraded_database", "main", "reference_window",
+           "table1_cost"]
+
+UNIVERSE = Rect(0, 0, 1000, 1000)
+#: insert hot-spots the churn rotates over
+CLUSTERS = ((120, 130), (480, 520), (840, 260), (300, 840))
+#: probe centres for the window workload — a grid across the universe,
+#: so the bill prices the tree's *overall* degradation, not one spot
+PROBES = tuple((x, y) for x in (100, 300, 500, 700, 900)
+               for y in (100, 300, 500, 700, 900))
+
+
+def build_degraded_database(n0: int = 800, churn: int = 1200,
+                            sigma: float = 40.0, seed: int = 7,
+                            max_entries: int = 16) -> Database:
+    """A packed tree pushed through enough skewed churn to degrade.
+
+    *n0* uniform points are packed at registration time; *churn* more
+    arrive afterwards, clustered (gaussian, *sigma*) around rotating
+    centres — the Section 3.4 shape that inflates node coverage and
+    overlap without growing the universe.
+    """
+    rng = random.Random(seed)
+    db = Database()
+    points = db.create_relation("points", [
+        Column("id", "int"), Column("val", "float"),
+        Column("loc", "point")])
+    for i in range(n0):
+        points.insert({"id": i, "val": rng.uniform(0.0, 1000.0),
+                       "loc": Point(rng.uniform(0, 1000),
+                                    rng.uniform(0, 1000))})
+    picture = db.create_picture("map", UNIVERSE)
+    picture.register(points, "loc", max_entries=max_entries)
+    clamp = lambda v: min(max(v, 0.0), 1000.0)  # noqa: E731
+    for i in range(churn):
+        cx, cy = CLUSTERS[i % len(CLUSTERS)]
+        db.insert("points", {
+            "id": n0 + i, "val": rng.uniform(0.0, 1000.0),
+            "loc": Point(clamp(rng.gauss(cx, sigma)),
+                         clamp(rng.gauss(cy, sigma)))})
+    return db
+
+
+def reference_window(center: tuple[float, float] = CLUSTERS[0],
+                     half: float = 60.0) -> Rect:
+    """The hot window the verification step measures (centre ± *half*)."""
+    cx, cy = center
+    return Rect(cx - half, cy - half, cx + half, cy + half)
+
+
+def table1_cost(db: Database, window: Rect) -> int:
+    """Measured Table-1 search cost: R-tree nodes visited for *window*."""
+    tree = db.picture("map").index("points", "loc")
+    stats = SearchStats()
+    window_search_within(tree, window, stats=stats)
+    return stats.nodes_visited
+
+
+def _probe_query(center: tuple[float, float], half: float = 8.0) -> str:
+    cx, cy = center
+    return (f"select id from points on map at loc covered-by "
+            f"{{{cx:g}+-{half:g}, {cy:g}+-{half:g}}}")
+
+
+def _report_lines(response) -> list[str]:
+    response.raise_for_status()
+    return [row[0] for row in response.rows]
+
+
+def _planner_bill(report: list[str]) -> float:
+    # First line: "workload: N fingerprint(s), M call(s) captured,
+    # planner cost X"
+    return float(report[0].rsplit("planner cost ", 1)[1])
+
+
+def _fail(message: str) -> int:
+    print(f"SMOKE FAIL: {message}")
+    return 1
+
+
+def main() -> int:
+    from repro.server.client import Client
+    from repro.server.server import PsqlServer, ServerConfig
+
+    db = build_degraded_database()
+    window = reference_window()
+    cost_before = table1_cost(db, window)
+    print(f"degraded tree built: {len(db.relation('points'))} rows, "
+          f"{cost_before} nodes visited on the hot window")
+
+    server = PsqlServer(config=ServerConfig(port=0, workers=2), db=db)
+    host, port = server.start_background()
+    try:
+        with Client(host, port) as client:
+            # Phase 1: a filter on the unindexed 'val' column must earn
+            # a CREATE INDEX recommendation that shrinks the bill.
+            for _ in range(20):
+                client.query("select id from points where val > 900"
+                             ).raise_for_status()
+            report = _report_lines(client.advise())
+            print("\n".join(report))
+            if not any("CREATE INDEX points.val" in line
+                       for line in report):
+                return _fail("ADVISE did not recommend the b-tree")
+            bill = _planner_bill(report)
+            db.relation("points").create_index("val")
+            db.bump_generation()
+            after = _planner_bill(_report_lines(client.advise()))
+            print(f"scan workload planner bill: {bill:.1f} -> {after:.1f}")
+            if after >= bill:
+                return _fail("b-tree did not shrink the planner bill")
+
+            # Phase 2: window probes across the degraded tree must earn
+            # a REPACK recommendation, and HEALTH must flag the tree.
+            server.service.query_log.clear()
+            for _ in range(5):
+                for center in PROBES:
+                    client.query(_probe_query(center)).raise_for_status()
+            report = _report_lines(client.advise(top=30))
+            print("\n".join(report[:1] + report[-4:]))
+            if not any("REPACK map points loc" in line
+                       for line in report):
+                return _fail("ADVISE did not recommend the repack")
+            bill = _planner_bill(report)
+
+            health = _report_lines(client.health())
+            tree_lines = [l for l in health
+                          if "tree.map/points.loc" in l]
+            print(health[0])
+            if not tree_lines or tree_lines[0].split()[0] == "OK":
+                return _fail("HEALTH did not flag the degraded tree: "
+                             + (tree_lines[0] if tree_lines
+                                else "check missing"))
+
+            client.repack("map", "points", "loc").raise_for_status()
+
+            health = _report_lines(client.health())
+            tree_lines = [l for l in health
+                          if "tree.map/points.loc" in l]
+            print(health[0])
+            if not tree_lines or tree_lines[0].split()[0] != "OK":
+                return _fail("HEALTH still unhappy after repack: "
+                             + (tree_lines[0] if tree_lines
+                                else "check missing"))
+
+            after = _planner_bill(_report_lines(client.advise(top=30)))
+            print(f"probe workload planner bill: {bill:.1f} -> {after:.1f}")
+            if after >= bill:
+                return _fail("repack did not shrink the planner bill")
+    finally:
+        server.stop_background()
+
+    cost_after = table1_cost(db, window)
+    print(f"hot-window Table-1 cost: {cost_before} -> {cost_after} "
+          f"nodes visited")
+    if cost_after >= cost_before:
+        return _fail("measured search cost did not improve "
+                     f"({cost_before} -> {cost_after})")
+    print("SMOKE OK: recommendations applied, health recovered, "
+          "measured cost improved")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,207 @@
+"""What-if planning: cost plans against indexes that do not exist.
+
+hypopg for packed R-trees.  The PR 5 planner never touches an index
+structure while costing — it reads catalog statistics
+(:meth:`Database.index_summary`) and existence tests
+(:meth:`Relation.index_on`).  So a *hypothetical* index needs nothing
+but synthetic answers to those two calls:
+
+- :class:`WhatIfDatabase` wraps a real catalog and overrides
+  ``relation()`` (to graft hypothetical B-trees onto relations) and
+  ``index_summary()`` (to substitute synthesized R-tree statistics),
+  delegating everything else verbatim.
+- :func:`hypothetical_packed_summary` answers "what would this tree's
+  summary look like freshly PACKed?" — for small trees by actually
+  packing the leaf rectangles in memory (cheap: the summary already
+  kept them), for large ones by a closed-form uniform-tiling estimate.
+
+``plan_query(WhatIfDatabase(db, ...), query)`` then prices the
+hypothetical world with the production cost model, which is the entire
+point: recommendations are judged by the same judge that will later
+pick (or refuse to pick) the real index.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.geometry.rect import Rect
+from repro.relational.stats import IndexSummary, LevelAgg, summarize_index
+from repro.rtree.packing import pack
+
+__all__ = ["WhatIfDatabase", "hypothetical_packed_summary",
+           "packed_degradation"]
+
+#: Re-PACK a hypothetical tree for real only while it has at most this
+#: many data entries (matches ``KEEP_RECTS_LIMIT``: beyond it the
+#: summary kept no rectangles to pack anyway).
+SIMULATE_PACK_LIMIT = 4096
+
+
+class _HypoBTree:
+    """Stand-in for a B-tree that was never built.
+
+    The planner only asks ``index_on(column) is None``; execution would
+    ask more, which is exactly why :class:`WhatIfDatabase` must never be
+    handed to an executor.
+    """
+
+    __slots__ = ("relation", "column")
+
+    def __init__(self, relation: str, column: str):
+        self.relation = relation
+        self.column = column
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"_HypoBTree({self.relation}.{self.column})"
+
+
+class _HypoRelation:
+    """A relation view with extra (hypothetical) B-tree indexes."""
+
+    def __init__(self, relation: Any, columns: frozenset):
+        self._relation = relation
+        self._hypo_columns = columns
+
+    def index_on(self, column: str):
+        real = self._relation.index_on(column)
+        if real is None and column in self._hypo_columns:
+            return _HypoBTree(self._relation.name, column)
+        return real
+
+    def __len__(self) -> int:
+        # ``__getattr__`` does not cover dunders looked up on the type.
+        return len(self._relation)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._relation, name)
+
+
+class WhatIfDatabase:
+    """A read-only catalog view with hypothetical indexes grafted on.
+
+    Args:
+        db: the real catalog (never mutated).
+        btrees: ``(relation, column)`` pairs that should appear indexed.
+        summaries: ``(picture, relation, column) -> IndexSummary``
+            overrides for R-tree statistics — e.g. the freshly packed
+            summary of a degraded tree.
+
+    Only :func:`repro.psql.planner.plan_query` should consume this
+    object; it satisfies the planner's read surface by delegation and
+    will raise if something tries to execute against a hypothetical
+    index.
+    """
+
+    def __init__(self, db: Any,
+                 btrees: Iterable[tuple[str, str]] = (),
+                 summaries: Optional[Mapping[tuple[str, str, str],
+                                             IndexSummary]] = None):
+        self._db = db
+        self._btrees: dict[str, frozenset] = {}
+        grouped: dict[str, set] = {}
+        for relation, column in btrees:
+            grouped.setdefault(relation, set()).add(column)
+        for relation, columns in grouped.items():
+            self._btrees[relation] = frozenset(columns)
+        self._summaries = dict(summaries or {})
+
+    def relation(self, name: str):
+        relation = self._db.relation(name)
+        columns = self._btrees.get(name)
+        if columns:
+            return _HypoRelation(relation, columns)
+        return relation
+
+    def index_summary(self, picture_name: str, relation_name: str,
+                      column: str = "loc"):
+        override = self._summaries.get((picture_name, relation_name,
+                                        column))
+        if override is not None:
+            return override
+        return self._db.index_summary(picture_name, relation_name, column)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._db, name)
+
+
+def hypothetical_packed_summary(db: Any, picture_name: str,
+                                relation_name: str, column: str = "loc",
+                                method: str = "hilbert") -> IndexSummary:
+    """The :class:`IndexSummary` this index would have freshly PACKed.
+
+    The data entries are whatever the tree holds *now* — only the node
+    structure above them is hypothesized.  When the current summary kept
+    exact leaf rectangles (trees of at most ``KEEP_RECTS_LIMIT``
+    entries) the rectangles really are packed in memory and summarized,
+    so the answer uses the genuine PACK algorithm; larger trees get the
+    closed-form tiling estimate of :func:`synthesize_packed_summary`.
+    """
+    current = db.index_summary(picture_name, relation_name, column)
+    index = db.picture(picture_name).index(relation_name, column)
+    universe = db.picture(picture_name).universe
+    fanout = getattr(index, "max_entries", None) or 16
+    if (current.leaf.rects is not None
+            and current.size <= SIMULATE_PACK_LIMIT):
+        items = [(rect, i) for i, rect in enumerate(current.leaf.rects)]
+        packed = pack(items, max_entries=fanout, method=method)
+        return summarize_index(packed, universe)
+    return synthesize_packed_summary(current, universe, fanout)
+
+
+def synthesize_packed_summary(current: IndexSummary, universe: Rect,
+                              fanout: int) -> IndexSummary:
+    """Closed-form packed summary: near-full square-ish tiling.
+
+    PACK produces nodes that are nearly full (Theorem 3.2: minimal node
+    count) with near-zero overlap; model each level as an even grid of
+    ``ceil(n / fanout)`` cells tiling the universe.  The data-entry
+    aggregate is carried over unchanged — packing rearranges nodes, not
+    data.
+    """
+    leaf = LevelAgg(count=current.leaf.count, sum_w=current.leaf.sum_w,
+                    sum_h=current.leaf.sum_h, sum_wh=current.leaf.sum_wh,
+                    rects=None)
+    levels: list[LevelAgg] = []
+    count = current.size
+    node_count = 1
+    while count > fanout:
+        count = math.ceil(count / fanout)
+        node_count += count
+        side = math.sqrt(float(count))
+        mean_w = universe.width / side
+        mean_h = universe.height / side
+        levels.append(LevelAgg(count=count, sum_w=count * mean_w,
+                               sum_h=count * mean_h,
+                               sum_wh=count * mean_w * mean_h,
+                               rects=None))
+    # ``levels`` was built bottom-up; ``internal`` lists children of the
+    # root first.
+    internal = tuple(reversed(levels))
+    return IndexSummary(size=current.size, depth=len(internal),
+                        node_count=node_count, universe=universe,
+                        internal=internal, leaf=leaf)
+
+
+def packed_degradation(db: Any, picture_name: str, relation_name: str,
+                       column: str = "loc", window_frac: float = 0.1,
+                       ) -> tuple[float, IndexSummary, IndexSummary]:
+    """How much worse the live tree is than its freshly packed self.
+
+    Returns ``(ratio, current, packed)`` where *ratio* compares the
+    expected node accesses of a reference window query (*window_frac* of
+    each universe side) on the current structure against the
+    hypothetical packed one.  1.0 means "as good as packed"; the
+    Section 3.4 update problem drives it upward as inserts accumulate.
+    """
+    current = db.index_summary(picture_name, relation_name, column)
+    packed = hypothetical_packed_summary(db, picture_name, relation_name,
+                                         column)
+    universe = db.picture(picture_name).universe
+    w = universe.width * window_frac
+    h = universe.height * window_frac
+    now = current.expected_window_accesses(w, h)
+    best = packed.expected_window_accesses(w, h)
+    ratio = now / best if best > 0.0 else 1.0
+    return ratio, current, packed

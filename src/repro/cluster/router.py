@@ -3,8 +3,8 @@
 The router speaks the same line protocol as a single
 :class:`~repro.server.server.PsqlServer`, so every existing client
 works unchanged — point it at the router and ``QUERY``/``EXPLAIN``/
-``REPACK``/``STATS``/``PING`` behave as before, plus the cluster verbs
-``INSERT``/``DELETE``/``KNN``.  Per command:
+``REPACK``/``ADVISE``/``HEALTH``/``STATS``/``PING`` behave as before,
+plus the cluster verbs ``INSERT``/``DELETE``/``KNN``.  Per command:
 
 - ``QUERY``: :func:`~repro.cluster.routing.plan_route` classifies the
   text; window queries go only to shards the window overlaps, the rest
@@ -18,6 +18,10 @@ works unchanged — point it at the router and ``QUERY``/``EXPLAIN``/
   duplicated-storage invariant queries rely on).  ``DELETE`` broadcasts.
 - ``KNN``: every shard answers its local k best; the router keeps the
   global k smallest ``(distance, gid)``.
+- ``ADVISE``/``HEALTH``: broadcast to every primary; each shard's
+  advisor report comes back stitched under per-shard headers (the same
+  shape as routed ``EXPLAIN``), so degradation on *one* shard stays
+  attributable.  Never cached — reports reflect live counters.
 
 **Read routing.**  Each shard may have log-shipped replicas.  Reads
 rotate over the primary and every replica whose reported lag is within
@@ -328,6 +332,10 @@ class Router:
             await self._handle_delete(writer, rest)
         elif verb == "REPACK":
             await self._handle_repack(writer, rest)
+        elif verb == "ADVISE":
+            await self._handle_advise(writer, rest)
+        elif verb == "HEALTH":
+            await self._handle_health(writer)
         elif verb in ("STATS", "METRICS"):
             await self._handle_stats(writer)
         elif verb == "PING":
@@ -336,7 +344,7 @@ class Router:
             await self._error(
                 writer, "ProtocolError",
                 f"unknown command {verb!r} (try QUERY/EXPLAIN/KNN/INSERT/"
-                f"DELETE/REPACK/STATS/PING/QUIT)")
+                f"DELETE/REPACK/ADVISE/HEALTH/STATS/PING/QUIT)")
 
     # -- read routing --------------------------------------------------------
 
@@ -660,6 +668,45 @@ class Router:
         entries = sum(r.nrows for r in responses)
         await self._write(
             writer, [f"{protocol.OK} repack 0 {entries}", protocol.END])
+
+    # -- ADVISE / HEALTH -----------------------------------------------------
+
+    async def _handle_advise(self, writer: asyncio.StreamWriter,
+                             rest: str) -> None:
+        self.registry.bump("router.advises")
+        rest = rest.strip()
+        command = f"ADVISE {rest}" if rest else "ADVISE"
+        await self._broadcast_report(writer, command, "advise")
+
+    async def _handle_health(self, writer: asyncio.StreamWriter) -> None:
+        self.registry.bump("router.healths")
+        await self._broadcast_report(writer, "HEALTH", "health")
+
+    async def _broadcast_report(self, writer: asyncio.StreamWriter,
+                                command: str, column: str) -> None:
+        """Scatter an advisor verb to every primary and stitch the
+        per-shard report lines under shard headers.
+
+        Reports are never cached: they summarise live counters and the
+        shard's current workload log, so a cached copy would go stale
+        without any generation bump to invalidate it.
+        """
+        backends = [self._primaries[sid]
+                    for sid in self.shardmap.all_shards()]
+        responses = await asyncio.gather(
+            *(b.roundtrip(command, self.config.query_timeout)
+              for b in backends),
+            return_exceptions=True)
+        if not await self._scatter_ok(writer, backends, responses):
+            return
+        labels = [f"shard {b.spec.shard_id} ({b.spec.name})"
+                  for b in backends]
+        lines = merge_shard_plans(
+            labels, [[row[0] for row in r.rows] for r in responses])
+        payload = self._encode_string_rows((column,),
+                                           [(line,) for line in lines])
+        await self._write(
+            writer, [f"{protocol.OK} fresh 0 {len(lines)}", *payload])
 
     # -- STATS ---------------------------------------------------------------
 

@@ -95,56 +95,83 @@ class Counters:
     that must count unconditionally (e.g. a buffer pool's per-instance
     :class:`~repro.storage.buffer.BufferStats`) hold a private ``Counters``
     regardless of the global enable flag.
+
+    Thread-safe: every public method takes the internal lock exactly once,
+    so :meth:`snapshot` / :meth:`as_dict` return a consistent copy even
+    while other threads are bumping — the same single-acquisition
+    discipline as :meth:`repro.server.cache.QueryCache.stats`.  Without it
+    a ``dict()`` copy racing a first-time bump (dict resize) can raise
+    ``RuntimeError: dictionary changed size during iteration`` under a
+    concurrent HEALTH read.
     """
 
-    __slots__ = ("_values",)
+    __slots__ = ("_values", "_lock")
 
     def __init__(self) -> None:
         self._values: dict[str, int | float] = {}
+        self._lock = threading.Lock()
 
     def bump(self, name: str, n: int | float = 1) -> None:
         """Add *n* (default 1) to counter *name*, creating it at zero."""
-        self._values[name] = self._values.get(name, 0) + n
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + n
 
     def get(self, name: str, default: int | float = 0) -> int | float:
         """Current value of *name* (*default* when never bumped)."""
-        return self._values.get(name, default)
+        with self._lock:
+            return self._values.get(name, default)
 
     def set(self, name: str, value: int | float) -> None:
         """Overwrite counter *name* (used by stats facades, not hot paths)."""
-        self._values[name] = value
+        with self._lock:
+            self._values[name] = value
 
     def merge(self, values: dict[str, int | float]) -> None:
-        """Add every counter in *values* onto this bag.
+        """Add every counter in *values* onto this bag atomically.
 
         The export/import path for cross-thread (or cross-process) metric
         aggregation: a worker snapshots its scoped registry with
         :meth:`as_dict` and a single owner thread merges the snapshots.
+        A reader never observes a half-applied merge.
         """
-        for name, value in values.items():
-            self.bump(name, value)
+        with self._lock:
+            for name, value in values.items():
+                self._values[name] = self._values.get(name, 0) + value
 
-    def as_dict(self, prefix: Optional[str] = None) -> dict[str, int | float]:
-        """A copy of all counters, optionally restricted to a dotted prefix."""
+    def _as_dict_locked(self,
+                        prefix: Optional[str]) -> dict[str, int | float]:
+        # Caller holds self._lock.
         if prefix is None:
             return dict(self._values)
         dotted = prefix if prefix.endswith(".") else prefix + "."
         return {k: v for k, v in self._values.items()
                 if k == prefix or k.startswith(dotted)}
 
+    def as_dict(self, prefix: Optional[str] = None) -> dict[str, int | float]:
+        """A copy of all counters, optionally restricted to a dotted prefix."""
+        with self._lock:
+            return self._as_dict_locked(prefix)
+
+    #: Alias matching :meth:`Registry.snapshot` — an atomic point-in-time
+    #: copy taken under a single lock acquisition.
+    snapshot = as_dict
+
     def reset(self, prefix: Optional[str] = None) -> None:
         """Drop all counters (or only those under a dotted prefix)."""
-        if prefix is None:
-            self._values.clear()
-            return
-        for k in list(self.as_dict(prefix)):
-            del self._values[k]
+        with self._lock:
+            if prefix is None:
+                self._values.clear()
+                return
+            for k in list(self._as_dict_locked(prefix)):
+                del self._values[k]
 
     def __len__(self) -> int:
-        return len(self._values)
+        with self._lock:
+            return len(self._values)
 
     def __iter__(self) -> Iterator[str]:
-        return iter(self._values)
+        with self._lock:
+            return iter(list(self._values))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Counters({self._values!r})"

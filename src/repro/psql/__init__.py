@@ -26,7 +26,7 @@ against one :class:`~repro.relational.catalog.Database`).
 
 from repro.psql.errors import PsqlError, PsqlSyntaxError, PsqlSemanticError
 from repro.psql.lexer import Token, tokenize
-from repro.psql.normalize import normalize_query
+from repro.psql.normalize import fingerprint_query, normalize_query
 from repro.psql.parser import parse
 from repro.psql.executor import Session, execute
 from repro.psql.result import QueryResult
@@ -39,6 +39,7 @@ __all__ = [
     "Session",
     "Token",
     "execute",
+    "fingerprint_query",
     "normalize_query",
     "parse",
     "tokenize",

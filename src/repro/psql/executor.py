@@ -21,6 +21,7 @@ a polygon :func:`_refine` additionally applies the exact region test.
 from __future__ import annotations
 
 import copy
+import time
 from collections import OrderedDict
 from typing import Any, Iterable, Optional, Sequence
 
@@ -74,13 +75,42 @@ class Session:
         self.functions = FunctionRegistry()
         self._plans: OrderedDict[tuple[ast.Query, int], Plan] = \
             OrderedDict()
+        #: Optional :class:`repro.advisor.QueryLog`.  When set (and
+        #: enabled) every query run through :meth:`execute` is recorded
+        #: with its estimated vs. actual cost; ``None`` (the default)
+        #: costs a single attribute test per statement.
+        self.query_log: Optional[Any] = None
 
     def execute(self, text: str) -> QueryResult:
         """Parse and run one PSQL statement (a query or an EXPLAIN)."""
         statement = parse_statement(text)
         if isinstance(statement, ast.Explain):
             return self.explain(statement)
+        log = self.query_log
+        if log is not None and log.enabled:
+            return self._run_logged(text, statement, log)
         return self.run(statement)
+
+    def _run_logged(self, text: str, query: ast.Query,
+                    log: Any) -> QueryResult:
+        """Run *query* in measure mode and record it in the workload log.
+
+        Measure mode accumulates actual index-node accesses in execution
+        locals (never on the shared cached plan, which concurrent
+        executions may be reading), so capture piggybacks on the
+        EXPLAIN ANALYZE machinery without copying the plan.
+        """
+        start = time.perf_counter()
+        execution = _Execution(self, query, measure=True)
+        result = execution.run()
+        root = execution.plan.root
+        log.record(text,
+                   rows=len(result.rows),
+                   est_cost=root.est_cost,
+                   est_rows=root.est_rows,
+                   accesses=execution.accesses,
+                   seconds=time.perf_counter() - start)
+        return result
 
     def run(self, query: ast.Query) -> QueryResult:
         """Run an already parsed query."""
@@ -156,11 +186,18 @@ class _Execution:
     """
 
     def __init__(self, session: Session, query: ast.Query,
-                 plan: Optional[Plan] = None, annotate: bool = False):
+                 plan: Optional[Plan] = None, annotate: bool = False,
+                 measure: bool = False):
         self.session = session
         self.db = session.db
         self.query = query
         self.annotate = annotate
+        # annotate implies measure: ANALYZE wants the same actual-access
+        # numbers, it just also writes them onto its private plan copy.
+        self.measure = annotate or measure
+        #: Actual access-path node/page touches, accumulated in measure
+        #: mode only — never written to (shared, cached) plan nodes.
+        self.accesses = 0
         self.relations: dict[str, Relation] = {}
         for name in query.relations:
             if not self.db.has_relation(name):
@@ -249,6 +286,8 @@ class _Execution:
             reg.bump("psql.index.rows_seeded", len(bindings))
             reg.trace("psql.plan", path="index", relation=relation.name,
                       column=column, op=op, rows=len(bindings))
+        if self.measure:
+            self.accesses += len(rows)
         if self.annotate:
             node.actual_rows = len(bindings)
             node.actual_accesses = len(rows)
@@ -272,6 +311,8 @@ class _Execution:
                 obs.trace("psql.plan", path="cross-product",
                           relations=list(self.query.relations),
                           rows=len(bindings))
+            if self.measure:
+                self.accesses += len(bindings)
             if self.annotate:
                 node.actual_rows = len(bindings)
                 node.actual_accesses = len(bindings)
@@ -307,7 +348,7 @@ class _Execution:
         self.window = window
         tree = self.db.picture(node.props["picture"]).index(relation.name,
                                                             column)
-        stats = SearchStats() if self.annotate else None
+        stats = SearchStats() if self.measure else None
         rids = self._search_op(tree, op, window, relation, column,
                                stats=stats)
         if obs.ENABLED:
@@ -316,13 +357,15 @@ class _Execution:
             reg.bump("psql.at.rows_out", len(rids))
             reg.trace("psql.plan", path="direct-spatial-search",
                       relation=relation.name, op=op, rows=len(rids))
+        if stats is not None and stats.nodes_visited:
+            # The disjoined complement also enumerates every heap
+            # rid, so those reads count against the access path.
+            extra = len(relation) if op == "disjoined" else 0
+            self.accesses += stats.nodes_visited + extra
+            if self.annotate:
+                node.actual_accesses = stats.nodes_visited + extra
         if self.annotate:
             node.actual_rows = len(rids)
-            if stats is not None and stats.nodes_visited:
-                # The disjoined complement also enumerates every heap
-                # rid, so those reads count against the access path.
-                extra = len(relation) if op == "disjoined" else 0
-                node.actual_accesses = stats.nodes_visited + extra
         return [{relation.name: (rid, relation.get(rid))} for rid in rids]
 
     def _spatial_filter_scan(self, node: PlanNode) -> list[Binding]:
@@ -345,6 +388,8 @@ class _Execution:
             reg.bump("psql.at.rows_out", len(rids))
             reg.trace("psql.plan", path="spatial-filter-scan",
                       relation=relation.name, op=op, rows=len(rids))
+        if self.measure:
+            self.accesses += len(relation)
         if self.annotate:
             node.actual_rows = len(rids)
             node.actual_accesses = len(relation)
@@ -387,7 +432,7 @@ class _Execution:
         rel_r = self.relations[name_r]
         tree_l = self.db.picture(pic_l).index(name_l, col_l)
         tree_r = self.db.picture(pic_r).index(name_r, col_r)
-        stats = JoinStats() if self.annotate else None
+        stats = JoinStats() if self.measure else None
 
         if node.props["strategy"] == "lockstep-complement":
             # Complement of the intersecting join: no lockstep pruning is
@@ -422,6 +467,8 @@ class _Execution:
             reg.trace("psql.plan", path="juxtaposition",
                       relations=[name_l, name_r], op=op,
                       strategy=node.props["strategy"], pairs=len(pairs))
+        if stats is not None:
+            self.accesses += stats.nodes_accessed
         if self.annotate:
             node.actual_rows = len(pairs)
             if stats is not None:
@@ -433,8 +480,12 @@ class _Execution:
 
     def _nested_mapping(self, node: PlanNode) -> list[Binding]:
         inner_plan: Plan = node.props["_inner_plan"]
-        inner = _Execution(self.session, inner_plan.query, plan=inner_plan,
-                           annotate=self.annotate).run()
+        inner_exec = _Execution(self.session, inner_plan.query,
+                                plan=inner_plan, annotate=self.annotate,
+                                measure=self.measure)
+        inner = inner_exec.run()
+        if self.measure:
+            self.accesses += inner_exec.accesses
         inner_locs = _single_pictorial_column(inner, inner_plan.query,
                                               self.db)
         relation = self.relations[node.props["relation"]]
@@ -442,7 +493,7 @@ class _Execution:
         op = node.props["op"]
         tree = self.db.picture(node.props["picture"]).index(relation.name,
                                                             column)
-        stats = SearchStats() if self.annotate else None
+        stats = SearchStats() if self.measure else None
         rids: set[RowId] = set()
         for value in inner_locs:
             window = mbr_of_value(value)
@@ -457,6 +508,8 @@ class _Execution:
             reg.trace("psql.plan", path="nested-mapping",
                       relation=relation.name, op=op,
                       inner_locations=len(inner_locs), rows=len(rids))
+        if stats is not None and stats.nodes_visited:
+            self.accesses += stats.nodes_visited
         if self.annotate:
             node.actual_rows = len(rids)
             if stats is not None and stats.nodes_visited:

@@ -16,9 +16,9 @@ a false cache miss is harmless, a false hit is not).
 
 from __future__ import annotations
 
-from repro.psql.lexer import EOF, STRING, tokenize
+from repro.psql.lexer import EOF, NUMBER, STRING, tokenize
 
-__all__ = ["normalize_query"]
+__all__ = ["fingerprint_query", "normalize_query"]
 
 
 def _quote(text: str) -> str:
@@ -54,5 +54,50 @@ def normalize_query(text: str) -> str:
         else:
             # Keywords arrive lowercased and ``+-`` arrives as ``±``
             # straight from the lexer; everything else is kept verbatim.
+            parts.append(token.text)
+    return " ".join(parts)
+
+
+def _canonical_number(text: str) -> str:
+    """One spelling per numeric *value*: ``1e2``, ``100.0``, ``100`` → ``100``.
+
+    Integral values render without a fractional part; everything else uses
+    ``repr(float)``, the shortest round-tripping spelling.  Values too large
+    for an exact float integer (>= 2**53) fall back to the exact ``int``
+    rendering when the literal has no point or exponent.
+    """
+    try:
+        return str(int(text))
+    except ValueError:
+        pass
+    value = float(text)
+    if value.is_integer() and abs(value) < 2 ** 53:
+        return str(int(value))
+    return repr(value)
+
+
+def fingerprint_query(text: str) -> str:
+    """The advisor's workload key: :func:`normalize_query` plus value-level
+    canonicalisation of numeric literals.
+
+    ``where population > 1e5``, ``where population > 100000.0`` and
+    ``where population > 100_000`` are the same *workload* even though the
+    result cache rightly keeps them distinct; the query log wants one
+    fingerprint per shape-and-value so call counts aggregate.  Signs are
+    part of the adjacent ``-`` symbol token and survive untouched, so
+    negative coordinates fingerprint consistently too.
+
+    Raises:
+        PsqlSyntaxError: when *text* does not tokenize.
+    """
+    parts: list[str] = []
+    for token in tokenize(text):
+        if token.kind == EOF:
+            break
+        if token.kind == STRING:
+            parts.append(_quote(token.text))
+        elif token.kind == NUMBER:
+            parts.append(_canonical_number(token.text))
+        else:
             parts.append(token.text)
     return " ".join(parts)

@@ -9,6 +9,8 @@ Meta-commands:
 - ``\\relations``  list relations and their schemas
 - ``\\pictures``   list pictures and their indexes
 - ``\\map``        toggle ASCII rendering of each result's pictorial output
+- ``\\advise``     analyse the queries typed so far, recommend tuning
+- ``\\health``     graded OK/WARN/FAIL checks over the catalog
 - ``\\quit``       exit
 
 Prefixing a query with ``explain`` prints the cost-based plan instead of
@@ -95,8 +97,14 @@ class Repl:
     def __init__(self, db: Optional[Database] = None,
                  stdin: IO[str] = sys.stdin,
                  stdout: IO[str] = sys.stdout):
+        from repro.advisor import QueryLog
+
         self.db = db if db is not None else build_demo_database()
         self.session = Session(self.db)
+        # Capture the shell's own workload so \advise has something
+        # to analyse without any server in the picture.
+        self.query_log = QueryLog()
+        self.session.query_log = self.query_log
         self.stdin = stdin
         self.stdout = stdout
         self.show_map = False
@@ -106,7 +114,7 @@ class Repl:
         self._print("PSQL shell — pictorial database over the synthetic "
                     "US map.")
         self._print("End a query with ';'. \\relations \\pictures \\map "
-                    "\\quit")
+                    "\\advise \\health \\quit")
         self._print("Prefix a query with 'explain' or 'explain analyze' "
                     "for the plan, or")
         self._print("'explain stats' for access-path counters.\n")
@@ -181,6 +189,25 @@ class Repl:
             self.show_map = not self.show_map
             self._print(f"pictorial output "
                         f"{'on' if self.show_map else 'off'}")
+            return True
+        if command == "\\advise" or command.startswith("\\advise "):
+            from repro.advisor import advise, format_advise
+
+            arg = command[len("\\advise"):].strip()
+            try:
+                top = int(arg) if arg else 20
+            except ValueError:
+                self._print(f"usage: \\advise [top-n], got {arg!r}")
+                return True
+            report = advise(self.db, self.query_log, top=top)
+            for line in format_advise(report):
+                self._print(line)
+            return True
+        if command == "\\health":
+            from repro.advisor import format_health, run_health_checks
+
+            for line in format_health(run_health_checks(self.db)):
+                self._print(line)
             return True
         self._print(f"unknown command {command!r}")
         return True

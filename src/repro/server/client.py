@@ -81,6 +81,26 @@ class Client:
         """
         return self._roundtrip(f"REPACK {picture} {relation} {column}")
 
+    def advise(self, top: Optional[int] = None) -> Response:
+        """Workload analysis and tuning recommendations (``ADVISE``).
+
+        Each response row is one report line: the TOP captured queries
+        by accumulated estimated cost, then ranked ``CREATE INDEX`` /
+        ``REPACK`` recommendations with predicted workload-cost deltas.
+        *top* bounds how many fingerprints are analysed (server default
+        when omitted).
+        """
+        command = "ADVISE" if top is None else f"ADVISE {top}"
+        return self._roundtrip(command)
+
+    def health(self) -> Response:
+        """Graded OK/WARN/FAIL health checks (``HEALTH``).
+
+        Each response row is one report line; the first summarises the
+        worst status.
+        """
+        return self._roundtrip("HEALTH")
+
     def stats(self) -> dict[str, float]:
         """The server's metrics snapshot (the ``STATS`` command)."""
         return self._roundtrip("STATS").stats

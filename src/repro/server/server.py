@@ -58,6 +58,7 @@ class ServerConfig:
     cache_size: int = 256                #: 0 disables the result cache
     drain_timeout: float = 10.0          #: graceful-shutdown bound
     factory_spec: str = "repro.server.demo:demo_database"
+    capture: bool = True                 #: workload capture for ADVISE
 
     def effective_max_inflight(self) -> int:
         return self.max_inflight if self.max_inflight > 0 \
@@ -100,7 +101,8 @@ class PsqlServer:
             db=db, workers=self.config.workers,
             executor=self.config.executor,
             factory_spec=self.config.factory_spec,
-            session_factory=session_factory)
+            session_factory=session_factory,
+            capture=self.config.capture)
         self.cache = QueryCache(capacity=self.config.cache_size)
         self.registry = obs.Registry()
         self.port: Optional[int] = None
@@ -258,7 +260,8 @@ class PsqlServer:
 
     def verbs(self) -> tuple[str, ...]:
         """The command verbs this server answers (for error messages)."""
-        return ("QUERY", "EXPLAIN", "REPACK", "STATS", "PING", "QUIT")
+        return ("QUERY", "EXPLAIN", "REPACK", "ADVISE", "HEALTH",
+                "STATS", "PING", "QUIT")
 
     async def _dispatch(self, conn: _Connection, verb: str,
                         rest: str) -> bool:
@@ -278,6 +281,10 @@ class PsqlServer:
             await self._handle_query(conn, "explain " + rest)
         elif verb == "REPACK":
             await self._handle_repack(conn, rest)
+        elif verb == "ADVISE":
+            await self._handle_advise(conn, rest)
+        elif verb == "HEALTH":
+            await self._handle_health(conn)
         elif verb in ("STATS", "METRICS"):
             await self._write_lines(
                 conn, protocol.encode_stats(
@@ -304,6 +311,13 @@ class PsqlServer:
         if cached is not None:
             self.registry.bump("server.queries.cached")
             self.registry.bump("server.rows_returned", cached.nrows)
+            log = self.service.query_log
+            if (log is not None and log.enabled
+                    and not normalized.startswith("explain ")):
+                # Executed calls are recorded by the session; cache hits
+                # never reach a session, so the workload log hears about
+                # them here (call count only — nothing executed).
+                log.record_cached(normalized, cached.nrows)
             header = f"{protocol.OK} cached {generation} {cached.nrows}"
             await self._write_lines(conn, [header, *cached.payload])
             return
@@ -428,6 +442,73 @@ class PsqlServer:
         await self._write_lines(
             conn,
             [f"{protocol.OK} repack {generation} {entries}", protocol.END])
+
+    # -- the ADVISE / HEALTH paths -------------------------------------------
+
+    async def _handle_advise(self, conn: _Connection, rest: str) -> None:
+        """``ADVISE [top]`` — workload analysis + ranked recommendations.
+
+        Replanning the captured workload against hypothetical catalogs
+        is CPU work, so it runs on a plain thread like REPACK; the
+        report travels as a one-column result so every client and the
+        cluster router handle it like any other rows.
+        """
+        rest = rest.strip()
+        top = 20
+        if rest:
+            try:
+                top = int(rest)
+            except ValueError:
+                top = -1
+            if top < 1:
+                await self._write_error(conn, "ProtocolError",
+                                        "usage: ADVISE [top-n]")
+                return
+        self.registry.bump("server.advises")
+        try:
+            lines = await asyncio.to_thread(self._advise_lines, top)
+        except Exception as exc:  # noqa: BLE001 - framed, never fatal
+            self.registry.bump("server.errors")
+            await self._write_error(conn, type(exc).__name__, str(exc))
+            return
+        await self._write_report(conn, "advise", lines)
+
+    def _advise_lines(self, top: int) -> list[str]:
+        from repro.advisor import advise, format_advise
+        log = self.service.query_log
+        if log is None:
+            return ["workload capture is disabled on this server "
+                    "(process executor or capture=False); "
+                    "nothing to advise on"]
+        return format_advise(advise(self.service.db, log, top=top))
+
+    async def _handle_health(self, conn: _Connection) -> None:
+        """``HEALTH`` — graded checks over live stats and the catalog."""
+        self.registry.bump("server.healths")
+        stats = self.stats()
+        try:
+            lines = await asyncio.to_thread(self._health_lines, stats)
+        except Exception as exc:  # noqa: BLE001 - framed, never fatal
+            self.registry.bump("server.errors")
+            await self._write_error(conn, type(exc).__name__, str(exc))
+            return
+        await self._write_report(conn, "health", lines)
+
+    def _health_lines(self, stats: dict[str, float]) -> list[str]:
+        from repro.advisor import format_health, run_health_checks
+        return format_health(run_health_checks(self.service.db,
+                                               stats=stats))
+
+    async def _write_report(self, conn: _Connection, column: str,
+                            lines: list[str]) -> None:
+        """Frame report *lines* as a fresh one-column result."""
+        from repro.psql.result import QueryResult
+
+        result = QueryResult(columns=(column,))
+        result.rows = [(line,) for line in lines]
+        payload = tuple(protocol.encode_result(result))
+        header = f"{protocol.OK} fresh {self.generation} {len(lines)}"
+        await self._write_lines(conn, [header, *payload])
 
     # -- frame writing -------------------------------------------------------
 

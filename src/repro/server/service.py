@@ -130,13 +130,17 @@ class QueryService:
         session_factory: builds the per-connection
             :class:`~repro.psql.executor.Session` in thread mode —
             inject one to pre-register application pictorial functions.
+        capture: attach a shared :class:`repro.advisor.QueryLog` to
+            every session (thread mode only) so ``ADVISE`` has a
+            workload to analyse.
     """
 
     def __init__(self, db: Optional[Database] = None, workers: int = 4,
                  executor: str = "thread",
                  factory_spec: str = DEFAULT_FACTORY_SPEC,
                  session_factory: Optional[
-                     Callable[[Database], Session]] = None):
+                     Callable[[Database], Session]] = None,
+                 capture: bool = True):
         if workers < 1:
             raise ValueError("worker count must be positive")
         if executor not in ("thread", "process"):
@@ -152,6 +156,13 @@ class QueryService:
         self.factory_spec = factory_spec
         self.session_factory = session_factory or Session
         self.db = db if db is not None else resolve_factory(factory_spec)()
+        # Workload capture for the advisor (ADVISE verb).  Thread mode
+        # only: process workers execute in separate interpreters, so a
+        # parent-side log would never see their queries.
+        self.query_log = None
+        if capture and executor == "thread":
+            from repro.advisor import QueryLog
+            self.query_log = QueryLog()
         self._pool: Optional[Executor] = None
         self._closed = False
         # The obs flag is process-global: turn it on for the service's
@@ -187,7 +198,10 @@ class QueryService:
 
     def make_session(self) -> Session:
         """A fresh per-connection session (thread mode)."""
-        return self.session_factory(self.db)
+        session = self.session_factory(self.db)
+        if self.query_log is not None:
+            session.query_log = self.query_log
+        return session
 
     def submit(self, session: Session, text: str):
         """Submit one query; returns the ``concurrent.futures.Future``.

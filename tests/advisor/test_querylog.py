@@ -1,0 +1,118 @@
+"""QueryLog: fingerprint aggregation, TOP ranking, eviction, capture hook."""
+
+import threading
+
+import pytest
+
+from repro.advisor import QueryLog
+from repro.psql.executor import Session
+from repro.psql.repl import build_demo_database
+
+
+def _record(log, text, cost=1.0, rows=0, accesses=0):
+    log.record(text, rows=rows, est_cost=cost, est_rows=float(rows),
+               accesses=accesses, seconds=0.001)
+
+
+class TestAggregation:
+    def test_value_equal_spellings_share_one_entry(self):
+        log = QueryLog()
+        _record(log, "select city from cities where population > 100000")
+        _record(log, "select city from cities where population > 1e5")
+        _record(log, "select city from cities where population > 100_000")
+        assert len(log) == 1
+        (entry,) = log.snapshot()
+        assert entry.calls == 3
+        # The first raw spelling is kept as the replayable sample.
+        assert "100000" in entry.sample
+
+    def test_cached_calls_accumulate_separately(self):
+        log = QueryLog()
+        _record(log, "select city from cities", cost=5.0)
+        log.record_cached("select city from cities", rows=7)
+        (entry,) = log.snapshot()
+        assert entry.calls == 1
+        assert entry.cached == 1
+        assert entry.rows == 7
+        assert entry.est_cost == 5.0
+
+    def test_top_ranks_by_accumulated_cost(self):
+        log = QueryLog()
+        for _ in range(10):
+            _record(log, "select a from cities", cost=1.0)
+        _record(log, "select b from cities", cost=100.0)
+        top = log.top(2)
+        assert "select b" in top[0].fingerprint
+        assert top[0].est_cost == 100.0
+        assert log.top(1)[0] is not None and len(log.top(1)) == 1
+
+    def test_capacity_evicts_least_recently_updated(self):
+        log = QueryLog(capacity=2)
+        _record(log, "select a from cities")
+        _record(log, "select b from cities")
+        _record(log, "select a from cities")   # refresh a
+        _record(log, "select c from cities")   # evicts b
+        fingerprints = {e.fingerprint for e in log.snapshot()}
+        assert len(fingerprints) == 2
+        assert not any("select b" in f for f in fingerprints)
+
+    def test_disabled_log_records_nothing(self):
+        log = QueryLog(enabled=False)
+        _record(log, "select a from cities")
+        log.record_cached("select a from cities")
+        assert len(log) == 0
+
+    def test_garbage_text_is_ignored(self):
+        log = QueryLog()
+        _record(log, "select @ from 'unclosed")
+        assert len(log) == 0
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            QueryLog(capacity=0)
+
+
+class TestSessionCapture:
+    def test_attached_log_captures_executions(self):
+        db = build_demo_database(seed=42)
+        session = Session(db)
+        log = QueryLog()
+        session.query_log = log
+        session.execute("select city from cities where population > 5")
+        session.execute("select city from cities where population > 5.0")
+        (entry,) = log.snapshot()
+        assert entry.calls == 2
+        assert entry.est_cost > 0
+        assert entry.accesses > 0
+        assert entry.rows > 0
+
+    def test_explain_is_not_an_execution(self):
+        db = build_demo_database(seed=42)
+        session = Session(db)
+        log = QueryLog()
+        session.query_log = log
+        session.execute("explain select city from cities")
+        assert len(log) == 0
+
+    def test_concurrent_recording_is_safe(self):
+        log = QueryLog(capacity=64)
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(200):
+                    _record(log, f"select a from cities "
+                                 f"where population > {i % 8}")
+                    log.top(5)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        total = sum(e.calls for e in log.snapshot())
+        assert total == 4 * 200

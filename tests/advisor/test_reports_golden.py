@@ -1,0 +1,78 @@
+"""Golden ADVISE / HEALTH report text for a pinned degraded workload.
+
+Pins the advisor end to end — capture, what-if replanning, ranking,
+grading, rendering — byte for byte.  If a deliberate cost-model or
+threshold change shifts the text, regenerate with::
+
+    PYTHONPATH=src python tests/advisor/test_reports_golden.py --regen
+"""
+
+from pathlib import Path
+
+from repro.advisor import (QueryLog, advise, format_advise, format_health,
+                           run_health_checks)
+from repro.advisor.smoke import PROBES, build_degraded_database
+from repro.psql.executor import Session
+
+GOLDEN = Path(__file__).parent / "golden" / "advisor_reports.txt"
+
+#: Counter payloads exercising each grading branch deterministically.
+HEALTH_STATS = {
+    "storage.buffer.hits": 700.0,
+    "storage.buffer.misses": 300.0,       # 0.70 hit rate -> WARN
+    "storage.wal.commits": 120_000.0,
+    "storage.wal.checkpoints": 1.0,       # 60k backlog -> FAIL
+    "cluster.replica.commits_behind": 3.0,
+    "server.cache.hits": 40.0,
+    "server.cache.misses": 2.0,           # healthy result cache
+    "psql.plan.cache_hits": 10.0,
+    "psql.plan.cache_misses": 5.0,        # below 0.50? no: 0.67 -> OK
+}
+
+
+def _captured_workload(db) -> QueryLog:
+    log = QueryLog()
+    session = Session(db)
+    session.query_log = log
+    session.execute("select id from points where val > 900")
+    log.record_cached("select id from points where val > 900")
+    log.record_cached("select id from points where val > 9e2")
+    for cx, cy in PROBES[:6]:
+        session.execute(f"select id from points on map at loc "
+                        f"covered-by {{{cx:g}+-8, {cy:g}+-8}}")
+    return log
+
+
+def _render_all() -> str:
+    db = build_degraded_database()
+    log = _captured_workload(db)
+    out = ["== ADVISE =="]
+    out.extend(format_advise(advise(db, log, top=10)))
+    out.append("")
+    out.append("== HEALTH (catalog only) ==")
+    out.extend(format_health(run_health_checks(db)))
+    out.append("")
+    out.append("== HEALTH (with counters) ==")
+    out.extend(format_health(run_health_checks(db, stats=HEALTH_STATS)))
+    out.append("")
+    return "\n".join(out)
+
+
+class TestGoldenReports:
+    def test_reports_match_golden_file(self):
+        expected = GOLDEN.read_text()
+        assert _render_all() == expected, (
+            "advisor report text drifted from "
+            "tests/advisor/golden/advisor_reports.txt; if the change is "
+            "deliberate, regenerate with 'PYTHONPATH=src python "
+            "tests/advisor/test_reports_golden.py --regen'")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        GOLDEN.write_text(_render_all())
+        print(f"regenerated {GOLDEN}")
+    else:
+        print(__doc__)

@@ -1,0 +1,96 @@
+"""Counters under concurrency: snapshot() is atomic vs. racing bumps.
+
+A HEALTH read snapshots the server's counters while worker threads are
+bumping *new* names into the dict; a plain ``dict()`` copy racing a
+resize raises ``RuntimeError: dictionary changed size during
+iteration``.  The hammer test drives exactly that interleaving.
+"""
+
+import threading
+
+from repro.obs import Counters
+
+WRITER_KEYS = 400
+ROUNDS = 30
+
+
+class TestSnapshotAtomicity:
+    def test_snapshot_is_as_dict(self):
+        c = Counters()
+        c.bump("a.b", 2)
+        assert c.snapshot() == c.as_dict()
+        assert Counters.snapshot is Counters.as_dict
+
+    def test_hammer_snapshot_vs_new_key_bumps(self):
+        c = Counters()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def writer(tid: int) -> None:
+            try:
+                r = 0
+                while not stop.is_set():
+                    # Fresh names each round force dict growth/resizes.
+                    for i in range(WRITER_KEYS):
+                        c.bump(f"w{tid}.r{r}.k{i}")
+                    r += 1
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(t,))
+                   for t in range(3)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(ROUNDS):
+                snap = c.snapshot()
+                # Every value in a consistent snapshot is a full bump.
+                assert all(v >= 1 for v in snap.values())
+                list(c)          # __iter__ must also be safe
+                len(c)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not errors, errors
+
+    def test_merge_and_reset_race_snapshot(self):
+        c = Counters()
+        other = {f"m.{i}": i + 1 for i in range(100)}
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def churner() -> None:
+            try:
+                while not stop.is_set():
+                    c.merge(other)
+                    c.reset()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        t = threading.Thread(target=churner)
+        t.start()
+        try:
+            for _ in range(ROUNDS):
+                snap = c.snapshot()
+                # Merge applies under one lock: a snapshot sees either
+                # nothing or whole merges, never a half-applied one.
+                if snap:
+                    assert set(snap) <= set(other)
+                    ratio = snap["m.0"] / other["m.0"]
+                    assert snap == {k: v * ratio
+                                    for k, v in other.items()}
+        finally:
+            stop.set()
+            t.join()
+        assert not errors, errors
+
+    def test_prefix_reset_keeps_other_counters(self):
+        c = Counters()
+        c.bump("a.x", 3)
+        c.bump("a.y")
+        c.bump("b.z", 7)
+        c.reset("a")
+        assert c.as_dict() == {"b.z": 7}
+        c.reset()
+        assert c.as_dict() == {}

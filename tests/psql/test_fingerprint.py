@@ -1,0 +1,84 @@
+"""fingerprint_query: value-equal literals collide, others stay apart.
+
+``normalize_query`` is deliberately lexical (``4`` and ``4.0`` stay
+distinct result-cache keys — a false miss is harmless there).  The
+workload fingerprint has the opposite contract: the advisor must count
+``population > 1e5`` and ``population > 100000`` as *one* workload
+entry, or TOP-N splits hot queries into cold-looking shards.
+"""
+
+import pytest
+
+from repro.psql import fingerprint_query, normalize_query
+from repro.psql.errors import PsqlSyntaxError
+
+CANONICAL = ("select city from cities on us-map "
+             "at loc covered-by {120±60, 130±60}")
+
+
+class TestNumericCanonicalisation:
+    @pytest.mark.parametrize("a,b", [
+        ("population > 100000", "population > 1e5"),
+        ("population > 100000", "population > 100000.0"),
+        ("population > 100000", "population > 1_00_000"),
+        ("population > 100000", "population > 10e4"),
+        ("population > 4", "population > 4.0"),
+        ("population > 0.5", "population > 5e-1"),
+        ("population > 0.5", "population > 0.50"),
+    ])
+    def test_value_equal_literals_collide(self, a, b):
+        qa = f"select city from cities where {a}"
+        qb = f"select city from cities where {b}"
+        assert fingerprint_query(qa) == fingerprint_query(qb)
+
+    def test_negative_coordinates_collide(self):
+        a = ("select city from cities on us-map "
+             "at loc covered-by {-40+-60, 130+-60}")
+        b = ("select city from cities on us-map "
+             "at loc covered-by {-40.0 +- 60.0, 130 ± 60}")
+        assert fingerprint_query(a) == fingerprint_query(b)
+
+    def test_whitespace_and_case_collapse(self):
+        messy = ("SELECT  city\nFROM cities\n  ON us-map\n"
+                 "AT loc covered-by {120.0+-60, 130±60.0}")
+        assert fingerprint_query(messy) == fingerprint_query(CANONICAL)
+
+    def test_int_vs_float_collide_unlike_normalize(self):
+        a = "select city from cities where population > 4"
+        b = "select city from cities where population > 4.0"
+        assert fingerprint_query(a) == fingerprint_query(b)
+        assert normalize_query(a) != normalize_query(b)
+
+    def test_huge_floats_do_not_lose_precision(self):
+        # Beyond 2**53 int(float) would quantise; the fingerprint must
+        # not merge values that differ.
+        a = f"select city from cities where population > {2 ** 60}"
+        b = f"select city from cities where population > {2 ** 60 + 1}"
+        assert fingerprint_query(a) != fingerprint_query(b)
+
+
+class TestDistinctions:
+    def test_different_values_do_not_collide(self):
+        a = "select city from cities where population > 4"
+        b = "select city from cities where population > 5"
+        assert fingerprint_query(a) != fingerprint_query(b)
+
+    def test_string_literals_are_not_numbers(self):
+        a = "select city from cities where state = '4'"
+        b = "select city from cities where state = '4.0'"
+        assert fingerprint_query(a) != fingerprint_query(b)
+
+    def test_identifier_case_is_preserved(self):
+        a = fingerprint_query("select city from cities")
+        b = fingerprint_query("select City from cities")
+        assert a != b
+
+
+class TestContract:
+    def test_idempotent(self):
+        once = fingerprint_query(CANONICAL)
+        assert fingerprint_query(once) == once
+
+    def test_lexical_garbage_raises(self):
+        with pytest.raises(PsqlSyntaxError):
+            fingerprint_query("select city where x = 'unclosed")

@@ -1,0 +1,106 @@
+"""ADVISE / HEALTH over real sockets: capture, reports, degraded modes."""
+
+import pytest
+
+from repro.advisor.smoke import build_degraded_database
+from repro.server.client import Client
+from repro.server.server import PsqlServer, ServerConfig
+
+SCAN = "select id from points where val > 900"
+
+
+@pytest.fixture()
+def server():
+    srv = PsqlServer(ServerConfig(port=0, workers=2),
+                     db=build_degraded_database())
+    srv.start_background()
+    yield srv
+    srv.stop_background()
+
+
+@pytest.fixture()
+def client(server):
+    c = Client(server.config.host, server.port)
+    yield c
+    c.close()
+
+
+def lines(response):
+    response.raise_for_status()
+    return [row[0] for row in response.rows]
+
+
+class TestAdvise:
+    def test_workload_flows_into_the_report(self, client):
+        for _ in range(6):
+            client.query(SCAN).raise_for_status()
+        report = lines(client.advise())
+        assert report[0].startswith("workload: 1 fingerprint(s), "
+                                    "6 call(s) captured")
+        assert any("val > 900" in line for line in report)
+        assert any("CREATE INDEX points.val" in line for line in report)
+
+    def test_cached_hits_count_as_calls(self, client):
+        # Identical text: executions 1, then result-cache hits.
+        for _ in range(4):
+            client.query(SCAN).raise_for_status()
+        report = lines(client.advise())
+        assert "4 call(s) captured" in report[0]
+
+    def test_fingerprint_merges_spellings_across_connections(
+            self, server, client):
+        client.query(SCAN).raise_for_status()
+        other = Client(server.config.host, server.port)
+        try:
+            other.query("select id from points where val > 9e2"
+                        ).raise_for_status()
+        finally:
+            other.close()
+        report = lines(client.advise())
+        assert report[0].startswith("workload: 1 fingerprint(s), "
+                                    "2 call(s) captured")
+
+    def test_top_argument_validated(self, client):
+        bad = client.advise(top=0)
+        assert bad.status == "error"
+        assert "usage: ADVISE" in (bad.error_message or "")
+
+    def test_explain_is_not_captured(self, client):
+        client.explain(SCAN).raise_for_status()
+        report = lines(client.advise())
+        assert report[0].startswith("workload: 0 fingerprint(s)")
+
+    def test_capture_disabled_reports_gracefully(self):
+        srv = PsqlServer(ServerConfig(port=0, workers=1, capture=False),
+                         db=build_degraded_database())
+        srv.start_background()
+        try:
+            with Client(srv.config.host, srv.port) as c:
+                c.query(SCAN).raise_for_status()
+                report = lines(c.advise())
+                assert any("capture is disabled" in line
+                           for line in report)
+        finally:
+            srv.stop_background()
+
+
+class TestHealth:
+    def test_degraded_then_repacked_roundtrip(self, client):
+        report = lines(client.health())
+        assert report[0].startswith("health: WARN")
+        tree = next(l for l in report if "tree.map/points.loc" in l)
+        assert tree.split()[0] == "WARN"
+        client.repack("map", "points", "loc").raise_for_status()
+        report = lines(client.health())
+        assert report[0].startswith("health: OK")
+
+    def test_counter_checks_present(self, client):
+        report = lines(client.health())
+        names = {line.split()[1] for line in report[1:]}
+        assert {"buffer.hit_rate", "wal.checkpoint", "replica.lag",
+                "cache.results", "cache.plans"} <= names
+
+    def test_health_counts_itself(self, client):
+        client.health().raise_for_status()
+        stats = client.stats()
+        assert stats.get("server.healths", 0) >= 1
