@@ -56,7 +56,7 @@ from repro import obs
 from repro.psql.errors import PsqlError
 from repro.psql.planner import merge_shard_plans
 from repro.relational.rowcodec import decode_row, encode_row
-from repro.server import protocol
+from repro.server import binproto, protocol
 from repro.server.cache import QueryCache
 from repro.server.protocol import Response
 from repro.cluster.dataset import GID_COLUMN, ClusterDataset
@@ -96,6 +96,11 @@ class RouterConfig:
     #: seconds between replica STATS health refreshes (0 = every read)
     health_interval: float = 0.0
     drain_timeout: float = 5.0
+    #: negotiate the binary protocol (``HELLO bin``) on upstream shard
+    #: connections; shards that predate it answer ERR and the backend
+    #: silently stays on the text protocol.  The router's *client-facing*
+    #: side is text-only either way.
+    binary_upstream: bool = True
 
 
 class _Backend:
@@ -108,11 +113,15 @@ class _Backend:
     without router intervention.
     """
 
-    def __init__(self, spec: BackendSpec):
+    def __init__(self, spec: BackendSpec, binary: bool = True):
         self.spec = spec
         self.lock = asyncio.Lock()
         self.reader: Optional[asyncio.StreamReader] = None
         self.writer: Optional[asyncio.StreamWriter] = None
+        #: negotiate the binary protocol when (re)connecting
+        self.binary_wanted = binary
+        #: True once ``HELLO bin`` was acked on the live connection
+        self.binary = False
         #: last data generation seen in any response header from this
         #: backend (-1 until the first response) — the cache-token input.
         self.generation = -1
@@ -130,20 +139,15 @@ class _Backend:
                         asyncio.open_connection(self.spec.host,
                                                 self.spec.port),
                         timeout)
-                self.writer.write(command.encode("utf-8") + b"\n")
-                await asyncio.wait_for(self.writer.drain(), timeout)
-                lines: list[str] = []
-                while True:
-                    raw = await asyncio.wait_for(self.reader.readline(),
-                                                 timeout)
-                    if not raw:
-                        raise ConnectionResetError("backend closed")
-                    line = raw.decode("utf-8").rstrip("\n")
-                    lines.append(line)
-                    if line == protocol.END:
-                        break
-                response = protocol.parse_response(lines)
-            except (OSError, asyncio.TimeoutError,
+                    self.binary = False
+                    if self.binary_wanted:
+                        await self._negotiate_binary(timeout)
+                if self.binary:
+                    response = await self._binary_roundtrip(command, timeout)
+                else:
+                    await self._send_line(command, timeout)
+                    response = await self._read_text_response(timeout)
+            except (OSError, EOFError, asyncio.TimeoutError,
                     protocol.ProtocolError) as exc:
                 self.failures += 1
                 await self._drop()
@@ -154,11 +158,51 @@ class _Backend:
                 self.generation = response.generation
             return response
 
+    async def _negotiate_binary(self, timeout: float) -> None:
+        """Offer ``HELLO bin``; an ERR (pre-HELLO shard) keeps text."""
+        await self._send_line("HELLO bin", timeout)
+        response = await self._read_text_response(timeout)
+        if response.ok:
+            self.binary = True
+
+    async def _send_line(self, command: str, timeout: float) -> None:
+        self.writer.write(command.encode("utf-8") + b"\n")
+        await asyncio.wait_for(self.writer.drain(), timeout)
+
+    async def _read_text_response(self, timeout: float) -> Response:
+        lines: list[str] = []
+        while True:
+            raw = await asyncio.wait_for(self.reader.readline(), timeout)
+            if not raw:
+                raise ConnectionResetError("backend closed")
+            line = raw.decode("utf-8").rstrip("\n")
+            lines.append(line)
+            if line == protocol.END:
+                break
+        return protocol.parse_response(lines)
+
+    async def _binary_roundtrip(self, command: str,
+                                timeout: float) -> Response:
+        # OP_COMMAND carries the full text verb line, so every router
+        # upstream verb (QUERY/KNN/INSERT/...) works without per-verb
+        # binary encodings.
+        self.writer.write(binproto.encode_command(command))
+        await asyncio.wait_for(self.writer.drain(), timeout)
+        prefix = await asyncio.wait_for(self.reader.readexactly(4), timeout)
+        length = int.from_bytes(prefix, "little")
+        if length == 0 or length > binproto.MAX_FRAME:
+            raise protocol.ProtocolError(
+                f"implausible frame length {length} from backend")
+        body = await asyncio.wait_for(self.reader.readexactly(length),
+                                      timeout)
+        return binproto.parse_response_body(body)
+
     async def _drop(self) -> None:
         if self.writer is not None:
             self.writer.close()
         self.reader = None
         self.writer = None
+        self.binary = False
 
 
 class Router:
@@ -184,7 +228,7 @@ class Router:
         self._replicas: dict[int, list[_Backend]] = {}
         self._backends: list[_Backend] = []
         for spec in backends:
-            backend = _Backend(spec)
+            backend = _Backend(spec, binary=config.binary_upstream)
             self._backends.append(backend)
             if spec.role == "primary":
                 if spec.shard_id in self._primaries:

@@ -50,7 +50,7 @@ from repro.psql.result import QueryResult
 from repro.relational.catalog import Database
 from repro.relational.rowcodec import decode_row
 from repro.rtree.search import knn_search
-from repro.server import protocol
+from repro.server import binproto, protocol
 from repro.server.server import PsqlServer, ServerConfig, _Connection
 from repro.server.service import STORAGE_ERRORS
 from repro.storage import failpoints
@@ -194,10 +194,8 @@ class ShardServer(PsqlServer):
             self.registry.bump("server.io_errors")
             await self._write_error(conn, type(exc).__name__, str(exc))
             return
-        await self._write_lines(
-            conn,
-            [f"{protocol.OK} insert {self.generation} {int(inserted)}",
-             protocol.END])
+        await self._reply_ack(conn, "insert", self.generation,
+                              int(inserted))
 
     def _do_insert(self, relation_name: str, row: dict) -> bool:
         with self._mutate_lock:
@@ -239,10 +237,8 @@ class ShardServer(PsqlServer):
             self.registry.bump("server.io_errors")
             await self._write_error(conn, type(exc).__name__, str(exc))
             return
-        await self._write_lines(
-            conn,
-            [f"{protocol.OK} delete {self.generation} {int(deleted)}",
-             protocol.END])
+        await self._reply_ack(conn, "delete", self.generation,
+                              int(deleted))
 
     def _do_delete(self, relation_name: str, gid: int) -> bool:
         with self._mutate_lock:
@@ -298,10 +294,11 @@ class ShardServer(PsqlServer):
             self.registry.bump("server.io_errors")
             await self._write_error(conn, type(exc).__name__, str(exc))
             return
-        payload = protocol.encode_result(
-            QueryResult(columns=("distance", "gid"), rows=rows))
-        header = f"{protocol.OK} fresh {self.generation} {len(rows)}"
-        await self._write_lines(conn, [header, *payload])
+        result = QueryResult(columns=("distance", "gid"), rows=rows)
+        await self._reply_result(
+            conn, "fresh", self.generation, len(rows),
+            tuple(protocol.encode_result(result)),
+            binproto.encode_result_body(result))
 
     def _do_knn(self, picture: str, relation_name: str, x: float,
                 y: float, k: int, column: str) -> list[tuple[float, int]]:
@@ -330,10 +327,7 @@ class ShardServer(PsqlServer):
             self.registry.bump("server.io_errors")
             await self._write_error(conn, type(exc).__name__, str(exc))
             return
-        await self._write_lines(
-            conn,
-            [f"{protocol.OK} replay {self.generation} {commits}",
-             protocol.END])
+        await self._reply_ack(conn, "replay", self.generation, commits)
 
     async def _apply_replay(self) -> int:
         assert self.shipper is not None

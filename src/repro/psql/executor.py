@@ -32,11 +32,12 @@ from repro.geometry.rect import Rect
 from repro.geometry.region import Region
 from repro.geometry.segment import Segment
 from repro.psql import ast
-from repro.psql.errors import PsqlSemanticError
+from repro.psql.errors import PsqlError, PsqlSemanticError
 from repro.psql.functions import FunctionRegistry
 from repro.psql.parser import parse, parse_statement
 from repro.psql.planner import Plan, PlanNode, plan_query, \
     sargable_conjuncts
+from repro.psql.prepare import PreparedStatement
 from repro.psql.result import PictorialObject, QueryResult
 from repro.relational.catalog import Database, mbr_of_value
 from repro.relational.relation import Relation, RowId
@@ -80,6 +81,9 @@ class Session:
         #: with its estimated vs. actual cost; ``None`` (the default)
         #: costs a single attribute test per statement.
         self.query_log: Optional[Any] = None
+        #: Prepared statements by id (:meth:`prepare`).
+        self._prepared: dict[int, PreparedStatement] = {}
+        self._next_statement_id = 1
 
     def execute(self, text: str) -> QueryResult:
         """Parse and run one PSQL statement (a query or an EXPLAIN)."""
@@ -115,6 +119,48 @@ class Session:
     def run(self, query: ast.Query) -> QueryResult:
         """Run an already parsed query."""
         return _Execution(self, query).run()
+
+    def prepare(self, text: str) -> PreparedStatement:
+        """Register a ``?``-placeholder template for later execution.
+
+        The template is split (not parsed — a bare ``?`` is not valid
+        PSQL) now; each :meth:`execute_prepared` splices parameters in,
+        parses once per distinct parameter set, and rides the session's
+        ordinary plan cache keyed on the parsed AST.
+        """
+        statement = PreparedStatement(text, self._next_statement_id)
+        self._next_statement_id += 1
+        self._prepared[statement.statement_id] = statement
+        return statement
+
+    def prepared(self, statement_id: int) -> PreparedStatement:
+        """Look up a prepared statement by id.
+
+        Raises:
+            PsqlError: for an unknown id.
+        """
+        try:
+            return self._prepared[statement_id]
+        except KeyError:
+            raise PsqlError(
+                f"unknown prepared statement {statement_id}") from None
+
+    def execute_prepared(self, statement_id: int,
+                         params: Sequence[str]) -> QueryResult:
+        """Bind *params* into a prepared statement and run it.
+
+        Equivalent to ``execute(template with params spliced in)`` —
+        same results, same workload-log capture — minus the per-call
+        lexer/parser cost once a parameter set has been seen.
+        """
+        stmt = self.prepared(statement_id)
+        statement, text = stmt.bind(tuple(params))
+        if isinstance(statement, ast.Explain):
+            return self.explain(statement)
+        log = self.query_log
+        if log is not None and log.enabled:
+            return self._run_logged(text, statement, log)
+        return self.run(statement)
 
     def plan(self, query: ast.Query) -> Plan:
         """The (cached) plan for *query* at the current data generation."""
@@ -399,9 +445,9 @@ class _Execution:
                    relation: Relation, column: str,
                    stats: Optional[SearchStats] = None) -> list[RowId]:
         """Translate a spatial operator into R-tree searches + refinement."""
-        # Disk-backed trees take no stats kwarg; recording is best-effort.
-        kwargs = ({"stats": stats}
-                  if stats is not None and hasattr(tree, "root") else {})
+        # Both in-memory RTree and DiskSpatialIndex accept the stats
+        # recorder; disk trees report page touches through it.
+        kwargs = {"stats": stats} if stats is not None else {}
         if op == "covered-by":
             rids = tree.search_within(window, **kwargs)
         elif op == "intersecting":

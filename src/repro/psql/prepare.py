@@ -1,0 +1,129 @@
+"""Prepared statements: ``?``-placeholder templates bound per execution.
+
+PSQL has no bind-variable notion in its grammar, so preparation is
+textual: the template is split once at its placeholders, and each
+``EXECUTE`` splices parameter strings into the gaps and parses the
+substituted text.  What makes this worth a verb is what happens *after*
+the splice — the substituted statement flows into the session's plan
+cache keyed on the parsed AST, so repeated executions with the same
+parameters skip planning entirely, and the server layer keys its result
+cache on ``(template, params)`` so repeat hits skip even the lexer.
+
+Placeholders are single ``?`` characters outside string literals.  The
+lexer's strings (``'...'`` / ``"..."``) have **no** escape sequences, so
+quote tracking here is a simple toggle — a ``?`` inside quotes is data,
+not a placeholder::
+
+    select city from cities on us-map at loc covered-by {?, ?}
+    select name from pois where label = '?'     -- zero placeholders
+
+Parameters are spliced verbatim: they are statement *fragments* (a point
+like ``4±4``, a number, a quoted string), not SQL-style typed values.
+Binding re-parses the substituted text, so a malformed parameter fails
+with the ordinary :class:`~repro.psql.errors.PsqlError` parse error and
+cannot corrupt anything — there is no injection surface beyond what the
+caller could already send as a plain query.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.psql.errors import PsqlError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.psql import ast
+
+__all__ = ["PreparedStatement", "count_placeholders", "split_template"]
+
+#: Per-statement bound on memoized (params -> parsed AST) entries.
+BIND_CACHE_SIZE = 32
+
+
+def split_template(text: str) -> tuple[str, ...]:
+    """Split *text* at each ``?`` placeholder outside string literals.
+
+    Returns the literal segments; a template with *n* placeholders
+    yields *n + 1* segments (possibly empty at the ends).
+    """
+    segments: list[str] = []
+    current: list[str] = []
+    quote = ""
+    for ch in text:
+        if quote:
+            current.append(ch)
+            if ch == quote:
+                quote = ""
+        elif ch in ("'", '"'):
+            quote = ch
+            current.append(ch)
+        elif ch == "?":
+            segments.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    segments.append("".join(current))
+    return tuple(segments)
+
+
+def count_placeholders(text: str) -> int:
+    """How many ``?`` placeholders *text* binds."""
+    return len(split_template(text)) - 1
+
+
+class PreparedStatement:
+    """One prepared template plus its per-parameter-set parse cache.
+
+    The cache maps a params tuple to the parsed statement, bounded LRU
+    at :data:`BIND_CACHE_SIZE`: a workload cycling a handful of
+    parameter sets (the common serving shape) re-parses nothing, while
+    an adversarial stream of unique parameters stays bounded.
+    """
+
+    __slots__ = ("text", "segments", "nparams", "statement_id", "_cache")
+
+    def __init__(self, text: str, statement_id: int = 0):
+        self.text = text
+        self.segments = split_template(text)
+        self.nparams = len(self.segments) - 1
+        self.statement_id = statement_id
+        self._cache: OrderedDict[tuple[str, ...], "ast.Statement"] = \
+            OrderedDict()
+
+    def substitute(self, params: tuple[str, ...]) -> str:
+        """The executable text with *params* spliced into the gaps.
+
+        Raises:
+            PsqlError: on a parameter-count mismatch.
+        """
+        if len(params) != self.nparams:
+            raise PsqlError(
+                f"prepared statement takes {self.nparams} parameter(s), "
+                f"got {len(params)}")
+        parts = [self.segments[0]]
+        for value, segment in zip(params, self.segments[1:]):
+            parts.append(value)
+            parts.append(segment)
+        return "".join(parts)
+
+    def bind(self, params: tuple[str, ...]) -> tuple["ast.Statement", str]:
+        """Parse the substituted statement, memoized per params tuple.
+
+        Returns ``(statement, substituted_text)``.
+
+        Raises:
+            PsqlError: on arity mismatch or a parse failure.
+        """
+        params = tuple(params)
+        text = self.substitute(params)
+        cached = self._cache.get(params)
+        if cached is not None:
+            self._cache.move_to_end(params)
+            return cached, text
+        from repro.psql.parser import parse_statement
+        statement = parse_statement(text)
+        self._cache[params] = statement
+        if len(self._cache) > BIND_CACHE_SIZE:
+            self._cache.popitem(last=False)
+        return statement, text

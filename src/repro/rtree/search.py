@@ -35,6 +35,14 @@ class SearchStats:
             self.leaves_visited += 1
         self.entries_tested += len(node.entries)
 
+    def record_page(self, is_leaf: bool, nentries: int) -> None:
+        """Page-level twin of :meth:`record_node` for disk trees, whose
+        zero-copy traversals never materialise a node object."""
+        self.nodes_visited += 1
+        if is_leaf:
+            self.leaves_visited += 1
+        self.entries_tested += nentries
+
     def merge(self, other: "SearchStats") -> None:
         self.nodes_visited += other.nodes_visited
         self.leaves_visited += other.leaves_visited

@@ -25,15 +25,22 @@ __all__ = ["CachedResult", "QueryCache"]
 
 
 class CachedResult:
-    """One cached, fully encoded query result."""
+    """One cached, fully encoded query result.
 
-    __slots__ = ("payload", "nrows", "generation")
+    ``payload`` holds the text-protocol lines; ``bbody`` the binary
+    result body (empty when the producer did not compute one).  Storing
+    both renderings means a cache hit needs zero conversion regardless
+    of which protocol the connection negotiated.
+    """
+
+    __slots__ = ("payload", "nrows", "generation", "bbody")
 
     def __init__(self, payload: tuple[str, ...], nrows: int,
-                 generation: int):
+                 generation: int, bbody: bytes = b""):
         self.payload = payload
         self.nrows = nrows
         self.generation = generation
+        self.bbody = bbody
 
 
 class QueryCache:
@@ -77,13 +84,15 @@ class QueryCache:
             return entry
 
     def put(self, normalized: str, generation: int,
-            payload: tuple[str, ...], nrows: int) -> None:
+            payload: tuple[str, ...], nrows: int,
+            bbody: bytes = b"") -> None:
         """Store an encoded result (evicting the LRU entry when full)."""
         if self.capacity == 0:
             return
         with self._lock:
             key = (normalized, generation)
-            self._entries[key] = CachedResult(payload, nrows, generation)
+            self._entries[key] = CachedResult(payload, nrows, generation,
+                                              bbody)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)

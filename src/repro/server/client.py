@@ -15,18 +15,52 @@ threads, applications get the obvious call-and-response shape::
 ``query()`` returns a :class:`~repro.server.protocol.Response`; callers
 that prefer exceptions over status checks can chain
 ``.raise_for_status()``.
+
+Pass ``binary=True`` to negotiate the length-prefixed binary protocol
+(``HELLO bin``) at connect time — same :class:`Response` objects, same
+cell strings, a fraction of the encode/decode cost.  A server that does
+not know ``HELLO`` answers ``ERR`` and the client silently stays on the
+text protocol (check :attr:`Client.binary` for the outcome).
+
+Prepared statements work over both framings::
+
+    stmt = c.prepare("select city from cities on us-map "
+                     "at loc covered-by {?, ?}")
+    r = c.execute(stmt, ("400+-150", "300+-150"))
 """
 
 from __future__ import annotations
 
 import socket
 from types import TracebackType
-from typing import Optional
+from typing import Optional, Sequence, Union
 
-from repro.server import protocol
+from repro.server import binproto, protocol
 from repro.server.protocol import ProtocolError, Response
 
-__all__ = ["Client"]
+__all__ = ["Client", "ClientStatement"]
+
+
+class ClientStatement:
+    """A server-side prepared statement, as the client sees it."""
+
+    __slots__ = ("statement_id", "text", "nparams", "_frames")
+
+    def __init__(self, statement_id: int, text: str, nparams: int):
+        self.statement_id = statement_id
+        self.text = text
+        self.nparams = nparams
+        #: memoized request frames per params tuple (binary mode) — a
+        #: hot loop re-executing the same binding sends cached bytes
+        self._frames: dict = {}
+
+    def _frame(self, params: tuple) -> bytes:
+        frame = self._frames.get(params)
+        if frame is None:
+            frame = binproto.encode_execute(self.statement_id, params)
+            if len(self._frames) < 64:
+                self._frames[params] = frame
+        return frame
 
 
 class Client:
@@ -38,26 +72,44 @@ class Client:
             (``None`` blocks indefinitely).  Note this is the *client's*
             patience; the server applies its own per-query timeout and
             answers with a ``TIMEOUT`` frame.
+        binary: negotiate the binary protocol at connect time.  Falls
+            back to text (without error) when the server predates
+            ``HELLO``.
     """
 
     def __init__(self, host: str = "127.0.0.1",
                  port: int = protocol.DEFAULT_PORT,
-                 timeout: Optional[float] = 30.0):
+                 timeout: Optional[float] = 30.0,
+                 binary: bool = False):
         self.host = host
         self.port = port
         self._sock = socket.create_connection((host, port),
                                               timeout=timeout)
         self._file = self._sock.makefile("rwb")
+        #: True once the binary protocol is live on this connection.
+        self.binary = False
+        if binary:
+            self._negotiate_binary()
+
+    def _negotiate_binary(self) -> None:
+        self._send_line("HELLO bin")
+        response = self._read_text_response()
+        if response.ok:
+            self.binary = True
+        # An ERR means a pre-HELLO server: keep talking text.
 
     # -- commands -----------------------------------------------------------
 
     def query(self, text: str) -> Response:
         """Execute one PSQL query.
 
-        The wire protocol is line-based, so embedded newlines in *text*
-        are replaced with spaces — whitespace is insignificant to PSQL.
+        The text wire protocol is line-based, so embedded newlines in
+        *text* are replaced with spaces — whitespace is insignificant
+        to PSQL.
         """
         one_line = " ".join(text.splitlines())
+        if self.binary:
+            return self._binary_roundtrip(binproto.encode_query(one_line))
         return self._roundtrip(f"QUERY {one_line}")
 
     def explain(self, text: str, analyze: bool = False) -> Response:
@@ -69,7 +121,48 @@ class Client:
         """
         one_line = " ".join(text.splitlines())
         prefix = "ANALYZE " if analyze else ""
-        return self._roundtrip(f"EXPLAIN {prefix}{one_line}")
+        return self._command(f"EXPLAIN {prefix}{one_line}")
+
+    def prepare(self, template: str) -> ClientStatement:
+        """Prepare a ``?``-placeholder query template (``PREPARE``).
+
+        Returns a :class:`ClientStatement` handle for :meth:`execute`.
+
+        Raises:
+            ServerError: when the server rejects the template.
+        """
+        one_line = " ".join(template.splitlines())
+        if self.binary:
+            response = self._binary_roundtrip(
+                binproto.encode_prepare(one_line))
+        else:
+            response = self._roundtrip(f"PREPARE {one_line}")
+        response.raise_for_status()
+        # Text acks carry the id in the count field; the placeholder
+        # count is recomputed locally (the splitter is shared code).
+        nparams = int(response.stats.get("statement.nparams", -1))
+        if nparams < 0:
+            from repro.psql.prepare import count_placeholders
+            nparams = count_placeholders(one_line)
+        return ClientStatement(response.nrows, one_line, nparams)
+
+    def execute(self, statement: Union[ClientStatement, int],
+                params: Sequence[str] = ()) -> Response:
+        """Execute a prepared statement with *params* (``EXECUTE``)."""
+        params = tuple(params)
+        if isinstance(statement, ClientStatement):
+            statement_id = statement.statement_id
+            if self.binary:
+                return self._binary_roundtrip(statement._frame(params))
+        else:
+            statement_id = int(statement)
+        if self.binary:
+            return self._binary_roundtrip(
+                binproto.encode_execute(statement_id, params))
+        rendered = "\t".join(protocol.escape(p) for p in params)
+        command = (f"EXECUTE {statement_id} {rendered}"
+                   if params else f"EXECUTE {statement_id}")
+        return self._roundtrip(command)
 
     def repack(self, picture: str, relation: str,
                column: str = "loc") -> Response:
@@ -79,7 +172,7 @@ class Client:
         generation and ``response.nrows`` the rebuilt index's entry
         count.  Blocks until the rebuild (and its atomic swap) is done.
         """
-        return self._roundtrip(f"REPACK {picture} {relation} {column}")
+        return self._command(f"REPACK {picture} {relation} {column}")
 
     def advise(self, top: Optional[int] = None) -> Response:
         """Workload analysis and tuning recommendations (``ADVISE``).
@@ -91,7 +184,7 @@ class Client:
         when omitted).
         """
         command = "ADVISE" if top is None else f"ADVISE {top}"
-        return self._roundtrip(command)
+        return self._command(command)
 
     def health(self) -> Response:
         """Graded OK/WARN/FAIL health checks (``HEALTH``).
@@ -99,23 +192,36 @@ class Client:
         Each response row is one report line; the first summarises the
         worst status.
         """
-        return self._roundtrip("HEALTH")
+        return self._command("HEALTH")
 
     def stats(self) -> dict[str, float]:
         """The server's metrics snapshot (the ``STATS`` command)."""
+        if self.binary:
+            return self._binary_roundtrip(
+                binproto.encode_simple(binproto.OP_STATS)).stats
         return self._roundtrip("STATS").stats
 
     def ping(self) -> bool:
         """Liveness check; True when the server answers ``PONG``."""
-        return self._roundtrip("PING").status == "pong"
+        if self.binary:
+            response = self._binary_roundtrip(
+                binproto.encode_simple(binproto.OP_PING))
+        else:
+            response = self._roundtrip("PING")
+        return response.status == "pong"
 
     def close(self) -> None:
         """Say QUIT (best effort) and close the socket (idempotent)."""
         if self._sock is None:
             return
         try:
-            self._send_line("QUIT")
-            self._read_response()
+            if self.binary:
+                self._send_bytes(
+                    binproto.encode_simple(binproto.OP_QUIT))
+                self._read_binary_response()
+            else:
+                self._send_line("QUIT")
+                self._read_text_response()
         except (OSError, ProtocolError):
             pass
         try:
@@ -127,9 +233,19 @@ class Client:
 
     # -- plumbing -----------------------------------------------------------
 
+    def _command(self, command: str) -> Response:
+        """One full text-protocol command line, over either framing."""
+        if self.binary:
+            return self._binary_roundtrip(binproto.encode_command(command))
+        return self._roundtrip(command)
+
     def _roundtrip(self, command: str) -> Response:
         self._send_line(command)
-        return self._read_response()
+        return self._read_text_response()
+
+    def _binary_roundtrip(self, request: bytes) -> Response:
+        self._send_bytes(request)
+        return self._read_binary_response()
 
     def _send_line(self, line: str) -> None:
         if self._sock is None:
@@ -137,7 +253,13 @@ class Client:
         self._file.write(line.encode("utf-8") + b"\n")
         self._file.flush()
 
-    def _read_response(self) -> Response:
+    def _send_bytes(self, data: bytes) -> None:
+        if self._sock is None:
+            raise ProtocolError("client is closed")
+        self._file.write(data)
+        self._file.flush()
+
+    def _read_text_response(self) -> Response:
         lines: list[str] = []
         while True:
             raw = self._file.readline()
@@ -150,6 +272,24 @@ class Client:
             if line == protocol.END:
                 break
         return protocol.parse_response(lines)
+
+    def _read_exactly(self, n: int) -> bytes:
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining:
+            chunk = self._file.read(remaining)
+            if not chunk:
+                raise ProtocolError("connection closed mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks) if len(chunks) != 1 else chunks[0]
+
+    def _read_binary_response(self) -> Response:
+        prefix = self._read_exactly(4)
+        length = int.from_bytes(prefix, "little")
+        if length == 0 or length > binproto.MAX_FRAME:
+            raise ProtocolError(f"implausible frame length {length}")
+        return binproto.parse_response_body(self._read_exactly(length))
 
     # -- context manager ----------------------------------------------------
 

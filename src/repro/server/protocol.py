@@ -71,17 +71,39 @@ def escape(text: str) -> str:
             .replace("\n", "\\n").replace("\r", "\\r"))
 
 
+#: The only escape pairs :func:`escape` emits; :func:`unescape` accepts
+#: nothing else.
+_UNESCAPES = {"\\": "\\", "t": "\t", "n": "\n", "r": "\r"}
+
+
 def unescape(text: str) -> str:
-    """Invert :func:`escape`."""
+    """Invert :func:`escape`.
+
+    Strict by design: a lone trailing backslash or an unknown escape
+    pair (``\\x``) can only come from a corrupted or non-conforming
+    frame, and silently passing it through as a literal would let the
+    corruption masquerade as data.
+
+    Raises:
+        ProtocolError: on a malformed escape sequence.
+    """
     out: list[str] = []
     i = 0
     n = len(text)
     while i < n:
         ch = text[i]
-        if ch == "\\" and i + 1 < n:
+        if ch == "\\":
+            if i + 1 >= n:
+                raise ProtocolError(
+                    f"truncated escape at end of field {text!r}")
             nxt = text[i + 1]
-            out.append({"\\": "\\", "t": "\t", "n": "\n", "r": "\r"}
-                       .get(nxt, nxt))
+            try:
+                out.append(_UNESCAPES[nxt])
+            except KeyError:
+                pair = "\\" + nxt
+                raise ProtocolError(
+                    f"unknown escape sequence {pair!r} in field "
+                    f"{text!r}") from None
             i += 2
         else:
             out.append(ch)
@@ -144,7 +166,9 @@ class Response:
     payload: bytes = b""
     error_kind: str = ""
     error_message: str = ""
-    stats: dict[str, float] = field(default_factory=dict)
+    #: STAT name/value pairs; integer-rendered counters parse back to
+    #: ``int``, everything else to ``float``
+    stats: dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -213,9 +237,10 @@ def _parse_ok(rest: str, lines: list[str]) -> Response:
     disposition, gen_text, nrows_text = parts
     # "cached"/"fresh" mark query results by cache disposition; the
     # acknowledgement dispositions name the verb they answer (REPACK,
-    # and the cluster tier's INSERT/DELETE routing verbs).
+    # HELLO/PREPARE negotiation, and the cluster tier's INSERT/DELETE
+    # routing verbs).
     if disposition not in ("cached", "fresh", "repack", "insert", "delete",
-                           "replay"):
+                           "replay", "hello", "prepare"):
         raise ProtocolError(f"unknown cache disposition {disposition!r}")
     try:
         nrows = int(nrows_text)
@@ -247,10 +272,19 @@ def _parse_stats(lines: list[str]) -> Response:
         if tag != STAT:
             raise ProtocolError(f"unexpected frame {line!r} in STATS body")
         name, _, value = payload.partition(" ")
+        # Integer-valued counters stay integral through a round trip:
+        # the server renders ints via str() and floats via repr(), so
+        # the rendering itself tells us which type to restore.
         try:
-            response.stats[unescape(name)] = float(value)
-        except ValueError as exc:
-            raise ProtocolError(f"bad STAT value in {line!r}") from exc
+            response.stats[unescape(name)] = int(value)
+        except ValueError:
+            try:
+                response.stats[unescape(name)] = float(value)
+            except ValueError as exc:
+                raise ProtocolError(f"bad STAT value in {line!r}") from exc
+    generation = response.stats.get("server.generation")
+    if generation is not None:
+        response.generation = int(generation)
     return response
 
 

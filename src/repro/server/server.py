@@ -36,8 +36,9 @@ from typing import Optional
 from repro.psql.errors import PsqlError
 from repro.psql.executor import Session
 from repro.psql.normalize import normalize_query
+from repro.psql.prepare import PreparedStatement
 from repro.relational.catalog import Database
-from repro.server import protocol
+from repro.server import binproto, protocol
 from repro.server.cache import QueryCache
 from repro.server.service import STORAGE_ERRORS, QueryService
 from repro import obs
@@ -76,6 +77,10 @@ class _Connection:
     queries: int = 0
     errors: int = 0
     opened_at: float = field(default_factory=time.monotonic)
+    #: negotiated the binary protocol via ``HELLO bin``
+    binary: bool = False
+    #: prepared statements by id (shared objects with the session)
+    prepared: dict[int, PreparedStatement] = field(default_factory=dict)
 
 
 class PsqlServer:
@@ -249,6 +254,11 @@ class PsqlServer:
                         conn, "ProtocolError",
                         f"unknown command {verb!r} "
                         f"(try {'/'.join(self.verbs())})")
+                if conn.binary:
+                    # HELLO bin was acknowledged in text; every byte
+                    # from here on is length-prefixed binary framing.
+                    await self._binary_loop(conn, reader)
+                    break
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -260,8 +270,8 @@ class PsqlServer:
 
     def verbs(self) -> tuple[str, ...]:
         """The command verbs this server answers (for error messages)."""
-        return ("QUERY", "EXPLAIN", "REPACK", "ADVISE", "HEALTH",
-                "STATS", "PING", "QUIT")
+        return ("QUERY", "EXPLAIN", "PREPARE", "EXECUTE", "REPACK",
+                "ADVISE", "HEALTH", "STATS", "PING", "HELLO", "QUIT")
 
     async def _dispatch(self, conn: _Connection, verb: str,
                         rest: str) -> bool:
@@ -279,6 +289,10 @@ class PsqlServer:
             # (normalisation, cache, admission, framing); the
             # session turns the plan into a one-column result.
             await self._handle_query(conn, "explain " + rest)
+        elif verb == "PREPARE":
+            await self._handle_prepare(conn, rest)
+        elif verb == "EXECUTE":
+            await self._handle_execute_line(conn, rest)
         elif verb == "REPACK":
             await self._handle_repack(conn, rest)
         elif verb == "ADVISE":
@@ -286,14 +300,105 @@ class PsqlServer:
         elif verb == "HEALTH":
             await self._handle_health(conn)
         elif verb in ("STATS", "METRICS"):
-            await self._write_lines(
-                conn, protocol.encode_stats(
-                    self.stats(), generation=self.generation))
+            await self._reply_stats(conn)
         elif verb == "PING":
-            await self._write_lines(conn, [protocol.PONG, protocol.END])
+            await self._reply_pong(conn)
+        elif verb == "HELLO":
+            await self._handle_hello(conn, rest)
         else:
             return False
         return True
+
+    # -- protocol negotiation -------------------------------------------------
+
+    async def _handle_hello(self, conn: _Connection, rest: str) -> None:
+        """``HELLO [bin|text]`` — per-connection protocol negotiation.
+
+        The acknowledgement always travels in the *current* framing;
+        with ``bin`` the connection switches to length-prefixed binary
+        frames immediately after it.  Old servers answer ``ERR`` here,
+        which a client treats as "stay on text".
+        """
+        if conn.binary:
+            await self._write_error(conn, "ProtocolError",
+                                    "protocol already negotiated")
+            return
+        mode = rest.strip().lower() or "text"
+        if mode not in ("bin", "binary", "text"):
+            await self._write_error(conn, "ProtocolError",
+                                    "usage: HELLO [bin|text]")
+            return
+        await self._write_lines(
+            conn,
+            [f"{protocol.OK} hello {self.generation} 0", protocol.END])
+        conn.binary = mode != "text"
+        if conn.binary:
+            self.registry.bump("server.sessions.binary")
+
+    async def _binary_loop(self, conn: _Connection,
+                           reader: asyncio.StreamReader) -> None:
+        """Serve length-prefixed binary frames until EOF or QUIT.
+
+        A malformed frame *body* (unknown opcode, truncated struct, bad
+        UTF-8) is answered with an ``ERR`` frame and the loop continues:
+        the length prefix was consumed exactly, so framing stays in
+        sync.  Only an implausible length prefix tears the connection
+        down — at that point the stream position cannot be trusted.
+        """
+        while True:
+            try:
+                prefix = await reader.readexactly(4)
+            except asyncio.IncompleteReadError:
+                return
+            length = int.from_bytes(prefix, "little")
+            if length == 0 or length > binproto.MAX_FRAME:
+                await self._write_error(
+                    conn, "ProtocolError",
+                    f"implausible frame length {length}; closing")
+                return
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                return
+            try:
+                opcode, payload = binproto.decode_request(body)
+                if opcode == binproto.OP_QUERY:
+                    await self._handle_query(conn,
+                                             payload.decode("utf-8"))
+                elif opcode == binproto.OP_PREPARE:
+                    await self._handle_prepare(conn,
+                                               payload.decode("utf-8"))
+                elif opcode == binproto.OP_EXECUTE:
+                    statement_id, params = binproto.decode_execute(payload)
+                    await self._handle_execute(conn, statement_id, params)
+                elif opcode == binproto.OP_STATS:
+                    await self._reply_stats(conn)
+                elif opcode == binproto.OP_PING:
+                    await self._reply_pong(conn)
+                elif opcode == binproto.OP_QUIT:
+                    await self._reply_bye(conn)
+                    return
+                elif opcode == binproto.OP_COMMAND:
+                    text = payload.decode("utf-8").strip()
+                    if not text:
+                        continue
+                    verb, _, rest = text.partition(" ")
+                    verb = verb.upper()
+                    if verb == "QUIT":
+                        await self._reply_bye(conn)
+                        return
+                    if not await self._dispatch(conn, verb, rest):
+                        await self._write_error(
+                            conn, "ProtocolError",
+                            f"unknown command {verb!r} "
+                            f"(try {'/'.join(self.verbs())})")
+                else:
+                    await self._write_error(conn, "ProtocolError",
+                                            f"unknown opcode {opcode}")
+            except (protocol.ProtocolError, UnicodeDecodeError) as exc:
+                conn.errors += 1
+                self.registry.bump("server.errors")
+                await self._write_error(conn, "ProtocolError", str(exc))
 
     # -- the QUERY path ------------------------------------------------------
 
@@ -305,21 +410,39 @@ class PsqlServer:
         except PsqlError as exc:
             await self._write_error(conn, type(exc).__name__, str(exc))
             return
+        log_text = (None if normalized.startswith("explain ")
+                    else normalized)
+        await self._run_query_job(
+            conn, normalized,
+            lambda: self.service.submit(conn.session, text),
+            log_text=log_text)
 
+    async def _run_query_job(self, conn: _Connection, cache_key,
+                             submit, log_text: Optional[str] = None,
+                             ) -> None:
+        """The shared cache/admission/submit/reply tail of a query.
+
+        *cache_key* is any hashable — normalized text for QUERY, a
+        ``(template, params)`` tuple for EXECUTE.  *submit* is a
+        zero-argument callable returning the service future; it is only
+        invoked on a cache miss that passes the admission gate.
+        *log_text* (when given) records cache hits in the workload log —
+        executed calls are recorded by the session itself.
+        """
         generation = self.generation
-        cached = self.cache.get(normalized, generation)
+        cached = self.cache.get(cache_key, generation)
         if cached is not None:
             self.registry.bump("server.queries.cached")
             self.registry.bump("server.rows_returned", cached.nrows)
             log = self.service.query_log
-            if (log is not None and log.enabled
-                    and not normalized.startswith("explain ")):
+            if log_text is not None and log is not None and log.enabled:
                 # Executed calls are recorded by the session; cache hits
                 # never reach a session, so the workload log hears about
                 # them here (call count only — nothing executed).
-                log.record_cached(normalized, cached.nrows)
-            header = f"{protocol.OK} cached {generation} {cached.nrows}"
-            await self._write_lines(conn, [header, *cached.payload])
+                log.record_cached(log_text, cached.nrows)
+            await self._reply_result(conn, "cached", generation,
+                                     cached.nrows, cached.payload,
+                                     cached.bbody)
             return
 
         if self._draining:
@@ -328,19 +451,16 @@ class PsqlServer:
             return
         if self._inflight >= self.config.effective_max_inflight():
             self.registry.bump("server.busy_rejections")
-            await self._write_lines(
+            await self._reply_busy(
                 conn,
-                [f"{protocol.BUSY} "
-                 + protocol.escape(
-                     f"{self._inflight} queries in flight "
-                     f"(limit {self.config.effective_max_inflight()}); "
-                     f"retry later"),
-                 protocol.END])
+                f"{self._inflight} queries in flight "
+                f"(limit {self.config.effective_max_inflight()}); "
+                f"retry later")
             return
 
         loop = asyncio.get_running_loop()
         self._inflight += 1
-        future = self.service.submit(conn.session, text)
+        future = submit()
         future.add_done_callback(
             lambda _f: loop.call_soon_threadsafe(self._release_slot))
         timeout = self.config.query_timeout
@@ -358,11 +478,7 @@ class PsqlServer:
                 cancel_event.set()
             future.cancel()
             self.registry.bump("server.timeouts")
-            await self._write_lines(
-                conn,
-                [f"{protocol.TIMEOUT} "
-                 + protocol.escape(f"query exceeded {timeout:g}s"),
-                 protocol.END])
+            await self._reply_timeout(conn, f"query exceeded {timeout:g}s")
             return
         except asyncio.CancelledError:
             future.cancel()
@@ -371,10 +487,7 @@ class PsqlServer:
         if outcome.cancelled:
             # Raced a shutdown/cancel before starting; treat as shed load.
             self.registry.bump("server.busy_rejections")
-            await self._write_lines(
-                conn,
-                [f"{protocol.BUSY} cancelled before execution",
-                 protocol.END])
+            await self._reply_busy(conn, "cancelled before execution")
             return
         if not outcome.ok:
             conn.errors += 1
@@ -388,13 +501,93 @@ class PsqlServer:
         self.registry.counters.merge(outcome.counters)
         self.registry.bump("server.queries.executed")
         self.registry.bump("server.rows_returned", outcome.nrows)
-        self.cache.put(normalized, generation, outcome.payload,
-                       outcome.nrows)
-        header = f"{protocol.OK} fresh {generation} {outcome.nrows}"
-        await self._write_lines(conn, [header, *outcome.payload])
+        self.cache.put(cache_key, generation, outcome.payload,
+                       outcome.nrows, outcome.bbody)
+        await self._reply_result(conn, "fresh", generation, outcome.nrows,
+                                 outcome.payload, outcome.bbody)
 
     def _release_slot(self) -> None:
         self._inflight -= 1
+
+    # -- the PREPARE / EXECUTE path -------------------------------------------
+
+    async def _handle_prepare(self, conn: _Connection,
+                              template: str) -> None:
+        """``PREPARE <template>`` — register a ``?``-placeholder query.
+
+        Nothing is parsed yet (a bare ``?`` is not valid PSQL); the
+        response carries the statement id in the header's count field:
+        ``OK prepare <generation> <statement-id>``.
+        """
+        template = template.strip()
+        if not template:
+            await self._write_error(conn, "ProtocolError",
+                                    "usage: PREPARE <query template>")
+            return
+        stmt = conn.session.prepare(template)
+        conn.prepared[stmt.statement_id] = stmt
+        self.registry.bump("server.prepares")
+        await self._reply_prepared(conn, stmt)
+
+    async def _handle_execute_line(self, conn: _Connection,
+                                   rest: str) -> None:
+        """``EXECUTE <id> <tab-separated escaped params>`` (text form).
+
+        Parameters are tab-separated and escaped exactly like row
+        fields.  (The line framing strips trailing whitespace, so a
+        *trailing* empty parameter needs the binary protocol, which
+        length-prefixes every parameter.)
+        """
+        head, _, params_text = rest.partition(" ")
+        try:
+            statement_id = int(head)
+        except ValueError:
+            await self._write_error(
+                conn, "ProtocolError",
+                "usage: EXECUTE <statement-id> [params]")
+            return
+        try:
+            params = (tuple(protocol.unescape(p)
+                            for p in params_text.split("\t"))
+                      if params_text else ())
+        except protocol.ProtocolError as exc:
+            await self._write_error(conn, "ProtocolError", str(exc))
+            return
+        await self._handle_execute(conn, statement_id, params)
+
+    async def _handle_execute(self, conn: _Connection, statement_id: int,
+                              params: tuple[str, ...]) -> None:
+        """Bind + run one prepared execution through the QUERY pipeline.
+
+        The result cache is keyed on ``(template, params)`` directly —
+        no :func:`normalize_query` lexer pass — which is what makes a
+        cached prepared read the cheapest request the server answers.
+        Cache hits are not recorded in the workload log for the same
+        reason (fingerprinting would re-tokenise the text).
+        """
+        conn.queries += 1
+        self.registry.bump("server.queries")
+        self.registry.bump("server.executes")
+        stmt = conn.prepared.get(statement_id)
+        if stmt is None:
+            await self._write_error(
+                conn, "PsqlError",
+                f"unknown prepared statement {statement_id}")
+            return
+        if len(params) != stmt.nparams:
+            await self._write_error(
+                conn, "PsqlError",
+                f"prepared statement {statement_id} takes "
+                f"{stmt.nparams} parameter(s), got {len(params)}")
+            return
+        # A tuple key: no string building per request, and structurally
+        # distinct from every normalize_query() text key.
+        cache_key = (stmt.text, params)
+        await self._run_query_job(
+            conn, cache_key,
+            lambda: self.service.submit_prepared(
+                conn.session, statement_id, params,
+                stmt.substitute(params)))
 
     # -- the REPACK path -----------------------------------------------------
 
@@ -439,9 +632,7 @@ class PsqlServer:
         dropped = self.cache.drop_stale(generation)
         self.registry.bump("server.repacks.completed")
         self.registry.bump("server.cache.repack_dropped", dropped)
-        await self._write_lines(
-            conn,
-            [f"{protocol.OK} repack {generation} {entries}", protocol.END])
+        await self._reply_ack(conn, "repack", generation, entries)
 
     # -- the ADVISE / HEALTH paths -------------------------------------------
 
@@ -506,11 +697,12 @@ class PsqlServer:
 
         result = QueryResult(columns=(column,))
         result.rows = [(line,) for line in lines]
-        payload = tuple(protocol.encode_result(result))
-        header = f"{protocol.OK} fresh {self.generation} {len(lines)}"
-        await self._write_lines(conn, [header, *payload])
+        await self._reply_result(
+            conn, "fresh", self.generation, len(lines),
+            tuple(protocol.encode_result(result)),
+            binproto.encode_result_body(result))
 
-    # -- frame writing -------------------------------------------------------
+    # -- frame writing (mode-aware) ------------------------------------------
 
     async def _write_lines(self, conn: _Connection,
                            lines: list[str] | tuple[str, ...]) -> None:
@@ -521,8 +713,108 @@ class PsqlServer:
         finally:
             self._active_responses -= 1
 
+    async def _write_bytes(self, conn: _Connection, data: bytes) -> None:
+        self._active_responses += 1
+        try:
+            conn.writer.write(data)
+            await conn.writer.drain()
+        finally:
+            self._active_responses -= 1
+
+    async def _reply_result(self, conn: _Connection, disposition: str,
+                            generation: int, nrows: int,
+                            payload: tuple[str, ...],
+                            bbody: bytes) -> None:
+        """One OK-with-result response in whichever framing *conn* uses.
+
+        The binary path writes prefix, header and cached body as three
+        buffer appends — the body bytes are never copied or re-encoded.
+        """
+        if conn.binary:
+            header = binproto.ok_header(disposition, generation, nrows)
+            self._active_responses += 1
+            try:
+                writer = conn.writer
+                writer.write(binproto.frame_prefix(len(header)
+                                                   + len(bbody)))
+                writer.write(header)
+                writer.write(bbody)
+                await writer.drain()
+            finally:
+                self._active_responses -= 1
+            return
+        header = f"{protocol.OK} {disposition} {generation} {nrows}"
+        await self._write_lines(conn, [header, *payload])
+
+    async def _reply_ack(self, conn: _Connection, disposition: str,
+                         generation: int, count: int) -> None:
+        if conn.binary:
+            await self._write_bytes(
+                conn, binproto.response_ack(disposition, generation, count))
+            return
+        await self._write_lines(
+            conn,
+            [f"{protocol.OK} {disposition} {generation} {count}",
+             protocol.END])
+
+    async def _reply_prepared(self, conn: _Connection,
+                              stmt: PreparedStatement) -> None:
+        if conn.binary:
+            await self._write_bytes(
+                conn, binproto.response_prepared(
+                    self.generation, stmt.statement_id, stmt.nparams))
+            return
+        await self._reply_ack(conn, "prepare", self.generation,
+                              stmt.statement_id)
+
+    async def _reply_busy(self, conn: _Connection, message: str) -> None:
+        if conn.binary:
+            await self._write_bytes(conn, binproto.response_busy(message))
+            return
+        await self._write_lines(
+            conn,
+            [f"{protocol.BUSY} " + protocol.escape(message),
+             protocol.END])
+
+    async def _reply_timeout(self, conn: _Connection,
+                             message: str) -> None:
+        if conn.binary:
+            await self._write_bytes(conn,
+                                    binproto.response_timeout(message))
+            return
+        await self._write_lines(
+            conn,
+            [f"{protocol.TIMEOUT} " + protocol.escape(message),
+             protocol.END])
+
+    async def _reply_pong(self, conn: _Connection) -> None:
+        if conn.binary:
+            await self._write_bytes(conn, binproto.response_pong())
+            return
+        await self._write_lines(conn, [protocol.PONG, protocol.END])
+
+    async def _reply_bye(self, conn: _Connection) -> None:
+        if conn.binary:
+            await self._write_bytes(conn, binproto.response_bye())
+            return
+        await self._write_lines(conn, [protocol.BYE, protocol.END])
+
+    async def _reply_stats(self, conn: _Connection) -> None:
+        if conn.binary:
+            stats = dict(self.stats())
+            stats["server.generation"] = int(self.generation)
+            await self._write_bytes(conn, binproto.response_stats(stats))
+            return
+        await self._write_lines(
+            conn, protocol.encode_stats(self.stats(),
+                                        generation=self.generation))
+
     async def _write_error(self, conn: _Connection, kind: str,
                            message: str) -> None:
+        if conn.binary:
+            await self._write_bytes(conn,
+                                    binproto.response_error(kind, message))
+            return
         await self._write_lines(
             conn,
             [f"{protocol.ERR} {kind} {protocol.escape(message)}",
@@ -546,13 +838,18 @@ class PsqlServer:
         """
         uptime = max(time.monotonic() - self._started_at, 1e-9)
         out: dict[str, float] = {}
+        # Integer counters stay ints: the text protocol renders them
+        # without a fractional part and the binary protocol tags them,
+        # so integer-valued counters survive a round trip as integers.
         for name, value in self.registry.counters.as_dict().items():
-            out[name] = float(value)
+            out[name] = value if isinstance(value, int) else float(value)
         # Durability counters accumulate in the process-global registry
         # (recovery happens at open time, commits on the mutation path —
         # neither runs under a per-query scope), so surface them here.
         for name, value in obs.snapshot(prefix="storage.wal").items():
-            out.setdefault(name, float(value))
+            out.setdefault(name,
+                           value if isinstance(value, int)
+                           else float(value))
         out.update(self.cache.stats())
         queries = out.get("server.queries", 0.0)
         executed = out.get("server.queries.executed", 0.0)

@@ -33,8 +33,9 @@ from typing import Callable, Optional
 from repro import obs
 from repro.psql.errors import PsqlError
 from repro.psql.executor import Session
+from repro.psql.result import QueryResult
 from repro.relational.catalog import Database
-from repro.server import protocol
+from repro.server import binproto, protocol
 from repro.server.demo import DEFAULT_FACTORY_SPEC, resolve_factory
 from repro.storage import HeapFileError, InjectedFault, PagerError, WalError
 
@@ -59,26 +60,33 @@ class QueryOutcome:
     counters: dict[str, float] = field(default_factory=dict)
     cancelled: bool = False            #: abandoned before execution began
     io_fault: bool = False             #: failure came from the storage stack
+    #: binary-protocol result body (:func:`repro.server.binproto
+    #: .encode_result_body`), produced alongside the text lines so the
+    #: event loop and the result cache never re-encode
+    bbody: bytes = b""
 
     @property
     def ok(self) -> bool:
         return not self.error_kind and not self.cancelled
 
 
-def _execute_to_outcome(session: Session, text: str) -> QueryOutcome:
-    """Run one query under an isolated obs scope; never raises.
+def _outcome_from(execute: Callable[[], "QueryResult"]) -> QueryOutcome:
+    """Run one query callable under an isolated obs scope; never raises.
 
     ``forward=False`` keeps the scoped registry off the global chain:
     worker threads record into thread-local scopes and the single
     event-loop thread merges the returned snapshots, so concurrent
-    queries cannot interleave counters.
+    queries cannot interleave counters.  Both protocol renderings are
+    produced here, once, while the result object is still alive.
     """
     try:
         with obs.scope(forward=False) as registry:
-            result = session.execute(text)
+            result = execute()
             payload = tuple(protocol.encode_result(result))
+            bbody = binproto.encode_result_body(result)
         return QueryOutcome(payload=payload, nrows=len(result.rows),
-                            counters=dict(registry.snapshot()))
+                            counters=dict(registry.snapshot()),
+                            bbody=bbody)
     except PsqlError as exc:
         return QueryOutcome(error_kind=type(exc).__name__,
                             error_message=str(exc))
@@ -91,6 +99,11 @@ def _execute_to_outcome(session: Session, text: str) -> QueryOutcome:
         # take down a worker or leak an unframed exception to the socket.
         return QueryOutcome(error_kind=type(exc).__name__,
                             error_message=str(exc))
+
+
+def _execute_to_outcome(session: Session, text: str) -> QueryOutcome:
+    """Run one query text; see :func:`_outcome_from`."""
+    return _outcome_from(lambda: session.execute(text))
 
 
 # -- process-pool worker side -------------------------------------------------
@@ -223,6 +236,33 @@ class QueryService:
             if cancel_event.is_set():
                 return QueryOutcome(cancelled=True)
             return _execute_to_outcome(session, text)
+
+        future = self._pool.submit(run)
+        future.cancel_event = cancel_event  # type: ignore[attr-defined]
+        return future
+
+    def submit_prepared(self, session: Session, statement_id: int,
+                        params: tuple[str, ...], substituted: str):
+        """Submit one prepared-statement execution; returns the future.
+
+        Thread mode runs :meth:`Session.execute_prepared` — the bound
+        AST is memoized per parameter set, so repeats skip the parser
+        and hit the plan cache.  Process workers hold private sessions
+        that never saw the PREPARE, so they fall back to executing the
+        pre-substituted text as a plain query (same results, full parse).
+        """
+        if self._pool is None:
+            self.start()
+        assert self._pool is not None
+        if self.executor_kind == "process":
+            return self._pool.submit(_run_in_process_worker, substituted)
+        cancel_event = threading.Event()
+
+        def run() -> QueryOutcome:
+            if cancel_event.is_set():
+                return QueryOutcome(cancelled=True)
+            return _outcome_from(
+                lambda: session.execute_prepared(statement_id, params))
 
         future = self._pool.submit(run)
         future.cancel_event = cancel_event  # type: ignore[attr-defined]

@@ -5,6 +5,12 @@ runs three concurrent clients through a mixed PSQL workload, and
 asserts every framed result is **byte-identical** to what a direct
 in-process ``Session.execute`` produces for the same query.  Exit code
 0 on success — CI runs this as its server integration step.
+
+``python -m repro.server.smoke --binary`` runs the same workload over
+the length-prefixed binary protocol: every client negotiates ``HELLO
+bin`` and the byte-identity check compares against
+:func:`repro.server.binproto.encode_result_body` instead of the text
+rendering, plus one prepared-statement pass per client.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ import sys
 import threading
 
 from repro.psql.executor import Session
-from repro.server import protocol
+from repro.server import binproto, protocol
 from repro.server.client import Client
 from repro.server.demo import demo_database
 from repro.server.server import PsqlServer, ServerConfig
@@ -35,23 +41,34 @@ SMOKE_QUERIES = [
     "at loc overlapping {500+-500, 300+-300} where volume > 10",
 ]
 
+#: Prepared-statement twin of the first smoke query; every client also
+#: checks PREPARE/EXECUTE returns the same bytes as the plain QUERY.
+PREPARE_TEMPLATE = ("select city from cities on us-map "
+                    "at loc covered-by {?, ?}")
+PREPARE_PARAMS = ("400+-150", "300+-150")
+
 N_CLIENTS = 3
 ROUNDS = 4
 
 
-def run_smoke(verbose: bool = True) -> int:
+def run_smoke(verbose: bool = True, binary: bool = False) -> int:
     """Returns a process exit code (0 = all checks passed)."""
     db = demo_database()
     expected = {}
     direct = Session(db)
     for q in SMOKE_QUERIES:
-        payload = "\n".join(protocol.encode_result(direct.execute(q)))
-        expected[q] = (payload + "\n").encode("utf-8")
+        result = direct.execute(q)
+        if binary:
+            expected[q] = binproto.encode_result_body(result)
+        else:
+            payload = "\n".join(protocol.encode_result(result))
+            expected[q] = (payload + "\n").encode("utf-8")
 
     server = PsqlServer(ServerConfig(port=0, workers=N_CLIENTS), db=db)
     host, port = server.start_background()
     if verbose:
-        print(f"smoke server on {host}:{port}")
+        mode = "binary" if binary else "text"
+        print(f"smoke server on {host}:{port} ({mode} protocol)")
 
     failures: list[str] = []
     done = [0]
@@ -60,7 +77,12 @@ def run_smoke(verbose: bool = True) -> int:
     def client_main(seed: int) -> None:
         rng = random.Random(seed)
         try:
-            with Client(host, port) as client:
+            with Client(host, port, binary=binary) as client:
+                if binary and not client.binary:
+                    with lock:
+                        failures.append(
+                            f"client {seed}: HELLO bin not acknowledged")
+                    return
                 for _ in range(ROUNDS):
                     queries = SMOKE_QUERIES[:]
                     rng.shuffle(queries)
@@ -79,6 +101,13 @@ def run_smoke(verbose: bool = True) -> int:
                         else:
                             with lock:
                                 done[0] += 1
+                stmt = client.prepare(PREPARE_TEMPLATE)
+                r = client.execute(stmt, PREPARE_PARAMS)
+                if not r.ok or r.payload != expected[SMOKE_QUERIES[0]]:
+                    with lock:
+                        failures.append(
+                            f"client {seed}: prepared execution did not "
+                            f"match plain query bytes")
         except Exception as exc:  # noqa: BLE001 - report, don't hang CI
             with lock:
                 failures.append(f"client {seed}: {type(exc).__name__}: "
@@ -91,7 +120,7 @@ def run_smoke(verbose: bool = True) -> int:
     for t in threads:
         t.join(timeout=120)
 
-    with Client(host, port) as client:
+    with Client(host, port, binary=binary) as client:
         stats = client.stats()
     server.stop_background()
 
@@ -119,4 +148,4 @@ def run_smoke(verbose: bool = True) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(run_smoke())
+    sys.exit(run_smoke(binary="--binary" in sys.argv[1:]))

@@ -24,18 +24,29 @@ from repro.rtree.node import Entry
 from repro.rtree.packing import _lookup_distance, _lookup_method
 from repro.rtree.split import QuadraticSplit
 from repro.storage.buffer import BufferPool
-from repro.storage.pager import PAGE_SIZE, Pager
+from repro.storage.pager import PAGE_SIZE, Pager, PagerError
 from repro.storage.serial import (
     NodeRecord,
     deserialize_node,
+    iter_node_entries,
     max_entries_per_page,
     serialize_node,
 )
 
 _META_FMT = "<QQII"  # root_page, size, max_entries, min_entries
+_META_SIZE = struct.calcsize(_META_FMT)
 _META_PAGE = 1
 
 DiskEntry = tuple[float, float, float, float, int]
+
+
+class TreeMetaError(PagerError):
+    """The on-disk tree meta page is inconsistent with this file.
+
+    Subclasses :class:`~repro.storage.pager.PagerError` so the server's
+    storage-fault handling frames it like any other corrupt-file
+    condition instead of crashing the worker.
+    """
 
 
 def _entry_rect(e: DiskEntry) -> Rect:
@@ -103,8 +114,36 @@ class DiskRTree:
         self.pool.put(_META_PAGE, payload)
 
     def _read_meta(self) -> None:
+        """Load and *validate* the meta page.
+
+        The stored branching factor was chosen for the page size the
+        file was built with; trusting it blindly would let a tree built
+        with larger pages serialise nodes that overflow this pager's
+        pages on the next ``_write_node``.  Validate everything against
+        the current geometry before accepting it.
+
+        Raises:
+            TreeMetaError: when the meta page is inconsistent.
+        """
         payload = self.pool.get(_META_PAGE)
+        if len(payload) < _META_SIZE:
+            raise TreeMetaError(
+                f"meta page holds {len(payload)} bytes, need {_META_SIZE}")
         root, size, max_e, min_e = struct.unpack_from(_META_FMT, payload)
+        fit = max_entries_per_page(self.pager.page_size - 8)
+        if not 2 <= max_e <= fit:
+            raise TreeMetaError(
+                f"stored branching factor {max_e} does not fit a "
+                f"{self.pager.page_size}-byte page (valid range 2..{fit}); "
+                f"the file was likely built with a different page size")
+        if not 1 <= min_e <= max_e:
+            raise TreeMetaError(
+                f"stored minimum fill {min_e} is inconsistent with "
+                f"branching factor {max_e}")
+        if not _META_PAGE < root < self.pager.page_count:
+            raise TreeMetaError(
+                f"stored root page {root} is outside the file "
+                f"(pages 2..{self.pager.page_count - 1})")
         self._root_page = root
         self._size = size
         self.max_entries = max_e
@@ -250,16 +289,55 @@ class DiskRTree:
 
     # -- search ---------------------------------------------------------------
 
-    def search(self, window: Rect) -> list[int]:
-        """Object ids whose rectangle intersects *window*."""
+    def search(self, window: Rect, stats=None,
+               zero_copy: bool = True) -> list[int]:
+        """Object ids whose rectangle intersects *window*.
+
+        The default traversal is **zero-copy**: entries are iterated by
+        ``struct.iter_unpack`` over a memoryview of the buffered page
+        payload and the intersection test is inlined on the raw floats —
+        no :class:`NodeRecord`, no per-entry :class:`Rect`.  Pass
+        ``zero_copy=False`` to force the object path (the equivalence
+        tests compare the two).  *stats* is any object with a
+        ``record_page(is_leaf, nentries)`` method, e.g.
+        :class:`~repro.rtree.search.SearchStats`.
+        """
+        if not zero_copy:
+            return self._search_objects(window, stats)
+        out: list[int] = []
+        stack = [self._root_page]
+        track = obs.ENABLED
+        nodes = 0
+        wx1, wy1, wx2, wy2 = window
+        pool_get = self.pool.get
+        while stack:
+            is_leaf, count, entries = iter_node_entries(
+                pool_get(stack.pop()))
+            nodes += 1
+            if stats is not None:
+                stats.record_page(is_leaf, count)
+            hits = out if is_leaf else stack
+            for x1, y1, x2, y2, ptr in entries:
+                if x1 <= wx2 and wx1 <= x2 and y1 <= wy2 and wy1 <= y2:
+                    hits.append(ptr)
+        if track:
+            reg = obs.active()
+            reg.bump("storage.disk_rtree.queries")
+            reg.bump("storage.disk_rtree.nodes_read", nodes)
+            reg.bump("storage.disk_rtree.results", len(out))
+        return out
+
+    def _search_objects(self, window: Rect, stats=None) -> list[int]:
+        """The NodeRecord-materialising twin of :meth:`search`."""
         out: list[int] = []
         stack = [self._root_page]
         track = obs.ENABLED
         nodes = 0
         while stack:
             node = self._read_node(stack.pop())
-            if track:
-                nodes += 1
+            nodes += 1
+            if stats is not None:
+                stats.record_page(node.is_leaf, len(node.entries))
             for e in node.entries:
                 if _entry_rect(e).intersects(window):
                     if node.is_leaf:
@@ -273,20 +351,55 @@ class DiskRTree:
             reg.bump("storage.disk_rtree.results", len(out))
         return out
 
-    def search_within(self, window: Rect) -> list[int]:
+    def search_within(self, window: Rect, stats=None,
+                      zero_copy: bool = True) -> list[int]:
         """Object ids whose rectangle lies entirely within *window*.
 
         The paper's SEARCH semantics (INTERSECTS to descend, WITHIN at
         the leaves), mirroring :meth:`repro.rtree.tree.RTree.search_within`.
+        See :meth:`search` for the *stats* / *zero_copy* knobs.
         """
+        if not zero_copy:
+            return self._search_within_objects(window, stats)
+        out: list[int] = []
+        stack = [self._root_page]
+        track = obs.ENABLED
+        nodes = 0
+        wx1, wy1, wx2, wy2 = window
+        pool_get = self.pool.get
+        while stack:
+            is_leaf, count, entries = iter_node_entries(
+                pool_get(stack.pop()))
+            nodes += 1
+            if stats is not None:
+                stats.record_page(is_leaf, count)
+            if is_leaf:
+                for x1, y1, x2, y2, ptr in entries:
+                    if wx1 <= x1 and x2 <= wx2 and wy1 <= y1 and y2 <= wy2:
+                        out.append(ptr)
+            else:
+                for x1, y1, x2, y2, ptr in entries:
+                    if x1 <= wx2 and wx1 <= x2 and y1 <= wy2 and wy1 <= y2:
+                        stack.append(ptr)
+        if track:
+            reg = obs.active()
+            reg.bump("storage.disk_rtree.queries")
+            reg.bump("storage.disk_rtree.nodes_read", nodes)
+            reg.bump("storage.disk_rtree.results", len(out))
+        return out
+
+    def _search_within_objects(self, window: Rect,
+                               stats=None) -> list[int]:
+        """The NodeRecord-materialising twin of :meth:`search_within`."""
         out: list[int] = []
         stack = [self._root_page]
         track = obs.ENABLED
         nodes = 0
         while stack:
             node = self._read_node(stack.pop())
-            if track:
-                nodes += 1
+            nodes += 1
+            if stats is not None:
+                stats.record_page(node.is_leaf, len(node.entries))
             for e in node.entries:
                 if node.is_leaf:
                     if window.contains(_entry_rect(e)):
@@ -300,16 +413,48 @@ class DiskRTree:
             reg.bump("storage.disk_rtree.results", len(out))
         return out
 
-    def point_query(self, point: Point) -> list[int]:
-        """Object ids whose rectangle contains *point*."""
+    def point_query(self, point: Point, stats=None,
+                    zero_copy: bool = True) -> list[int]:
+        """Object ids whose rectangle contains *point*.
+
+        See :meth:`search` for the *stats* / *zero_copy* knobs.
+        """
+        if not zero_copy:
+            return self._point_query_objects(point, stats)
+        out: list[int] = []
+        stack = [self._root_page]
+        track = obs.ENABLED
+        nodes = 0
+        px, py = point.x, point.y
+        pool_get = self.pool.get
+        while stack:
+            is_leaf, count, entries = iter_node_entries(
+                pool_get(stack.pop()))
+            nodes += 1
+            if stats is not None:
+                stats.record_page(is_leaf, count)
+            hits = out if is_leaf else stack
+            for x1, y1, x2, y2, ptr in entries:
+                if x1 <= px <= x2 and y1 <= py <= y2:
+                    hits.append(ptr)
+        if track:
+            reg = obs.active()
+            reg.bump("storage.disk_rtree.queries")
+            reg.bump("storage.disk_rtree.nodes_read", nodes)
+            reg.bump("storage.disk_rtree.results", len(out))
+        return out
+
+    def _point_query_objects(self, point: Point, stats=None) -> list[int]:
+        """The NodeRecord-materialising twin of :meth:`point_query`."""
         out: list[int] = []
         stack = [self._root_page]
         track = obs.ENABLED
         nodes = 0
         while stack:
             node = self._read_node(stack.pop())
-            if track:
-                nodes += 1
+            nodes += 1
+            if stats is not None:
+                stats.record_page(node.is_leaf, len(node.entries))
             for e in node.entries:
                 if _entry_rect(e).contains_point(point):
                     if node.is_leaf:
@@ -323,12 +468,17 @@ class DiskRTree:
             reg.bump("storage.disk_rtree.results", len(out))
         return out
 
-    def knn(self, point: Point, k: int = 1) -> list[tuple[float, int]]:
+    def knn(self, point: Point, k: int = 1, stats=None,
+            zero_copy: bool = True) -> list[tuple[float, int]]:
         """The *k* objects nearest *point*, as ``(distance, oid)`` pairs.
 
         Best-first MINDIST branch-and-bound over pages (the disk-resident
         version of :func:`repro.rtree.search.knn_search`); only pages
-        whose MBR could contain a result are faulted in.
+        whose MBR could contain a result are faulted in.  The default
+        zero-copy traversal computes MINDIST on the raw entry floats;
+        both paths produce bit-identical distances
+        (:meth:`~repro.geometry.rect.Rect.min_distance_to` of the
+        degenerate query rectangle).
 
         Raises:
             ValueError: for non-positive *k*.
@@ -339,9 +489,49 @@ class DiskRTree:
             raise ValueError("k must be positive")
         if self._size == 0:
             return []
-        qrect = Rect.from_point(point)
+        if not zero_copy:
+            return self._knn_objects(point, k, stats)
+        import math
+
+        px, py = point.x, point.y
         counter = 0
         # Heap items: (distance, tiebreak, is_object, page_or_oid)
+        heap: list[tuple[float, int, bool, int]] = [
+            (0.0, counter, False, self._root_page)]
+        out: list[tuple[float, int]] = []
+        pool_get = self.pool.get
+        hypot = math.hypot
+        while heap and len(out) < k:
+            dist, _tb, is_object, ref = heapq.heappop(heap)
+            if is_object:
+                out.append((dist, ref))
+                continue
+            is_leaf, count, entries = iter_node_entries(pool_get(ref))
+            if stats is not None:
+                stats.record_page(is_leaf, count)
+            for x1, y1, x2, y2, ptr in entries:
+                counter += 1
+                dx = x1 - px
+                if dx < px - x2:
+                    dx = px - x2
+                if dx < 0.0:
+                    dx = 0.0
+                dy = y1 - py
+                if dy < py - y2:
+                    dy = py - y2
+                if dy < 0.0:
+                    dy = 0.0
+                heapq.heappush(heap,
+                               (hypot(dx, dy), counter, is_leaf, ptr))
+        return out
+
+    def _knn_objects(self, point: Point, k: int,
+                     stats=None) -> list[tuple[float, int]]:
+        """The NodeRecord-materialising twin of :meth:`knn`."""
+        import heapq
+
+        qrect = Rect.from_point(point)
+        counter = 0
         heap: list[tuple[float, int, bool, int]] = [
             (0.0, counter, False, self._root_page)]
         out: list[tuple[float, int]] = []
@@ -351,6 +541,8 @@ class DiskRTree:
                 out.append((dist, ref))
                 continue
             node = self._read_node(ref)
+            if stats is not None:
+                stats.record_page(node.is_leaf, len(node.entries))
             for e in node.entries:
                 counter += 1
                 d = _entry_rect(e).min_distance_to(qrect)

@@ -24,6 +24,12 @@ _NODE_HEADER_SIZE = struct.calcsize(_NODE_HEADER_FMT)
 _ENTRY_FMT = "<ddddQ"
 _ENTRY_SIZE = struct.calcsize(_ENTRY_FMT)
 
+# Precompiled Structs for the zero-copy read path: iter_unpack over a
+# memoryview yields entry tuples straight out of the page buffer with no
+# NodeRecord (or per-entry Rect) materialisation.
+_HEADER = struct.Struct(_NODE_HEADER_FMT)
+_ENTRY = struct.Struct(_ENTRY_FMT)
+
 
 @dataclass(frozen=True)
 class NodeRecord:
@@ -88,3 +94,28 @@ def deserialize_node(payload: bytes) -> NodeRecord:
         entries.append((x1, y1, x2, y2, pointer))
         offset += _ENTRY_SIZE
     return NodeRecord(is_leaf=bool(is_leaf), entries=tuple(entries))
+
+
+def iter_node_entries(payload: bytes):
+    """Zero-copy view of a node payload: ``(is_leaf, count, entries)``.
+
+    *entries* is a ``struct.iter_unpack`` iterator yielding
+    ``(x1, y1, x2, y2, pointer)`` tuples directly from a memoryview of
+    the payload — no :class:`NodeRecord`, no intermediate list.  This is
+    the read-only traversal twin of :func:`deserialize_node` (which
+    write paths keep using, since they mutate entry sets).
+
+    Raises:
+        ValueError: on truncated payloads, exactly as
+            :func:`deserialize_node` would.
+    """
+    if len(payload) < _NODE_HEADER_SIZE:
+        raise ValueError("payload too short for a node header")
+    is_leaf, count = _HEADER.unpack_from(payload)
+    end = _NODE_HEADER_SIZE + count * _ENTRY_SIZE
+    if len(payload) < end:
+        raise ValueError(
+            f"payload holds {len(payload)} bytes but header promises "
+            f"{end}")
+    view = memoryview(payload)[_NODE_HEADER_SIZE:end]
+    return bool(is_leaf), count, _ENTRY.iter_unpack(view)

@@ -1,0 +1,115 @@
+"""Prepared statements: template splitting, binding, session execution."""
+
+import pytest
+
+from repro.psql.errors import PsqlError
+from repro.psql.executor import Session
+from repro.psql.prepare import (BIND_CACHE_SIZE, PreparedStatement,
+                                count_placeholders, split_template)
+from repro.server.demo import demo_database
+
+
+class TestSplitTemplate:
+    def test_no_placeholders(self):
+        assert split_template("select city from cities") == \
+            ("select city from cities",)
+
+    def test_simple_split(self):
+        assert split_template("a ? b ? c") == ("a ", " b ", " c")
+
+    def test_edge_placeholders(self):
+        assert split_template("?mid?") == ("", "mid", "")
+
+    def test_question_mark_inside_single_quotes_is_data(self):
+        text = "select name from pois where label = '?'"
+        assert split_template(text) == (text,)
+        assert count_placeholders(text) == 0
+
+    def test_question_mark_inside_double_quotes_is_data(self):
+        text = 'select name from pois where label = "a?b" and x > ?'
+        assert count_placeholders(text) == 1
+        assert split_template(text)[0].endswith('"a?b" and x > ')
+
+    def test_count(self):
+        assert count_placeholders("{?, ?}") == 2
+
+
+class TestPreparedStatement:
+    def test_substitute(self):
+        stmt = PreparedStatement("covered-by {?, ?}")
+        assert stmt.nparams == 2
+        assert stmt.substitute(("400+-150", "300+-150")) == \
+            "covered-by {400+-150, 300+-150}"
+
+    def test_arity_mismatch(self):
+        stmt = PreparedStatement("covered-by {?, ?}")
+        with pytest.raises(PsqlError, match="takes 2 parameter"):
+            stmt.substitute(("one",))
+
+    def test_bind_memoizes_per_params(self):
+        stmt = PreparedStatement(
+            "select city from cities on us-map "
+            "at loc covered-by {?, ?}")
+        first, _ = stmt.bind(("400+-150", "300+-150"))
+        again, _ = stmt.bind(("400+-150", "300+-150"))
+        assert again is first
+        other, _ = stmt.bind(("100+-50", "100+-50"))
+        assert other is not first
+
+    def test_bind_cache_bounded(self):
+        stmt = PreparedStatement(
+            "select city from cities on us-map "
+            "at loc covered-by {?+-10, 5+-10}")
+        for i in range(BIND_CACHE_SIZE + 8):
+            stmt.bind((str(i),))
+        assert len(stmt._cache) <= BIND_CACHE_SIZE
+
+    def test_bad_parameter_is_a_parse_error(self):
+        stmt = PreparedStatement(
+            "select city from cities on us-map at loc covered-by {?, ?}")
+        with pytest.raises(PsqlError):
+            stmt.bind(("@@@", "###"))
+
+
+class TestSessionPrepared:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return demo_database()
+
+    def test_execute_prepared_matches_plain(self, db):
+        session = Session(db)
+        stmt = session.prepare("select city from cities on us-map "
+                               "at loc covered-by {?, ?}")
+        direct = session.execute("select city from cities on us-map "
+                                 "at loc covered-by {400+-150, 300+-150}")
+        prepared = session.execute_prepared(
+            stmt.statement_id, ("400+-150", "300+-150"))
+        assert prepared.columns == direct.columns
+        assert prepared.rows == direct.rows
+
+    def test_statement_ids_are_per_session(self, db):
+        a, b = Session(db), Session(db)
+        sa = a.prepare("select city from cities")
+        sb = b.prepare("select state from states")
+        assert sa.statement_id == sb.statement_id == 1
+        with pytest.raises(PsqlError, match="unknown prepared statement"):
+            a.execute_prepared(99, ())
+
+    def test_repeat_execution_reuses_plan(self, db):
+        session = Session(db)
+        stmt = session.prepare("select city from cities on us-map "
+                               "at loc covered-by {?, ?}")
+        params = ("500+-200", "300+-200")
+        first = session.execute_prepared(stmt.statement_id, params)
+        bound, _ = stmt.bind(params)      # must hit the memo, not parse
+        again = session.execute_prepared(stmt.statement_id, params)
+        rebound, _ = stmt.bind(params)
+        assert bound is rebound
+        assert first.rows == again.rows
+
+    def test_arity_error_surfaces(self, db):
+        session = Session(db)
+        stmt = session.prepare("select city from cities on us-map "
+                               "at loc covered-by {?, ?}")
+        with pytest.raises(PsqlError, match="parameter"):
+            session.execute_prepared(stmt.statement_id, ("only-one",))

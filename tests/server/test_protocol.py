@@ -1,6 +1,8 @@
 """Framing, escaping and the canonical result encoding."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.geometry import Point, Rect
 from repro.psql.result import QueryResult
@@ -24,6 +26,37 @@ class TestEscaping:
         fields = ["a", "with\ttab", "with\nnewline", ""]
         joined = "\t".join(protocol.escape(f) for f in fields)
         assert protocol.split_fields(joined) == fields
+
+    @pytest.mark.parametrize("bad", [
+        "\\",                  # lone trailing backslash
+        "text\\",              # trailing backslash after content
+        "\\\\\\",              # odd backslash run: one pair, one dangling
+        "\\x41",               # unknown escape letter
+        "\\ ",                 # escaped space is not a thing
+        "a\\qb",               # unknown pair mid-field
+    ])
+    def test_malformed_escapes_raise(self, bad):
+        # A truncated or unknown escape is a framing error, not data:
+        # silently passing it through would let a corrupted frame decode
+        # to a *different* string than was sent.
+        with pytest.raises(ProtocolError):
+            protocol.unescape(bad)
+
+    @pytest.mark.parametrize("ok", ["\\\\", "\\t", "\\n", "\\r", "\\\\\\t"])
+    def test_wellformed_escapes_accepted(self, ok):
+        protocol.unescape(ok)
+
+    @given(st.text(alphabet=st.sampled_from("ab\\\t\n\r\x00\x1f±"),
+                   max_size=40))
+    def test_roundtrip_property(self, text):
+        # Adversarial alphabet: backslash runs, the escaped control
+        # chars, a NUL and a non-ASCII char.  escape() then unescape()
+        # must be the identity, and the escaped form must never raise.
+        assert protocol.unescape(protocol.escape(text)) == text
+
+    @given(st.text(max_size=60))
+    def test_roundtrip_property_general(self, text):
+        assert protocol.unescape(protocol.escape(text)) == text
 
 
 class TestEncodeResult:
@@ -92,6 +125,20 @@ class TestParseResponse:
         assert r.stats["server.qps"] == 12.5
         assert r.stats["server.queries"] == 40.0
         assert r.stats["server.generation"] == 2.0
+
+    def test_stats_populates_generation(self):
+        lines = protocol.encode_stats({"server.qps": 1.0}, generation=9)
+        r = protocol.parse_response(lines)
+        assert r.generation == 9
+
+    def test_stats_keeps_integers_integral(self):
+        lines = protocol.encode_stats(
+            {"server.queries": 40, "server.qps": 12.5}, generation=3)
+        r = protocol.parse_response(lines)
+        assert r.stats["server.queries"] == 40
+        assert isinstance(r.stats["server.queries"], int)
+        assert isinstance(r.stats["server.qps"], float)
+        assert isinstance(r.generation, int)
 
     @pytest.mark.parametrize("lines", [
         [],

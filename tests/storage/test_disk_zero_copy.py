@@ -1,0 +1,164 @@
+"""Zero-copy disk traversals vs. the NodeRecord path, and meta checks.
+
+The zero-copy search paths iterate raw struct-packed entries straight
+off buffered page payloads; these tests pin them to the object paths:
+same results, same page-access counts, bit-identical kNN distances.
+"""
+
+import struct
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.rtree.search import SearchStats
+from repro.storage import DiskRTree, Pager
+from repro.storage.disk_rtree import (_META_FMT, _META_PAGE,
+                                      TreeMetaError)
+from repro.workloads import uniform_points, uniform_rects
+
+WINDOWS = [
+    Rect(0, 0, 1000, 1000),       # everything
+    Rect(200, 200, 600, 600),     # partial
+    Rect(401.5, 398.25, 402.5, 402.75),   # tiny
+    Rect(2000, 2000, 3000, 3000),  # empty
+]
+
+POINTS = [Point(500, 500), Point(123.25, 456.75), Point(-10, -10)]
+
+
+@pytest.fixture(scope="module", params=["points", "rects"])
+def tree(request, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("zc") / f"{request.param}.db")
+    if request.param == "points":
+        items = [(Rect.from_point(p), i)
+                 for i, p in enumerate(uniform_points(600, seed=31))]
+    else:
+        items = [(r, i)
+                 for i, r in enumerate(uniform_rects(600, seed=32,
+                                                     max_side=40))]
+    t = DiskRTree(path, max_entries=16)
+    t.bulk_load(items)
+    yield t
+    t.close()
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("window", WINDOWS)
+    def test_search(self, tree, window):
+        fast = SearchStats()
+        slow = SearchStats()
+        assert sorted(tree.search(window, stats=fast)) == \
+            sorted(tree.search(window, stats=slow, zero_copy=False))
+        assert fast == slow
+
+    @pytest.mark.parametrize("window", WINDOWS)
+    def test_search_within(self, tree, window):
+        fast = SearchStats()
+        slow = SearchStats()
+        assert sorted(tree.search_within(window, stats=fast)) == \
+            sorted(tree.search_within(window, stats=slow,
+                                      zero_copy=False))
+        assert fast == slow
+
+    @pytest.mark.parametrize("point", POINTS)
+    def test_point_query(self, tree, point):
+        fast = SearchStats()
+        slow = SearchStats()
+        assert sorted(tree.point_query(point, stats=fast)) == \
+            sorted(tree.point_query(point, stats=slow, zero_copy=False))
+        assert fast == slow
+
+    @pytest.mark.parametrize("point", POINTS)
+    @pytest.mark.parametrize("k", [1, 5, 50])
+    def test_knn_bit_identical(self, tree, point, k):
+        fast = tree.knn(point, k=k)
+        slow = tree.knn(point, k=k, zero_copy=False)
+        assert len(fast) == len(slow) == min(k, len(tree))
+        # Same distances, bit for bit — the inlined MINDIST must equal
+        # Rect.min_distance_to of the degenerate query rectangle.
+        assert [d for d, _ in fast] == [d for d, _ in slow]
+        assert sorted(fast) == sorted(slow)
+
+    def test_stats_counts_pages(self, tree):
+        stats = SearchStats()
+        tree.search(Rect(0, 0, 1000, 1000), stats=stats)
+        assert stats.nodes_visited >= tree.node_count() > 1
+        assert stats.leaves_visited >= 1
+        assert stats.entries_tested >= len(tree)
+
+    def test_after_mutations(self, tree, tmp_path):
+        # Inserts and deletes keep the two paths agreeing: fresh nodes
+        # round-trip through serialize_node like bulk-loaded ones.
+        path = str(tmp_path / "mut.db")
+        t = DiskRTree(path, max_entries=8)
+        points = list(uniform_points(150, seed=77))
+        for i, p in enumerate(points):
+            t.insert(Rect.from_point(p), i)
+        for i in range(0, 150, 7):
+            assert t.delete(Rect.from_point(points[i]), i)
+        for window in WINDOWS:
+            assert sorted(t.search(window)) == \
+                sorted(t.search(window, zero_copy=False))
+        t.close()
+
+
+class TestMetaValidation:
+    def _build(self, tmp_path, **kwargs):
+        path = str(tmp_path / "t.db")
+        t = DiskRTree(path, max_entries=8, **kwargs)
+        t.bulk_load([(Rect.from_point(p), i)
+                     for i, p in enumerate(uniform_points(100, seed=5))])
+        t.close()
+        return path
+
+    def _rewrite_meta(self, path, root=None, size=None, max_e=None,
+                      min_e=None):
+        """Overwrite meta fields through the pager (valid checksum)."""
+        pager = Pager(path)
+        stored = struct.unpack_from(_META_FMT,
+                                    pager.read_page(_META_PAGE).data)
+        fields = [root, size, max_e, min_e]
+        values = [s if f is None else f for s, f in zip(stored, fields)]
+        pager.write_page(_META_PAGE, struct.pack(_META_FMT, *values))
+        pager.sync()
+        pager.close()
+
+    def test_valid_meta_reopens(self, tmp_path):
+        path = self._build(tmp_path)
+        with DiskRTree(path) as t:
+            assert len(t) == 100
+
+    def test_oversized_branching_factor_rejected(self, tmp_path):
+        # A branching factor that cannot fit this page size means the
+        # file was built with different geometry; the next node write
+        # would overflow a page.  Must fail typed, on open.
+        path = self._build(tmp_path)
+        self._rewrite_meta(path, max_e=10_000)
+        with pytest.raises(TreeMetaError, match="branching factor"):
+            DiskRTree(path)
+
+    def test_undersized_branching_factor_rejected(self, tmp_path):
+        path = self._build(tmp_path)
+        self._rewrite_meta(path, max_e=1)
+        with pytest.raises(TreeMetaError, match="branching factor"):
+            DiskRTree(path)
+
+    def test_inconsistent_min_entries_rejected(self, tmp_path):
+        path = self._build(tmp_path)
+        self._rewrite_meta(path, min_e=9)     # > max_entries of 8
+        with pytest.raises(TreeMetaError, match="minimum fill"):
+            DiskRTree(path)
+
+    def test_out_of_file_root_rejected(self, tmp_path):
+        path = self._build(tmp_path)
+        self._rewrite_meta(path, root=10_000)
+        with pytest.raises(TreeMetaError, match="root page"):
+            DiskRTree(path)
+
+    def test_meta_error_is_a_pager_error(self, tmp_path):
+        from repro.storage.pager import PagerError
+
+        path = self._build(tmp_path)
+        self._rewrite_meta(path, max_e=10_000)
+        with pytest.raises(PagerError):
+            DiskRTree(path)
