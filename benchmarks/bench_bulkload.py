@@ -27,8 +27,10 @@ import pytest
 
 from repro.geometry import Rect
 from repro.rtree.bulkload import bulk_load_stream
+from repro.rtree.search import SearchStats
 from repro.storage.disk_rtree import DiskRTree
-from repro.workloads import random_windows, stream_uniform_point_items
+from repro.workloads import (clustered_points, random_windows,
+                             stream_uniform_point_items)
 
 N = int(os.environ.get("REPRO_BULKLOAD_N", "20000"))
 INSERT_N = int(os.environ.get("REPRO_BULKLOAD_INSERT_N", "4000"))
@@ -110,6 +112,57 @@ def test_streaming_matches_in_memory_results(report, tmp_path_factory):
     report("bulkload_equivalence",
            f"{CHECK_WINDOWS} random windows over n={N}: 0 mismatches "
            f"between streaming pipeline and in-memory PACK")
+
+
+@pytest.fixture(scope="module")
+def adaptive_ablation(report, tmp_path_factory):
+    """E24b — the sample-based adaptive partitioner vs fixed hilbert.
+
+    Clustered points are the paper's motivating cartographic shape; the
+    adaptive chooser samples the stream, scores the candidate groupings
+    on coverage + overlap, and must never pick a layout that searches
+    worse than the hilbert default.
+    """
+    n = min(N, 20000)
+    tmp = str(tmp_path_factory.mktemp("bulkadapt"))
+    items = [(Rect.from_point(p), i)
+             for i, p in enumerate(clustered_points(n, clusters=6,
+                                                    spread=25.0, seed=SEED))]
+    windows = list(random_windows(CHECK_WINDOWS, max_extent=80.0,
+                                  seed=SEED + 2))
+    costs: dict[str, float] = {}
+    answers: dict[str, list] = {}
+    for method in ("hilbert", "adaptive"):
+        with DiskRTree(os.path.join(tmp, f"{method}.db")) as tree:
+            bulk_load_stream(tree, iter(items), method=method,
+                             run_size=RUN_SIZE)
+            visited = 0
+            per_window = []
+            for window in windows:
+                stats = SearchStats()
+                per_window.append(sorted(tree.search(window, stats=stats)))
+                visited += stats.nodes_visited
+            costs[method] = visited / len(windows)
+            answers[method] = per_window
+    lines = [f"Adaptive partitioner ablation (clustered n={n}, "
+             f"{CHECK_WINDOWS} windows)",
+             f"{'method':>10} | {'nodes/query':>11}"]
+    for method, cost in costs.items():
+        lines.append(f"{method:>10} | {cost:>11.2f}")
+    report("bulkload_adaptive", "\n".join(lines))
+    return costs, answers
+
+
+def test_adaptive_matches_or_beats_hilbert_on_clusters(adaptive_ablation):
+    """The acceptance bar: adaptive never loses to the hilbert default
+    on the clustered workload (small tolerance for sampling noise)."""
+    costs, _ = adaptive_ablation
+    assert costs["adaptive"] <= costs["hilbert"] * 1.05
+
+
+def test_adaptive_answers_match_hilbert(adaptive_ablation):
+    _, answers = adaptive_ablation
+    assert answers["adaptive"] == answers["hilbert"]
 
 
 def test_benchmark_streaming_build(benchmark, tmp_path):

@@ -106,6 +106,87 @@ def test_local_repack_restores_quality(local_repack_series):
     assert local_a <= degraded_a * 1.05
 
 
+@pytest.fixture(scope="module")
+def maintenance_series(report, tmp_path_factory):
+    """E15c — the background maintenance loop under sustained churn.
+
+    Two identical disk-backed picture indexes take the same hot-spot
+    churn; one runs a maintenance cycle after every batch (the daemon's
+    behaviour, synchronous here for determinism), the other is left
+    alone.  The metric is the advisor's packing-degradation ratio:
+    expected window cost on the live tree vs its freshly re-packed self,
+    so 1.0 *is* the fresh-pack baseline.
+    """
+    import os as _os
+
+    from repro.advisor.whatif import packed_degradation
+    from repro.relational.catalog import Database
+    from repro.relational.relation import Column
+    from repro.rtree.maintenance import (MaintenanceConfig,
+                                         run_maintenance_cycle)
+
+    n, batches, per_batch = 1200, 4, 600
+    config = MaintenanceConfig(warn_ratio=1.25)
+
+    def build(tmp):
+        rng = random.Random(41)
+        db = Database()
+        pts = db.create_relation("points", [
+            Column("id", "int"), Column("loc", "point")])
+        for i in range(n):
+            pts.insert({"id": i, "loc": Point(rng.uniform(0, 1000),
+                                              rng.uniform(0, 1000))})
+        pic = db.create_picture("map", Rect(0, 0, 1000, 1000))
+        pic.register_disk(pts, "loc", _os.path.join(tmp, "map.db"),
+                          max_entries=8)
+        return db
+
+    def churn_batch(db, seed):
+        rng = random.Random(seed)
+        pts = db.relation("points")
+        for k in range(per_batch):
+            if k % 3 != 2:
+                x = min(max(rng.gauss(150.0, 40.0), 0.0), 1000.0)
+                y = min(max(rng.gauss(150.0, 40.0), 0.0), 1000.0)
+                db.insert("points", {"id": seed * 10_000 + k,
+                                     "loc": Point(x, y)})
+            else:
+                rid = rng.choice([rid for rid, _ in pts.rows()])
+                db.delete("points", rid)
+
+    def ratio(db):
+        r, _, _ = packed_degradation(db, "map", "points", "loc")
+        return r
+
+    control = build(str(tmp_path_factory.mktemp("churn-off")))
+    maintained = build(str(tmp_path_factory.mktemp("churn-on")))
+    lines = [f"Maintenance daemon under churn (n={n}, "
+             f"{batches}x{per_batch} updates; cost vs fresh-pack)",
+             f"{'batch':>6} | {'daemon off':>10} {'daemon on':>10}"]
+    series = []
+    for batch in range(1, batches + 1):
+        churn_batch(control, seed=batch)
+        churn_batch(maintained, seed=batch)
+        run_maintenance_cycle(maintained, config)
+        series.append((ratio(control), ratio(maintained)))
+        lines.append(f"{batch:>6} | {series[-1][0]:>9.2f}x "
+                     f"{series[-1][1]:>9.2f}x")
+    report("update_problem_maintenance", "\n".join(lines))
+    return series
+
+
+def test_daemon_off_degrades_past_bound(maintenance_series):
+    """The control arm reproduces Section 3.4: unattended churn pushes
+    expected search cost past the 1.25x WARN bound."""
+    assert maintenance_series[-1][0] >= 1.25
+
+
+def test_daemon_on_holds_fresh_pack_cost(maintenance_series):
+    """The acceptance bar: with the maintenance loop running, search
+    cost stays within 1.25x of the fresh-pack baseline throughout."""
+    assert all(on <= 1.25 for _off, on in maintenance_series)
+
+
 def test_local_repack_speed(benchmark):
     from repro.rtree import local_repack
 

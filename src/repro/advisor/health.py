@@ -199,7 +199,7 @@ def _tree_checks(db: Any, t: HealthThresholds) -> list[CheckResult]:
             try:
                 ratio, current, _packed = packed_degradation(
                     db, picture.name, relation_name, column)
-            except (KeyError, ValueError) as exc:
+            except (KeyError, ValueError, ZeroDivisionError) as exc:
                 checks.append(CheckResult(name, OK, None,
                                           f"no data ({exc})"))
                 continue

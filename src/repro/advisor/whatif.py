@@ -199,6 +199,11 @@ def packed_degradation(db: Any, picture_name: str, relation_name: str,
     packed = hypothetical_packed_summary(db, picture_name, relation_name,
                                          column)
     universe = db.picture(picture_name).universe
+    if universe.width <= 0.0 or universe.height <= 0.0:
+        # Degenerate universe (zero-area or a single point): the
+        # reference window has no room to land, so there is no signal.
+        # Report the no-data floor instead of dividing by zero below.
+        return 1.0, current, packed
     w = universe.width * window_frac
     h = universe.height * window_frac
     now = current.expected_window_accesses(w, h)

@@ -376,6 +376,8 @@ class Router:
             await self._handle_delete(writer, rest)
         elif verb == "REPACK":
             await self._handle_repack(writer, rest)
+        elif verb == "MAINTAIN":
+            await self._handle_maintain(writer, rest)
         elif verb == "ADVISE":
             await self._handle_advise(writer, rest)
         elif verb == "HEALTH":
@@ -388,7 +390,7 @@ class Router:
             await self._error(
                 writer, "ProtocolError",
                 f"unknown command {verb!r} (try QUERY/EXPLAIN/KNN/INSERT/"
-                f"DELETE/REPACK/ADVISE/HEALTH/STATS/PING/QUIT)")
+                f"DELETE/REPACK/MAINTAIN/ADVISE/HEALTH/STATS/PING/QUIT)")
 
     # -- read routing --------------------------------------------------------
 
@@ -712,6 +714,36 @@ class Router:
         entries = sum(r.nrows for r in responses)
         await self._write(
             writer, [f"{protocol.OK} repack 0 {entries}", protocol.END])
+
+    async def _handle_maintain(self, writer: asyncio.StreamWriter,
+                               rest: str) -> None:
+        """``MAINTAIN ...`` fan-out over every primary.
+
+        ``on``/``off`` scatter the toggle and ack with the count of
+        shards now enabled; ``status`` and ``run`` broadcast like the
+        advisor verbs, stitching per-shard report sections.
+        """
+        self.registry.bump("router.maintains")
+        action = rest.strip().lower() or "status"
+        if action not in ("on", "off", "status", "run"):
+            await self._error(writer, "ProtocolError",
+                              "usage: MAINTAIN [on|off|status|run]")
+            return
+        if action in ("status", "run"):
+            await self._broadcast_report(writer, f"MAINTAIN {action}",
+                                         "maintain")
+            return
+        backends = [self._primaries[sid]
+                    for sid in self.shardmap.all_shards()]
+        responses = await asyncio.gather(
+            *(b.roundtrip(f"MAINTAIN {action}", self.config.query_timeout)
+              for b in backends),
+            return_exceptions=True)
+        if not await self._scatter_ok(writer, backends, responses):
+            return
+        enabled = sum(r.nrows for r in responses)
+        await self._write(
+            writer, [f"{protocol.OK} maintain 0 {enabled}", protocol.END])
 
     # -- ADVISE / HEALTH -----------------------------------------------------
 

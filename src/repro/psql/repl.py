@@ -11,6 +11,7 @@ Meta-commands:
 - ``\\map``        toggle ASCII rendering of each result's pictorial output
 - ``\\advise``     analyse the queries typed so far, recommend tuning
 - ``\\health``     graded OK/WARN/FAIL checks over the catalog
+- ``\\maintain``   packing degradation per index; ``\\maintain run`` repairs
 - ``\\quit``       exit
 
 Prefixing a query with ``explain`` prints the cost-based plan instead of
@@ -114,7 +115,7 @@ class Repl:
         self._print("PSQL shell — pictorial database over the synthetic "
                     "US map.")
         self._print("End a query with ';'. \\relations \\pictures \\map "
-                    "\\advise \\health \\quit")
+                    "\\advise \\health \\maintain \\quit")
         self._print("Prefix a query with 'explain' or 'explain analyze' "
                     "for the plan, or")
         self._print("'explain stats' for access-path counters.\n")
@@ -208,6 +209,24 @@ class Repl:
 
             for line in format_health(run_health_checks(self.db)):
                 self._print(line)
+            return True
+        if command == "\\maintain" or command.startswith("\\maintain "):
+            from repro.rtree.maintenance import (MaintenanceConfig,
+                                                 assess,
+                                                 run_maintenance_cycle)
+
+            arg = command[len("\\maintain"):].strip()
+            if arg not in ("", "run"):
+                self._print(f"usage: \\maintain [run], got {arg!r}")
+                return True
+            if arg == "run":
+                for action in run_maintenance_cycle(self.db,
+                                                    MaintenanceConfig()):
+                    self._print(action.describe())
+            else:
+                for pic, rel, col, ratio in assess(self.db):
+                    self._print(f"{pic}/{rel}.{col} {ratio:.2f}x packed "
+                                f"search cost")
             return True
         self._print(f"unknown command {command!r}")
         return True

@@ -356,9 +356,16 @@ class Database:
         its structure, and therefore any cached cost/trace-derived
         artefacts, are not).
         """
+        from repro.relational.diskindex import DiskSpatialIndex
+
         tree = self.picture(picture_name).index(relation_name, column)
-        result = local_repack(tree, region=region, method=method,
-                              distance=distance)
+        if isinstance(tree, DiskSpatialIndex):
+            result = tree.local_repack(region=region, method=(
+                "hilbert" if method == "nn" else method),
+                distance=distance)
+        else:
+            result = local_repack(tree, region=region, method=method,
+                                  distance=distance)
         self._generation += 1
         return result
 

@@ -123,6 +123,24 @@ class DiskSpatialIndex:
                                      run_size=run_size, workers=workers,
                                      tmp_dir=tmp_dir)
 
+    def local_repack(self, region: Optional[Rect] = None, *,
+                     method: str = "hilbert", distance: str = "center"):
+        """Incrementally re-PACK the subtree covering *region*.
+
+        The lock is held throughout, so searches either see the old
+        subtree or the spliced-in packed one.  A ``region`` of ``None``
+        (or one straddling top-level partitions) falls through to the
+        whole-tree atomic-swap rebuild.  Dirty pages are flushed before
+        returning so the splice is durable.
+        """
+        from repro.rtree.repack import local_repack_disk
+
+        with self._lock:
+            result = local_repack_disk(self._tree, region=region,
+                                       method=method, distance=distance)
+            self._tree.flush()
+            return result
+
     # -- lifecycle ----------------------------------------------------------
 
     def flush(self) -> None:

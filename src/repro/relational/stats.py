@@ -62,6 +62,10 @@ class LevelAgg:
                                               universe)
                        for r in self.rects)
         area = universe.area()
+        if area <= 0.0:
+            # Degenerate universe: every stored entry coincides with it,
+            # so any window that intersects the universe hits them all.
+            return float(self.count)
         est = (self.sum_wh + window_w * self.sum_h
                + window_h * self.sum_w
                + self.count * window_w * window_h) / area

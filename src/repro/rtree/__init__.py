@@ -51,7 +51,8 @@ from repro.rtree.serialize import (
     save_tree,
     tree_to_dict,
 )
-from repro.rtree.repack import RepackResult, local_repack
+from repro.rtree.repack import (RepackResult, local_repack,
+                                local_repack_disk)
 from repro.rtree.theory import (
     ZeroOverlapPartition,
     theorem_33_counterexample,
@@ -87,6 +88,7 @@ __all__ = [
     "knn_search",
     "load_tree",
     "local_repack",
+    "local_repack_disk",
     "measured_window_accesses",
     "overlap",
     "spatial_join",

@@ -12,13 +12,25 @@ input is.
 2. **Sort** — turn each raw run into a sorted run under a configurable
    spatial sort key (``hilbert`` — Kamel & Faloutsos packing order,
    ``lowx`` — the paper's ascending-x remark, ``str`` — Sort-Tile
-   slabs).  Runs are independent, so this phase optionally fans out to
-   worker processes.
+   slabs, ``adaptive`` — sample-based ordering choice, below).  Runs
+   are independent, so this phase optionally fans out to worker
+   processes.
 3. **Merge + pack** — k-way merge the sorted runs and stream fully
    packed leaf pages straight into the tree through the pager
    (sequential page writes, the construction-cost advantage PACK has in
    practice).  Each level's ``(MBR, child page)`` entries are spilled
    to a level file and packed the same way until a single root remains.
+
+The ``adaptive`` method reservoir-samples the stream during the spill
+phase, scores candidate orderings on the sample by the coverage +
+overlap the resulting pseudo-nodes would have (the Section 3.1 cost
+drivers), and picks the winner: data-adaptive quantile slabs (an STR
+variant whose slab boundaries follow the sample's marginal distribution
+on either axis) when the data is skewed enough for them to clearly win,
+the global Hilbert order otherwise — uniform data falls back to
+``hilbert`` by construction.  The choice is made once, before any run
+is sorted, so every run (and every sort worker) shares one globally
+consistent key and the k-way merge stays correct.
 
 The module also provides the offline-rebuild primitive behind the
 server's ``REPACK`` verb: :func:`build_tree_file` constructs a fresh
@@ -30,9 +42,11 @@ is testable with :mod:`repro.storage.failpoints`.
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import math
 import os
+import random
 import struct
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
@@ -50,9 +64,11 @@ from repro.storage.serial import NodeRecord, serialize_node
 
 __all__ = [
     "SORT_KEYS",
+    "AdaptiveChoice",
     "BulkLoadStats",
     "build_tree_file",
     "bulk_load_stream",
+    "choose_adaptive_spec",
     "rebuild_tree_file",
     "swap_tree_file",
 ]
@@ -66,7 +82,18 @@ _KEYED_FMT = "<ddddddQ"
 _IO_BATCH = 2048
 
 #: Supported external sort keys.
-SORT_KEYS = ("hilbert", "lowx", "str")
+SORT_KEYS = ("hilbert", "lowx", "str", "adaptive")
+
+#: Reservoir size for the adaptive partitioner's sample.
+ADAPTIVE_SAMPLE_SIZE = 2048
+#: A quantile-slab ordering must beat hilbert's sample score by this
+#: factor to be chosen; otherwise the loader falls back to hilbert
+#: (uniform data lands here — the orderings score about the same).
+ADAPTIVE_MARGIN = 0.9
+#: Fixed reservoir seed: the sample (and therefore the chosen ordering)
+#: is a pure function of the input stream, so repeated builds — and
+#: builds fanned out over sort workers — produce identical trees.
+_ADAPTIVE_SEED = 0x5EED
 
 FP_SWAP_BEFORE = failpoints.declare(
     "bulkload.swap.before-replace",
@@ -95,12 +122,36 @@ class BulkLoadStats:
 
 @dataclass(frozen=True)
 class _SortSpec:
-    """Everything a (possibly remote) sort worker needs — plain data."""
+    """Everything a (possibly remote) sort worker needs — plain data.
+
+    ``method`` here is a *concrete* ordering — the public ``adaptive``
+    method is resolved by the driver into one of ``hilbert`` /
+    ``qslab-x`` / ``qslab-y`` before any run is sorted, so workers never
+    have to re-derive the sample-based choice.
+    """
 
     method: str
     universe: tuple[float, float, float, float]
     slab_count: int      #: STR vertical strips; 0 for other methods
     hilbert_order: int
+    #: quantile slab boundaries (qslab-* only): upper edges of all but
+    #: the last slab, on the slab axis
+    bounds: tuple[float, ...] = ()
+
+
+@dataclass(frozen=True)
+class AdaptiveChoice:
+    """What the adaptive partitioner decided, and why."""
+
+    method: str                          #: hilbert / qslab-x / qslab-y
+    sample_size: int                     #: items in the reservoir
+    scores: tuple[tuple[str, float], ...]  #: (candidate, cost) pairs
+
+    def score_of(self, name: str) -> float:
+        for candidate, score in self.scores:
+            if candidate == name:
+                return score
+        raise KeyError(name)
 
 
 # ---------------------------------------------------------------------------
@@ -145,14 +196,22 @@ def _read_records(path: str, fmt: str) -> Iterator[tuple]:
 
 
 def _spill_runs(items: Iterable[tuple[Rect, int]], run_dir: str,
-                run_size: int,
-                ) -> tuple[list[str], int, tuple[float, float, float, float]]:
-    """Write raw runs of at most *run_size* items; track count + universe."""
+                run_size: int, sample_size: int = 0,
+                ) -> tuple[list[str], int, tuple[float, float, float, float],
+                           list[tuple[float, float, float, float]]]:
+    """Write raw runs of at most *run_size* items; track count + universe.
+
+    With ``sample_size > 0`` a uniform reservoir sample of the item MBRs
+    (algorithm R, fixed seed — deterministic for a given stream) is
+    collected in the same pass and returned as the fourth element.
+    """
     paths: list[str] = []
     count = 0
     ux1 = uy1 = math.inf
     ux2 = uy2 = -math.inf
     buf: list[tuple[float, float, float, float, int]] = []
+    sample: list[tuple[float, float, float, float]] = []
+    rng = random.Random(_ADAPTIVE_SEED) if sample_size else None
 
     def flush() -> None:
         if not buf:
@@ -169,6 +228,13 @@ def _spill_runs(items: Iterable[tuple[Rect, int]], run_dir: str,
         if not rect.is_valid():
             raise ValueError(f"invalid rectangle {rect!r}")
         buf.append((rect.x1, rect.y1, rect.x2, rect.y2, oid))
+        if rng is not None:
+            if count < sample_size:
+                sample.append((rect.x1, rect.y1, rect.x2, rect.y2))
+            else:
+                j = rng.randrange(count + 1)
+                if j < sample_size:
+                    sample[j] = (rect.x1, rect.y1, rect.x2, rect.y2)
         count += 1
         if rect.x1 < ux1:
             ux1 = rect.x1
@@ -181,7 +247,7 @@ def _spill_runs(items: Iterable[tuple[Rect, int]], run_dir: str,
         if len(buf) >= run_size:
             flush()
     flush()
-    return paths, count, (ux1, uy1, ux2, uy2)
+    return paths, count, (ux1, uy1, ux2, uy2), sample
 
 
 # ---------------------------------------------------------------------------
@@ -235,8 +301,123 @@ def _key_fn(spec: _SortSpec) -> Callable[[tuple], tuple[float, float]]:
             return (float(slab), cy)
 
         return key
+    if spec.method in ("qslab-x", "qslab-y"):
+        # Quantile slabs: boundaries follow the sample's marginal
+        # distribution instead of tiling the universe evenly, so every
+        # slab holds about the same number of objects even under heavy
+        # skew.  Within a slab, order by the cross axis (STR's second
+        # pass).
+        bounds = spec.bounds
+        along_x = spec.method == "qslab-x"
+
+        def key(rec: tuple) -> tuple[float, float]:
+            cx = (rec[0] + rec[2]) / 2.0
+            cy = (rec[1] + rec[3]) / 2.0
+            c, cross = (cx, cy) if along_x else (cy, cx)
+            return (float(bisect.bisect_right(bounds, c)), cross)
+
+        return key
     raise KeyError(f"unknown bulk-load sort key {spec.method!r}; "
                    f"choose from {sorted(SORT_KEYS)}")
+
+
+# ---------------------------------------------------------------------------
+# The adaptive partitioner: score candidate orderings on a sample
+# ---------------------------------------------------------------------------
+
+
+def _quantile_bounds(values: list[float], slabs: int) -> tuple[float, ...]:
+    """Upper boundaries of all but the last of *slabs* equal-count slabs."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return tuple(ordered[min(n - 1, (i * n) // slabs)]
+                 for i in range(1, slabs))
+
+
+def _partition_cost(sample: list[tuple[float, float, float, float]],
+                    key, max_entries: int) -> float:
+    """Coverage + overlap of the pseudo-nodes *key* would pack.
+
+    Orders the sample, chunks it into groups of *max_entries* (the
+    nodes a streaming pack would emit), and charges the total group-MBR
+    area plus twice the pairwise group overlap — the two quantities
+    Section 3.1 ties to search cost, with overlap weighted up because
+    it forces multi-path descents on every query that lands in it.
+    """
+    ordered = sorted(sample, key=key)
+    mbrs: list[tuple[float, float, float, float]] = []
+    for i in range(0, len(ordered), max_entries):
+        group = ordered[i:i + max_entries]
+        mbrs.append((min(g[0] for g in group), min(g[1] for g in group),
+                     max(g[2] for g in group), max(g[3] for g in group)))
+    coverage = sum((x2 - x1) * (y2 - y1) for x1, y1, x2, y2 in mbrs)
+    overlap = 0.0
+    by_x = sorted(mbrs)
+    for i, (ax1, ay1, ax2, ay2) in enumerate(by_x):
+        for bx1, by1, bx2, by2 in by_x[i + 1:]:
+            if bx1 > ax2:
+                break
+            w = min(ax2, bx2) - bx1
+            h = min(ay2, by2) - max(ay1, by1)
+            if w > 0.0 and h > 0.0:
+                overlap += w * h
+    return coverage + 2.0 * overlap
+
+
+def choose_adaptive_spec(sample: list[tuple[float, float, float, float]],
+                         universe: tuple[float, float, float, float],
+                         max_entries: int, leaf_count: int,
+                         hilbert_order: int = 16,
+                         ) -> tuple[_SortSpec, AdaptiveChoice]:
+    """Resolve the ``adaptive`` method into a concrete sort spec.
+
+    Scores the global Hilbert order against data-adaptive quantile
+    slabs on either axis, each evaluated by the coverage/overlap its
+    pseudo-nodes would exhibit on *sample*.  A slab ordering is chosen
+    only when it beats hilbert by :data:`ADAPTIVE_MARGIN`; near-uniform
+    data therefore falls back to hilbert.
+    """
+    slabs = max(1, math.ceil(math.sqrt(max(1, leaf_count))))
+    base = dict(universe=universe, slab_count=slabs,
+                hilbert_order=hilbert_order)
+    hilbert_spec = _SortSpec(method="hilbert", **base)
+    if len(sample) < 2 * max_entries or slabs < 2:
+        # Too small to measure anything: a tree this size is near-optimal
+        # under any ordering.
+        choice = AdaptiveChoice(method="hilbert", sample_size=len(sample),
+                                scores=(("hilbert", 0.0),))
+        return hilbert_spec, choice
+    xs = [(s[0] + s[2]) / 2.0 for s in sample]
+    ys = [(s[1] + s[3]) / 2.0 for s in sample]
+    candidates = {
+        "hilbert": hilbert_spec,
+        "qslab-x": _SortSpec(method="qslab-x", **base,
+                             bounds=_quantile_bounds(xs, slabs)),
+        "qslab-y": _SortSpec(method="qslab-y", **base,
+                             bounds=_quantile_bounds(ys, slabs)),
+    }
+    # Score at the sample's own scale: the sample packs into
+    # len(sample)/max_entries pseudo-leaves, so the slab count that
+    # mimics the real build's node shape on the sample is the square
+    # root of *that*, not of the full tree's leaf count.
+    sample_slabs = max(2, math.ceil(
+        math.sqrt(len(sample) / max_entries)))
+    scoring_specs = {
+        "hilbert": hilbert_spec,
+        "qslab-x": _SortSpec(method="qslab-x", **base,
+                             bounds=_quantile_bounds(xs, sample_slabs)),
+        "qslab-y": _SortSpec(method="qslab-y", **base,
+                             bounds=_quantile_bounds(ys, sample_slabs)),
+    }
+    scores = {name: _partition_cost(sample, _key_fn(spec), max_entries)
+              for name, spec in scoring_specs.items()}
+    best_slab = min(("qslab-x", "qslab-y"), key=lambda n: scores[n])
+    chosen = (best_slab
+              if scores[best_slab] < ADAPTIVE_MARGIN * scores["hilbert"]
+              else "hilbert")
+    choice = AdaptiveChoice(method=chosen, sample_size=len(sample),
+                            scores=tuple(sorted(scores.items())))
+    return candidates[chosen], choice
 
 
 def _sort_run_task(raw_path: str, sorted_path: str, spec: _SortSpec) -> int:
@@ -329,14 +510,36 @@ class _NodeWriter:
 
 
 def _pack_level(writer: _NodeWriter, records: Iterator[tuple],
-                max_entries: int, is_leaf: bool) -> Iterator[tuple]:
-    """Run-pack a level: chunk the ordered stream into full nodes."""
+                max_entries: int, min_fill: int,
+                is_leaf: bool) -> Iterator[tuple]:
+    """Run-pack a level: chunk the ordered stream into full nodes.
+
+    The last completed group is held back until the stream ends: a
+    trailing remainder smaller than *min_fill* is merged with it and the
+    combined entries are re-split into two balanced groups, so every
+    emitted node holds at least ``min_fill`` entries (both halves of
+    ``max_entries < total < max_entries + min_fill`` are within
+    ``[min_fill, max_entries]`` for any ``min_fill <= max_entries/2``,
+    and the per-level node count is unchanged).  The sorted order is
+    preserved, so the redistribution costs no extra overlap.
+    """
+    pending: Optional[list[tuple]] = None
     group: list[tuple] = []
     for rec in records:
         group.append(rec)
         if len(group) == max_entries:
-            yield writer.write(group, is_leaf)
+            if pending is not None:
+                yield writer.write(pending, is_leaf)
+            pending = group
             group = []
+    if group and pending is not None and len(group) < min_fill:
+        combined = pending + group
+        half = (len(combined) + 1) // 2
+        yield writer.write(combined[:half], is_leaf)
+        yield writer.write(combined[half:], is_leaf)
+        return
+    if pending is not None:
+        yield writer.write(pending, is_leaf)
     if group:
         yield writer.write(group, is_leaf)
 
@@ -346,6 +549,7 @@ def _build_from_stream(tree, leaf_records: Iterator[tuple], count: int,
     """Pack the ordered leaf-item stream into *tree*; returns
     ``(levels, nodes_written)``."""
     max_entries = tree.max_entries
+    min_fill = min(tree.min_entries, max_entries // 2)
     sizes = _level_sizes(count, max_entries)
     pages = tree.pager.allocate_batch(sum(sizes))
     page_iter = iter(pages)
@@ -356,7 +560,8 @@ def _build_from_stream(tree, leaf_records: Iterator[tuple], count: int,
     is_leaf = True
     level = 0
     while current_count > max_entries:
-        parents = _pack_level(writer, current, max_entries, is_leaf)
+        parents = _pack_level(writer, current, max_entries, min_fill,
+                              is_leaf)
         level_path = os.path.join(run_dir, f"level{level + 1:03d}.ent")
         current_count = _write_records(level_path, _RAW_FMT, parents)
         current = _read_records(level_path, _RAW_FMT)
@@ -395,8 +600,9 @@ def bulk_load_stream(tree, items: Iterable[tuple[Rect, int]], *,
     Args:
         tree: an empty :class:`~repro.storage.disk_rtree.DiskRTree`.
         items: ``(Rect, oid)`` pairs; consumed once, lazily.
-        method: external sort key — ``"hilbert"``, ``"lowx"`` or
-            ``"str"``.
+        method: external sort key — ``"hilbert"``, ``"lowx"``,
+            ``"str"`` or ``"adaptive"`` (sample-based choice between
+            hilbert and data-adaptive quantile slabs).
         run_size: items per sorted run (the memory bound).
         workers: worker processes for the sort phase; ``0``/``1`` sorts
             in-process.
@@ -423,14 +629,34 @@ def bulk_load_stream(tree, items: Iterable[tuple[Rect, int]], *,
             tempfile.TemporaryDirectory(dir=tmp_dir,
                                         prefix="rtree-bulkload-") as run_dir:
         with obs.timer("rtree.bulkload.spill"):
-            raw_paths, count, universe = _spill_runs(items, run_dir, run_size)
+            raw_paths, count, universe, sample = _spill_runs(
+                items, run_dir, run_size,
+                sample_size=(ADAPTIVE_SAMPLE_SIZE
+                             if method == "adaptive" else 0))
         if count == 0:
+            # An empty load must still leave a valid, durable tree: the
+            # constructor's empty leaf root is already on its page, so
+            # only the meta page needs (re)writing — and flushing, which
+            # the non-empty path below gets from the shared tail.
             tree._write_meta()
+            tree.flush()
             return BulkLoadStats(items=0, runs=0, levels=1, nodes_written=0)
         leaf_count = math.ceil(count / tree.max_entries)
-        spec = _SortSpec(method=method, universe=universe,
-                         slab_count=math.ceil(math.sqrt(leaf_count)),
-                         hilbert_order=hilbert_order)
+        if method == "adaptive":
+            spec, choice = choose_adaptive_spec(
+                sample, universe, tree.max_entries, leaf_count,
+                hilbert_order=hilbert_order)
+            if obs.ENABLED:
+                obs.active().bump(
+                    f"rtree.bulkload.adaptive.{spec.method}")
+                obs.active().trace(
+                    "rtree.bulkload.adaptive", chosen=choice.method,
+                    sample=choice.sample_size,
+                    scores={k: round(v, 3) for k, v in choice.scores})
+        else:
+            spec = _SortSpec(method=method, universe=universe,
+                             slab_count=math.ceil(math.sqrt(leaf_count)),
+                             hilbert_order=hilbert_order)
         with obs.timer("rtree.bulkload.sort"):
             sorted_paths = _sort_runs(raw_paths, spec, workers)
         with obs.timer("rtree.bulkload.pack"):

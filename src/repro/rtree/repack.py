@@ -11,6 +11,13 @@ region, rebuilds that subtree with PACK, and splices it back — restoring
 packed-quality structure around update hot spots without touching the
 rest of the tree.  With ``region=None`` it re-packs the whole tree in
 place.
+
+:func:`local_repack_disk` is the page-resident twin for
+:class:`~repro.storage.disk_rtree.DiskRTree`: degraded subtrees are
+re-packed onto fresh pages and spliced into the parent page, while a
+whole-tree repack reuses the offline-rebuild atomic file swap
+(:func:`repro.rtree.bulkload.rebuild_tree_file`) so the live file stays
+readable until the swap instant.
 """
 
 from __future__ import annotations
@@ -107,6 +114,185 @@ def local_repack(tree: RTree, region: Optional[Rect] = None,
     return RepackResult(entries_repacked=len(entries),
                         nodes_before=nodes_before, nodes_after=nodes_after,
                         subtree_height=old_height)
+
+
+def local_repack_disk(tree, region: Optional[Rect] = None,
+                      method: str = "hilbert",
+                      distance: str = "center") -> RepackResult:
+    """Re-PACK the smallest subtree of a disk tree covering *region*.
+
+    The subtree's leaf entries are collected (freeing its old pages),
+    re-grouped with the PACK strategy, and written back onto freshly
+    allocated pages; the parent entry is redirected and ancestor MBRs
+    refreshed, so the rest of the tree is untouched.  The rebuilt
+    subtree keeps the original height (single-entry pad pages when
+    packing would make it shallower) so every leaf stays at one depth.
+
+    With ``region=None`` — or when no single top-level partition covers
+    the region — the whole tree is rebuilt through
+    :func:`~repro.rtree.bulkload.rebuild_tree_file`'s build-beside +
+    atomic-swap path instead of in place.
+
+    Args:
+        tree: a :class:`~repro.storage.disk_rtree.DiskRTree`
+            (modified in place; meta is rewritten, but the caller owns
+            the flush).
+        region: hot-spot rectangle; ``None`` re-packs everything.
+        method / distance: forwarded to the PACK grouping strategy.
+
+    Returns:
+        A :class:`RepackResult` with before/after node counts.
+    """
+    from repro.geometry.rect import mbr_of_rects
+    from repro.storage.serial import NodeRecord
+
+    group_fn = _lookup_method(method)
+    distance_fn = _lookup_distance(distance)
+    path = ([tree.root_page] if region is None
+            else _smallest_subtree_pages(tree, region))
+
+    if len(path) == 1:
+        # Whole-tree repack: build beside the live file and atomically
+        # swap, exactly like the offline REPACK verb.
+        from repro.rtree.bulkload import rebuild_tree_file
+
+        nodes_before = tree.node_count()
+        old_height = tree.depth()
+        count = len(tree)
+        with obs.timer("rtree.repack.disk"):
+            rebuild_tree_file(tree, tree.leaf_items(), method=(
+                method if method in ("hilbert", "lowx", "str")
+                else "hilbert"))
+        nodes_after = tree.node_count()
+        if obs.ENABLED:
+            reg = obs.active()
+            reg.bump("rtree.repack.invocations")
+            reg.bump("rtree.repack.entries_repacked", count)
+            reg.bump("rtree.repack.nodes_saved", nodes_before - nodes_after)
+            reg.trace("rtree.repack", entries=count,
+                      nodes_before=nodes_before, nodes_after=nodes_after,
+                      whole_tree=True, disk=True)
+        return RepackResult(entries_repacked=count,
+                            nodes_before=nodes_before,
+                            nodes_after=nodes_after,
+                            subtree_height=old_height)
+
+    target_page = path[-1]
+    nodes_before = tree.subtree_node_count(target_page)
+    old_height = _subtree_height(tree, target_page)
+    min_fill = min(tree.min_entries, tree.max_entries // 2)
+    with obs.timer("rtree.repack.disk"):
+        raw = tree._collect_leaf_entries(target_page)  # frees old pages
+        level = [Entry(rect=Rect(x1, y1, x2, y2), oid=oid)
+                 for x1, y1, x2, y2, oid in raw]
+        nodes_after = 0
+        is_leaf = True
+        new_height = 0
+        while len(level) > tree.max_entries:
+            groups = group_fn(level, tree.max_entries, distance_fn)
+            _redistribute_tail(groups, min_fill)
+            nxt = []
+            for group in groups:
+                page_no = tree._materialize(group, is_leaf)
+                nxt.append(Entry(rect=mbr_of_rects(e.rect for e in group),
+                                 oid=page_no))
+            nodes_after += len(groups)
+            level = nxt
+            is_leaf = False
+            new_height += 1
+        new_root = tree._materialize(level, is_leaf)
+        new_mbr = mbr_of_rects(e.rect for e in level)
+        nodes_after += 1
+        # Packing can legitimately shrink the subtree; pad with
+        # single-entry pages so all the tree's leaves stay at one depth.
+        while new_height < old_height:
+            new_root = tree._materialize(
+                [Entry(rect=new_mbr, oid=new_root)], is_leaf=False)
+            nodes_after += 1
+            new_height += 1
+        # Redirect the parent entry, then refresh ancestor MBRs bottom-up.
+        _replace_child(tree, path[-2], target_page, new_root, new_mbr,
+                       NodeRecord)
+        for i in range(len(path) - 2, 0, -1):
+            child_page = path[i]
+            child = tree._read_node(child_page)
+            mbr = tree._entries_mbr(child.entries)
+            _replace_child(tree, path[i - 1], child_page, child_page, mbr,
+                           NodeRecord)
+        tree._write_meta()
+    if obs.ENABLED:
+        reg = obs.active()
+        reg.bump("rtree.repack.invocations")
+        reg.bump("rtree.repack.entries_repacked", len(raw))
+        reg.bump("rtree.repack.nodes_saved", nodes_before - nodes_after)
+        reg.trace("rtree.repack", entries=len(raw),
+                  nodes_before=nodes_before, nodes_after=nodes_after,
+                  whole_tree=False, disk=True)
+    return RepackResult(entries_repacked=len(raw),
+                        nodes_before=nodes_before, nodes_after=nodes_after,
+                        subtree_height=old_height)
+
+
+def _replace_child(tree, parent_page: int, old_child: int, new_child: int,
+                   mbr: Rect, record_cls) -> None:
+    """Point *parent_page*'s entry for *old_child* at *new_child*/*mbr*."""
+    parent = tree._read_node(parent_page)
+    entries = tuple(
+        (mbr.x1, mbr.y1, mbr.x2, mbr.y2, new_child) if ptr == old_child
+        else (x1, y1, x2, y2, ptr)
+        for x1, y1, x2, y2, ptr in parent.entries)
+    tree._write_node(parent_page, record_cls(is_leaf=False, entries=entries))
+
+
+def _redistribute_tail(groups: list[list[Entry]], min_fill: int) -> None:
+    """Split the last two groups evenly when the tail is under-filled.
+
+    The same invariant fix as the streaming packer's
+    ``bulkload._pack_level``: a remainder group smaller than *min_fill*
+    merges with its left neighbour and the union splits ceil/floor, so
+    both halves land in ``[min_fill, max_entries]``.
+    """
+    if len(groups) >= 2 and len(groups[-1]) < min_fill:
+        combined = groups[-2] + groups[-1]
+        half = (len(combined) + 1) // 2
+        groups[-2:] = [combined[:half], combined[half:]]
+
+
+def _subtree_height(tree, page_no: int) -> int:
+    """Edges from *page_no* down to the leaf level (disk walk)."""
+    height = 0
+    node = tree._read_node(page_no)
+    while not node.is_leaf:
+        node = tree._read_node(node.entries[0][4])
+        height += 1
+    return height
+
+
+def _smallest_subtree_pages(tree, region: Rect) -> list[int]:
+    """Page path from the root to the deepest non-leaf node whose MBR
+    contains *region* (the disk twin of :func:`_smallest_subtree`).
+
+    Unlike the in-memory walk, overlapping partitions don't force a
+    whole-tree fallback: when several children cover the region the
+    smallest-area one is descended — churn-grown siblings routinely
+    overlap around the very hot spots maintenance wants to fix, and any
+    covering subtree is a correct (and still incremental) repack target.
+    """
+    path = [tree.root_page]
+    node = tree._read_node(tree.root_page)
+    while not node.is_leaf:
+        covering = [e for e in node.entries
+                    if Rect(e[0], e[1], e[2], e[3]).contains(region)]
+        if not covering:
+            break
+        best = min(covering,
+                   key=lambda e: (e[2] - e[0]) * (e[3] - e[1]))
+        child_page = best[4]
+        if tree._read_node(child_page).is_leaf:
+            break
+        path.append(child_page)
+        node = tree._read_node(child_page)
+    return path
 
 
 def _smallest_subtree(tree: RTree, region: Rect) -> Node:

@@ -127,7 +127,7 @@ ST_PREPARED = 7
 #: OK-header cache dispositions, numbered for the u8 field.  The names
 #: match the text protocol's OK header exactly.
 DISPOSITIONS = ("fresh", "cached", "repack", "insert", "delete", "replay",
-                "hello", "prepare")
+                "hello", "prepare", "maintain")
 _DISPOSITION_CODE = {name: i for i, name in enumerate(DISPOSITIONS)}
 
 _U32 = struct.Struct("<I")

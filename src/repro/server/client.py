@@ -174,6 +174,16 @@ class Client:
         """
         return self._command(f"REPACK {picture} {relation} {column}")
 
+    def maintain(self, action: str = "status") -> Response:
+        """Control or inspect the background repack daemon (``MAINTAIN``).
+
+        ``on``/``off`` toggle the daemon and return an ack whose
+        ``nrows`` is the resulting enabled state; ``status`` and ``run``
+        (one synchronous maintenance cycle) return one report line per
+        response row.
+        """
+        return self._command(f"MAINTAIN {action}")
+
     def advise(self, top: Optional[int] = None) -> Response:
         """Workload analysis and tuning recommendations (``ADVISE``).
 

@@ -239,8 +239,9 @@ def _parse_ok(rest: str, lines: list[str]) -> Response:
     # acknowledgement dispositions name the verb they answer (REPACK,
     # HELLO/PREPARE negotiation, and the cluster tier's INSERT/DELETE
     # routing verbs).
-    if disposition not in ("cached", "fresh", "repack", "insert", "delete",
-                           "replay", "hello", "prepare"):
+    if disposition not in ("cached", "fresh", "repack", "maintain",
+                           "insert", "delete", "replay", "hello",
+                           "prepare"):
         raise ProtocolError(f"unknown cache disposition {disposition!r}")
     try:
         nrows = int(nrows_text)

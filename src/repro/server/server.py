@@ -60,6 +60,8 @@ class ServerConfig:
     drain_timeout: float = 10.0          #: graceful-shutdown bound
     factory_spec: str = "repro.server.demo:demo_database"
     capture: bool = True                 #: workload capture for ADVISE
+    maintenance: bool = False            #: start the repack daemon enabled
+    maintenance_interval: float = 30.0   #: seconds between daemon cycles
 
     def effective_max_inflight(self) -> int:
         return self.max_inflight if self.max_inflight > 0 \
@@ -117,6 +119,16 @@ class PsqlServer:
         self._inflight = 0
         self._active_responses = 0
         self._draining = False
+        # Background repack daemon (thread-executor servers only; the
+        # process pool's workers hold their own catalog copies).
+        self.scheduler = None
+        if self.config.executor == "thread":
+            from repro.server.scheduler import MaintenanceScheduler
+            self.scheduler = MaintenanceScheduler(
+                self.service.db,
+                interval=self.config.maintenance_interval,
+                enabled=self.config.maintenance,
+                on_cycle=self._after_maintenance_cycle)
         self._started_at = time.monotonic()
         # Background-thread plumbing (start_background/stop_background).
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -130,6 +142,8 @@ class PsqlServer:
     async def start(self) -> None:
         """Bind the listener and warm the worker pool."""
         self.service.start()
+        if self.scheduler is not None:
+            self.scheduler.start()
         self._started_at = time.monotonic()
         self._asyncio_server = await asyncio.start_server(
             self._handle_connection, host=self.config.host,
@@ -150,6 +164,8 @@ class PsqlServer:
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, drain, tear down."""
         self._draining = True
+        if self.scheduler is not None:
+            await asyncio.to_thread(self.scheduler.stop)
         if self._asyncio_server is not None:
             self._asyncio_server.close()
             await self._asyncio_server.wait_closed()
@@ -271,7 +287,8 @@ class PsqlServer:
     def verbs(self) -> tuple[str, ...]:
         """The command verbs this server answers (for error messages)."""
         return ("QUERY", "EXPLAIN", "PREPARE", "EXECUTE", "REPACK",
-                "ADVISE", "HEALTH", "STATS", "PING", "HELLO", "QUIT")
+                "MAINTAIN", "ADVISE", "HEALTH", "STATS", "PING", "HELLO",
+                "QUIT")
 
     async def _dispatch(self, conn: _Connection, verb: str,
                         rest: str) -> bool:
@@ -295,6 +312,8 @@ class PsqlServer:
             await self._handle_execute_line(conn, rest)
         elif verb == "REPACK":
             await self._handle_repack(conn, rest)
+        elif verb == "MAINTAIN":
+            await self._handle_maintain(conn, rest)
         elif verb == "ADVISE":
             await self._handle_advise(conn, rest)
         elif verb == "HEALTH":
@@ -633,6 +652,65 @@ class PsqlServer:
         self.registry.bump("server.repacks.completed")
         self.registry.bump("server.cache.repack_dropped", dropped)
         await self._reply_ack(conn, "repack", generation, entries)
+
+    async def _handle_maintain(self, conn: _Connection, rest: str) -> None:
+        """``MAINTAIN [on|off|status|run]`` — the background repack daemon.
+
+        ``on``/``off`` toggle the scheduler and answer ``OK maintain
+        <generation> <enabled>``; ``status`` (the default) and ``run``
+        (one synchronous cycle, useful in tests and benchmarks) answer a
+        one-column report, so the cluster router can merge per-shard
+        sections the way it does for ADVISE/HEALTH.
+        """
+        action = rest.strip().lower() or "status"
+        if action not in ("on", "off", "status", "run"):
+            await self._write_error(conn, "ProtocolError",
+                                    "usage: MAINTAIN [on|off|status|run]")
+            return
+        if self.scheduler is None:
+            await self._write_error(
+                conn, "ValueError",
+                "maintenance requires the thread executor (process "
+                "workers hold their own catalog copies)")
+            return
+        self.registry.bump("server.maintains")
+        if action == "on":
+            self.scheduler.enable()
+            await self._reply_ack(conn, "maintain", self.generation, 1)
+        elif action == "off":
+            self.scheduler.disable()
+            await self._reply_ack(conn, "maintain", self.generation, 0)
+        elif action == "run":
+            if self._draining:
+                await self._write_error(conn, "ServerError",
+                                        "server is shutting down")
+                return
+            try:
+                actions = await asyncio.to_thread(self.scheduler.run_now)
+            except Exception as exc:  # noqa: BLE001 - framed, never fatal
+                self.registry.bump("server.errors")
+                await self._write_error(conn, type(exc).__name__, str(exc))
+                return
+            lines = [a.describe() for a in actions] or ["no indexes"]
+            await self._write_report(conn, "maintain", lines)
+        else:
+            await self._write_report(conn, "maintain",
+                                     self.scheduler.status_lines())
+
+    def _after_maintenance_cycle(self, actions) -> None:
+        """Post-cycle hook (scheduler thread): invalidate stale results.
+
+        A repack bumped the catalog generation, so everything the result
+        cache holds for older generations is structure-stale; both the
+        cache and registry are lock-protected, making this safe off the
+        event loop.
+        """
+        repacked = sum(1 for a in actions if a.kind != "none")
+        if not repacked:
+            return
+        dropped = self.cache.drop_stale(self.generation)
+        self.registry.bump("server.maintenance.repacks", repacked)
+        self.registry.bump("server.cache.repack_dropped", dropped)
 
     # -- the ADVISE / HEALTH paths -------------------------------------------
 

@@ -187,6 +187,33 @@ class DiskRTree:
                 stack.extend(e[4] for e in node.entries)
         return count
 
+    def leaf_items(self) -> Iterable[tuple[Rect, int]]:
+        """Yield every stored ``(rect, oid)`` pair (leaf-level scan).
+
+        Reads pages through the buffer pool and never mutates the file,
+        so it is safe to consume while building a replacement tree
+        beside this one (the offline-rebuild path).
+        """
+        stack = [self._root_page]
+        while stack:
+            node = self._read_node(stack.pop())
+            if node.is_leaf:
+                for x1, y1, x2, y2, oid in node.entries:
+                    yield Rect(x1, y1, x2, y2), oid
+            else:
+                stack.extend(e[4] for e in node.entries)
+
+    def subtree_node_count(self, page_no: int) -> int:
+        """Nodes in the subtree rooted at *page_no* (root included)."""
+        count = 0
+        stack = [page_no]
+        while stack:
+            node = self._read_node(stack.pop())
+            count += 1
+            if not node.is_leaf:
+                stack.extend(e[4] for e in node.entries)
+        return count
+
     def entry_rects(self) -> list[tuple[int, bool, Rect]]:
         """``(level, is_leaf_entry, rect)`` for every entry, level order.
 

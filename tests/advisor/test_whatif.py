@@ -116,3 +116,40 @@ class TestHypotheticalRepack:
         db = degraded_db(churn=0)
         with pytest.raises(KeyError):
             hypothetical_packed_summary(db, "map", "nothing", "loc")
+
+
+class TestDegenerateUniverse:
+    """Zero-area universes must yield the no-data floor, not a crash."""
+
+    @staticmethod
+    def _point_universe_db(n=40) -> Database:
+        db = Database()
+        points = db.create_relation("points", [
+            Column("id", "int"), Column("loc", "point")])
+        for i in range(n):
+            points.insert({"id": i, "loc": Point(5.0, 5.0)})
+        db.create_picture("dot", Rect(5.0, 5.0, 5.0, 5.0)).register(
+            points, "loc", max_entries=8)
+        return db
+
+    def test_degradation_is_floor_not_zero_division(self):
+        db = self._point_universe_db()
+        ratio, current, packed = packed_degradation(db, "dot", "points",
+                                                    "loc")
+        assert ratio == 1.0
+        assert current.size == packed.size == 40
+
+    def test_aggregate_estimate_survives_zero_area(self):
+        from repro.relational.stats import LevelAgg
+        agg = LevelAgg(count=7, sum_w=0.0, sum_h=0.0, sum_wh=0.0,
+                       rects=None)
+        est = agg.expected_intersecting(10.0, 10.0,
+                                        Rect(5.0, 5.0, 5.0, 5.0))
+        assert est == 7.0
+
+    def test_health_reports_ok_for_degenerate_tree(self):
+        from repro.advisor import run_health_checks
+        db = self._point_universe_db()
+        report = run_health_checks(db)
+        tree = [c for c in report.checks if c.name.startswith("tree.dot")]
+        assert tree and all(c.status == "OK" for c in tree)

@@ -143,6 +143,40 @@ class TestEdgeCases:
         assert tree.search(Rect(0, 0, 1000, 1000)) == []
         tree.close()
 
+    def test_empty_input_survives_reopen(self, tmp_path):
+        """An empty load leaves a valid, durable tree on disk.
+
+        Regression: the empty-input early return used to skip the
+        flush, so the meta page only reached disk by luck of the
+        buffer pool.  Reopening must pass meta validation and answer
+        searches with [].
+        """
+        path = str(tmp_path / "t.db")
+        tree = DiskRTree(path, max_entries=8)
+        bulk_load_stream(tree, iter(()))
+        tree.pager.close()  # drop without the close() flush
+        with DiskRTree(path, max_entries=8) as reopened:
+            assert len(reopened) == 0
+            assert reopened.search(Rect(0, 0, 1000, 1000)) == []
+            assert reopened.point_query(Point(1, 1)) == []
+
+    def test_build_tree_file_empty_input(self, tmp_path):
+        path = str(tmp_path / "empty.db")
+        stats = build_tree_file(path, iter(()), max_entries=8)
+        assert stats == BulkLoadStats(items=0, runs=0, levels=1,
+                                      nodes_written=0)
+        with DiskRTree(path, max_entries=8) as t:
+            assert len(t) == 0
+            assert t.search(Rect(0, 0, 1000, 1000)) == []
+
+    def test_rebuild_to_empty(self, tmp_path):
+        tree = DiskRTree(str(tmp_path / "t.db"), max_entries=8)
+        bulk_load_stream(tree, _items(100), run_size=40)
+        stats = rebuild_tree_file(tree, iter(()))
+        assert stats.items == 0 and len(tree) == 0
+        assert tree.search(Rect(0, 0, 1000, 1000)) == []
+        tree.close()
+
     def test_single_item(self, tmp_path):
         tree = DiskRTree(str(tmp_path / "t.db"), max_entries=8)
         stats = bulk_load_stream(tree, [(Rect(1, 1, 2, 2), 7)])
@@ -205,21 +239,108 @@ class TestStructure:
         assert stats.levels == len(sizes)
         tree.close()
 
+    @staticmethod
+    def _level_fills(tree):
+        """Entry counts per node, grouped by level (root first)."""
+        levels = []
+        frontier = [tree.root_page]
+        while frontier:
+            nxt, fills = [], []
+            for page in frontier:
+                node = tree._read_node(page)
+                fills.append(len(node.entries))
+                if not node.is_leaf:
+                    nxt.extend(int(e[4]) for e in node.entries)
+            levels.append(fills)
+            frontier = nxt
+        return levels
+
     def test_leaves_are_packed_full(self, tmp_path):
-        """Run-packing fills every leaf but the last (Section 3.3)."""
+        """Run-packing fills every leaf but the trailing pair (3.3)."""
         tree = DiskRTree(str(tmp_path / "t.db"), max_entries=8)
         bulk_load_stream(tree, _items(500), run_size=120)
-        fills = []
-        queue = [tree.root_page]
-        while queue:
-            node = tree._read_node(queue.pop())
-            if node.is_leaf:
-                fills.append(len(node.entries))
-            else:
-                queue.extend(int(e[4]) for e in node.entries)
-        assert sum(f == 8 for f in fills) >= len(fills) - 1
+        fills = self._level_fills(tree)[-1]
+        assert sum(f == 8 for f in fills) >= len(fills) - 2
         assert sum(fills) == 500
         tree.close()
+
+    @pytest.mark.parametrize("n", [9, 17, 65, 498, 513])
+    def test_min_fill_on_every_level(self, tmp_path, n):
+        """No level emits a node below min_fill (trailing-node bugfix).
+
+        Sizes chosen so the trailing remainder group would hold fewer
+        than ``min_fill`` entries without the redistribution (e.g. 17 =
+        2x8 + 1: the old code wrote a 1-entry leaf).
+        """
+        tree = DiskRTree(str(tmp_path / f"t{n}.db"), max_entries=8)
+        bulk_load_stream(tree, _items(n), run_size=100)
+        levels = self._level_fills(tree)
+        for depth, fills in enumerate(levels):
+            if depth == 0:     # the root is exempt from min fill
+                continue
+            assert all(tree.min_entries <= f <= 8 for f in fills), \
+                (n, depth, fills)
+        assert sum(levels[-1]) == n
+        tree.close()
+
+
+class TestAdaptive:
+    def _clustered(self, n, seed=7):
+        rng = random.Random(seed)
+        centers = [(100, 100), (880, 120), (500, 870)]
+        out = []
+        for i in range(n):
+            cx, cy = centers[rng.randrange(len(centers))]
+            x = min(995.0, max(0.0, rng.gauss(cx, 15)))
+            y = min(995.0, max(0.0, rng.gauss(cy, 15)))
+            out.append((Rect(x, y, x + 1, y + 1), i))
+        return out
+
+    def test_uniform_falls_back_to_hilbert(self):
+        sample = [(r.x1, r.y1, r.x2, r.y2) for r, _ in _items(1000)]
+        spec, choice = bulkload.choose_adaptive_spec(
+            sample, (0.0, 0.0, 1000.0, 1000.0), max_entries=8,
+            leaf_count=125)
+        assert choice.method == "hilbert"
+        assert spec.method == "hilbert"
+
+    def test_choice_is_deterministic(self):
+        sample = [(r.x1, r.y1, r.x2, r.y2)
+                  for r, _ in self._clustered(1000)]
+        args = (sample, (0.0, 0.0, 1000.0, 1000.0), 8, 125)
+        assert bulkload.choose_adaptive_spec(*args) == \
+            bulkload.choose_adaptive_spec(*args)
+
+    def test_tiny_sample_short_circuits(self):
+        spec, choice = bulkload.choose_adaptive_spec(
+            [(0.0, 0.0, 1.0, 1.0)], (0.0, 0.0, 10.0, 10.0),
+            max_entries=8, leaf_count=1)
+        assert choice.method == "hilbert" and spec.bounds == ()
+
+    def test_adaptive_matches_brute_force(self, tmp_path):
+        items = self._clustered(600)
+        tree = DiskRTree(str(tmp_path / "t.db"), max_entries=8)
+        stats = bulk_load_stream(tree, iter(items), method="adaptive",
+                                 run_size=150)
+        assert stats.items == len(tree) == 600
+        for w in _windows(25, seed=11):
+            expect = sorted(i for r, i in items if r.intersects(w))
+            assert sorted(tree.search(w)) == expect
+        tree.close()
+
+    def test_adaptive_workers_produce_identical_tree(self, tmp_path):
+        items = self._clustered(900)
+        inline = DiskRTree(str(tmp_path / "a.db"), max_entries=8)
+        forked = DiskRTree(str(tmp_path / "b.db"), max_entries=8)
+        s0 = bulk_load_stream(inline, iter(items), method="adaptive",
+                              run_size=200, workers=0)
+        s1 = bulk_load_stream(forked, iter(items), method="adaptive",
+                              run_size=200, workers=2)
+        assert s0 == s1
+        for w in _windows(15, seed=4):
+            assert inline.search(w) == forked.search(w)
+        inline.close()
+        forked.close()
 
 
 class TestRebuildAndSwap:

@@ -1,0 +1,133 @@
+"""Hypothesis properties for the streaming bulk loader's packing invariants.
+
+Every sort method — hilbert, lowx, str, and the sample-based adaptive
+chooser — must produce trees that:
+
+- obey PACK Theorem 3.2 level-by-level (``ceil(n/M)`` nodes per level,
+  which the min-fill tail redistribution must not change),
+- answer window queries identically to a brute-force scan, and
+- keep every non-root node's fill inside ``[min_fill, max_entries]``
+  (the trailing-node bugfix: no near-empty rightmost spine).
+
+Distributions are drawn adversarially: uniform points, tight Gaussian
+clusters, duplicated coordinates, degenerate single-point inputs.
+"""
+
+import math
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+from repro.rtree.bulkload import SORT_KEYS, bulk_load_stream
+from repro.storage.disk_rtree import DiskRTree
+
+coords = st.floats(min_value=0.0, max_value=1000.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def item_sets(draw):
+    """Point-like and extended rectangles, uniform or clustered."""
+    n = draw(st.integers(min_value=0, max_value=220))
+    clustered = draw(st.booleans())
+    rng = draw(st.randoms(use_true_random=False))
+    items = []
+    centers = [(draw(coords), draw(coords)) for _ in range(3)]
+    for i in range(n):
+        if clustered:
+            cx, cy = centers[i % len(centers)]
+            x = min(max(rng.gauss(cx, 12.0), 0.0), 1000.0)
+            y = min(max(rng.gauss(cy, 12.0), 0.0), 1000.0)
+        else:
+            x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+        w = rng.uniform(0.0, 4.0)
+        h = rng.uniform(0.0, 4.0)
+        items.append((Rect(x, y, min(x + w, 1000.0), min(y + h, 1000.0)), i))
+    return items
+
+
+methods = st.sampled_from(SORT_KEYS)
+fanouts = st.integers(min_value=4, max_value=16)
+
+
+def build(tmp_path, items, method, max_entries, run_size):
+    tree = DiskRTree(os.path.join(str(tmp_path), "prop.db"),
+                     max_entries=max_entries)
+    bulk_load_stream(tree, iter(items), method=method, run_size=run_size)
+    return tree
+
+
+def level_fills(tree):
+    """Entry counts per node, level by level, root first."""
+    levels = []
+    frontier = [tree.root_page]
+    while frontier:
+        nxt = []
+        counts = []
+        for page in frontier:
+            node = tree._read_node(page)
+            counts.append(len(node.entries))
+            if not node.is_leaf:
+                nxt.extend(e[4] for e in node.entries)
+        levels.append(counts)
+        frontier = nxt
+    return levels
+
+
+@given(items=item_sets(), method=methods, max_entries=fanouts,
+       run_size=st.sampled_from([32, 64, 1000]))
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_packing_invariants(tmp_path_factory, items, method, max_entries,
+                            run_size):
+    tmp = tmp_path_factory.mktemp("bulkprop")
+    tree = build(tmp, items, method, max_entries, run_size)
+    try:
+        assert len(tree) == len(items)
+        levels = level_fills(tree)
+
+        # Theorem 3.2: every level holds exactly ceil(below / M) nodes.
+        expect = max(1, math.ceil(len(items) / max_entries))
+        for counts in reversed(levels):
+            assert len(counts) == expect
+            expect = max(1, math.ceil(len(counts) / max_entries))
+
+        # Fill bounds: every non-root node in [min_fill, max_entries].
+        min_fill = min(tree.min_entries, max_entries // 2)
+        for counts in levels:
+            assert all(c <= max_entries for c in counts)
+        for counts in levels[1:]:
+            assert all(c >= min_fill for c in counts), (
+                f"underfull node: {levels}")
+
+        # Brute-force window equivalence on a spread of windows.
+        windows = [Rect(0, 0, 1000, 1000), Rect(200, 200, 450, 450),
+                   Rect(900, 900, 1000, 1000), Rect(0, 480, 1000, 520)]
+        for window in windows:
+            got = sorted(tree.search(window))
+            expect_ids = sorted(oid for rect, oid in items
+                                if rect.intersects(window))
+            assert got == expect_ids
+    finally:
+        tree.close()
+
+
+@given(items=item_sets(), max_entries=fanouts)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_adaptive_agrees_with_brute_force_knn_free(tmp_path_factory, items,
+                                                  max_entries):
+    """The adaptive chooser never changes the *answer*, only the layout."""
+    tmp = tmp_path_factory.mktemp("bulkadapt")
+    adaptive = build(tmp, items, "adaptive", max_entries, run_size=64)
+    hilbert = build(tmp_path_factory.mktemp("bulkhil"), items, "hilbert",
+                    max_entries, run_size=64)
+    try:
+        for window in (Rect(0, 0, 500, 500), Rect(100, 600, 900, 990)):
+            assert sorted(adaptive.search(window)) == \
+                sorted(hilbert.search(window))
+    finally:
+        adaptive.close()
+        hilbert.close()
